@@ -1,0 +1,92 @@
+// Shared helpers for the figure/table reproduction binaries.
+//
+// Conventions:
+//  * Every binary prints the series/rows of one paper artifact, then a short
+//    reading guide relating the output to the paper's claim.
+//  * Default scales finish in tens of seconds on one core; set
+//    DYNASTAR_BENCH_FULL=1 for paper-sized sweeps.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "core/system.h"
+
+namespace dynastar::bench {
+
+inline bool full_mode() {
+  const char* env = std::getenv("DYNASTAR_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* env = std::getenv(name);
+  return env == nullptr ? fallback : std::strtoull(env, nullptr, 10);
+}
+
+/// Sum of a series over simulated-seconds [from, to).
+inline double window_total(const TimeSeries& series, std::size_t from,
+                           std::size_t to) {
+  double total = 0;
+  for (std::size_t b = from; b < to && b < series.num_buckets(); ++b)
+    total += series.at(b);
+  return total;
+}
+
+/// Average per-second rate over [from, to).
+inline double window_rate(const TimeSeries& series, std::size_t from,
+                          std::size_t to) {
+  if (to <= from) return 0;
+  return window_total(series, from, to) / static_cast<double>(to - from);
+}
+
+/// Peak 1-second bucket in [from, to).
+inline double window_peak(const TimeSeries& series, std::size_t from,
+                          std::size_t to) {
+  double peak = 0;
+  for (std::size_t b = from; b < to && b < series.num_buckets(); ++b)
+    peak = std::max(peak, series.at(b));
+  return peak;
+}
+
+/// Prints one time series as "t value" rows (bucket = 1 simulated second).
+inline void print_series(const char* label, const TimeSeries& series,
+                         std::size_t seconds) {
+  std::printf("# %s (per simulated second)\n", label);
+  for (std::size_t b = 0; b < seconds; ++b)
+    std::printf("%3zu  %.0f\n", b, series.at(b));
+}
+
+struct Measured {
+  double throughput = 0;     // avg cmds / sim-second over the window
+  double peak = 0;           // best 1s bucket
+  double latency_avg_ms = 0;
+  double latency_p95_ms = 0;
+  double mpart_fraction = 0;
+};
+
+/// Steady-state measurement over [warmup, warmup+measure) sim-seconds.
+inline Measured measure(core::System& system, std::size_t warmup_s,
+                        std::size_t measure_s) {
+  system.run_until(seconds(static_cast<std::int64_t>(warmup_s + measure_s)));
+  Measured m;
+  const auto& completed = system.metrics().series("completed");
+  m.throughput = window_rate(completed, warmup_s, warmup_s + measure_s);
+  m.peak = window_peak(completed, warmup_s, warmup_s + measure_s);
+  if (const auto* latency = system.metrics().find_histogram("latency")) {
+    m.latency_avg_ms = to_millis(static_cast<SimTime>(latency->mean()));
+    m.latency_p95_ms = to_millis(latency->percentile(0.95));
+  }
+  const auto& executed = system.metrics().series("executed");
+  const auto& mpart = system.metrics().series("mpart");
+  const double exec_total = window_total(executed, warmup_s, warmup_s + measure_s);
+  if (exec_total > 0)
+    m.mpart_fraction =
+        window_total(mpart, warmup_s, warmup_s + measure_s) / exec_total;
+  return m;
+}
+
+}  // namespace dynastar::bench

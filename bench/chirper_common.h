@@ -1,0 +1,56 @@
+// Shared Chirper setup for the social-network benches (Figs. 4-6, 8,
+// Table 1): builds a system + drivers over the Higgs-substitute graph.
+#pragma once
+
+#include <memory>
+
+#include "baselines/presets.h"
+#include "bench/bench_common.h"
+#include "workloads/chirper.h"
+#include "workloads/social_graph.h"
+
+namespace dynastar::bench {
+
+namespace chirper = workloads::chirper;
+
+struct ChirperSetup {
+  std::unique_ptr<core::System> system;
+  chirper::Directory directory;
+  std::shared_ptr<const ZipfGenerator> zipf;
+  workloads::SocialGraph graph;
+};
+
+struct ChirperParams {
+  std::uint32_t users = full_mode() ? 20'000 : 2'500;
+  std::uint32_t edges_per_user = 4;
+  double timeline_fraction = 0.85;  // 1.0 = timeline-only workload
+  std::uint32_t clients_per_partition = 10;
+  std::uint64_t seed = 21;
+};
+
+inline ChirperSetup make_chirper(core::SystemConfig config,
+                                 chirper::Placement placement,
+                                 const ChirperParams& params,
+                                 std::uint32_t extra_clients_total = 0) {
+  ChirperSetup setup;
+  setup.graph = workloads::generate_social_graph(
+      params.users, params.edges_per_user, params.seed);
+  setup.system = std::make_unique<core::System>(
+      config, chirper::chirper_app_factory());
+  chirper::setup(*setup.system, setup.graph, placement, params.seed);
+  setup.directory = chirper::make_directory(setup.graph);
+  setup.zipf = std::make_shared<ZipfGenerator>(params.users, 0.95);
+
+  chirper::WorkloadMix mix;
+  mix.timeline_fraction = params.timeline_fraction;
+  const std::uint32_t clients =
+      config.num_partitions * params.clients_per_partition +
+      extra_clients_total;
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    setup.system->add_client(std::make_unique<chirper::ChirperDriver>(
+        setup.directory, mix, setup.zipf));
+  }
+  return setup;
+}
+
+}  // namespace dynastar::bench

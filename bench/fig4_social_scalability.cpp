@@ -1,0 +1,91 @@
+// Figure 4: Chirper throughput and latency vs number of partitions, for the
+// timeline-only and mix (85% timeline / 15% post) workloads, DynaStar vs
+// S-SMR*. The social graph is fixed while partitions increase (unlike
+// TPC-C), so edge-cuts grow with the partition count.
+//
+// Peak throughput comes from a saturated run; latency (avg + p95) from a
+// second run at reduced client count (~75% of peak, as in the paper).
+//
+// Shape to check: timeline-only scales near-linearly for both systems; the
+// mix workload scales up to ~8 partitions and then flattens (more edge
+// cuts -> more multi-partition posts); S-SMR* has somewhat lower latency
+// (DynaStar pays the variable-return trips).
+#include <cstdio>
+#include <vector>
+
+#include "bench/chirper_common.h"
+
+using namespace dynastar;
+using bench::ChirperParams;
+
+namespace {
+
+struct Row {
+  double peak_tput;
+  double lat_avg_ms;
+  double lat_p95_ms;
+};
+
+Row run(core::ExecutionMode mode, std::uint32_t partitions,
+        double timeline_fraction) {
+  const auto placement = mode == core::ExecutionMode::kSSMR
+                             ? bench::chirper::Placement::kOptimized
+                             : bench::chirper::Placement::kOptimized;
+  auto make_config = [&] {
+    auto config = mode == core::ExecutionMode::kDynaStar
+                      ? baselines::dynastar_config(partitions)
+                      : baselines::ssmr_config(partitions);
+    // Measure DynaStar's converged steady state (no plan churn mid-window).
+    config.repartition_hint_threshold = 1'000'000'000;
+    return config;
+  };
+
+  ChirperParams params;
+  params.timeline_fraction = timeline_fraction;
+
+  Row row{};
+  {
+    auto setup = bench::make_chirper(make_config(), placement, params);
+    const auto m = bench::measure(*setup.system, 1, 3);
+    row.peak_tput = m.throughput;
+  }
+  {
+    ChirperParams light = params;
+    light.clients_per_partition =
+        std::max<std::uint32_t>(1, params.clients_per_partition * 2 / 5);
+    auto setup = bench::make_chirper(make_config(), placement, light);
+    const auto m = bench::measure(*setup.system, 1, 3);
+    row.lat_avg_ms = m.latency_avg_ms;
+    row.lat_p95_ms = m.latency_p95_ms;
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<std::uint32_t> sweep{1, 2, 4, 8};
+  if (bench::full_mode()) sweep.push_back(16);
+
+  for (double timeline_fraction : {1.0, 0.85}) {
+    std::printf("=== Figure 4 (%s workload): kcps and latency @~75%% load ===\n",
+                timeline_fraction == 1.0 ? "timeline-only" : "mix 85/15");
+    std::printf("%10s | %10s %8s %8s | %10s %8s %8s\n", "partitions",
+                "Dyna kcps", "avg ms", "p95 ms", "SSMR kcps", "avg ms",
+                "p95 ms");
+    for (std::uint32_t k : sweep) {
+      const Row dyna = run(core::ExecutionMode::kDynaStar, k, timeline_fraction);
+      const Row ssmr = run(core::ExecutionMode::kSSMR, k, timeline_fraction);
+      std::printf("%10u | %10.1f %8.2f %8.2f | %10.1f %8.2f %8.2f\n", k,
+                  dyna.peak_tput / 1000.0, dyna.lat_avg_ms, dyna.lat_p95_ms,
+                  ssmr.peak_tput / 1000.0, ssmr.lat_avg_ms, ssmr.lat_p95_ms);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Reading guide (vs paper Fig. 4): timeline-only scales with partitions\n"
+      "for both systems; under the mix workload scaling flattens at higher\n"
+      "partition counts as edge cuts grow; S-SMR* shows lower latency since\n"
+      "DynaStar returns borrowed variables after execution.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Figure 6: DynaStar (a) vs S-SMR (b) under an evolving social network.
+//
+// The paper starts DynaStar from a random placement and S-SMR* from the
+// METIS-optimized one, introduces a celebrity user at t=200s (users start
+// following them, the celebrity posts frequently), and shows DynaStar's
+// repartitioning (i) catching up with and overtaking S-SMR* after the first
+// plan and (ii) re-adapting after the graph change, while S-SMR degrades.
+//
+// Time axis compressed: default 100 simulated seconds with the celebrity at
+// t=40s; the hint threshold is tuned so the first plan lands ~10-20s in and
+// another follows the celebrity shift.
+#include <cstdio>
+
+#include "bench/chirper_common.h"
+
+using namespace dynastar;
+namespace chirper = workloads::chirper;
+
+namespace {
+
+void run(core::ExecutionMode mode, const char* label) {
+  const std::size_t duration = bench::full_mode() ? 400 : 100;
+  const SimTime celebrity_start =
+      seconds(static_cast<std::int64_t>(duration * 2 / 5));
+  const std::uint32_t partitions = 4;
+
+  auto config = mode == core::ExecutionMode::kDynaStar
+                    ? baselines::dynastar_config(partitions)
+                    : baselines::ssmr_config(partitions);
+  config.repartition_hint_threshold =
+      bench::env_u64("DYNASTAR_FIG6_THRESHOLD", 60'000);
+
+  bench::ChirperParams params;
+  params.clients_per_partition = 10;
+
+  auto placement = mode == core::ExecutionMode::kDynaStar
+                       ? chirper::Placement::kRandom
+                       : chirper::Placement::kOptimized;
+  auto graph = workloads::generate_social_graph(params.users,
+                                                params.edges_per_user,
+                                                params.seed);
+  core::System system(config, chirper::chirper_app_factory());
+  chirper::setup(system, graph, placement, params.seed);
+  auto directory = chirper::make_directory(graph);
+  auto zipf = std::make_shared<ZipfGenerator>(params.users, 0.95);
+
+  chirper::WorkloadMix mix;
+  mix.timeline_fraction = params.timeline_fraction;
+  mix.celebrity = params.users;  // a brand-new user
+  mix.celebrity_start = celebrity_start;
+  mix.follow_celebrity_prob = 0.03;
+  const std::uint32_t clients = partitions * params.clients_per_partition;
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    system.add_client(
+        std::make_unique<chirper::ChirperDriver>(directory, mix, zipf));
+  }
+  system.add_client(std::make_unique<chirper::CelebrityDriver>(
+      directory, params.users, celebrity_start, milliseconds(20)));
+
+  if (mode == core::ExecutionMode::kDynaStar) {
+    // Give the celebrity shift time to show in the workload graph, then
+    // request the re-adaptation explicitly (the paper's oracle accepts
+    // application-requested repartitions, §4.2.2); the hint threshold may
+    // also fire on its own earlier.
+    const SimTime readapt = celebrity_start + seconds(
+        static_cast<std::int64_t>(duration / 5));
+    system.run_until(readapt);
+    system.oracle(0).request_repartition();
+    system.oracle(1).request_repartition();
+  }
+  system.run_until(seconds(static_cast<std::int64_t>(duration)));
+
+  std::printf("--- Figure 6(%s): celebrity appears at t=%llds ---\n", label,
+              static_cast<long long>(celebrity_start / seconds(1)));
+  std::printf("%4s %12s %10s %12s\n", "t(s)", "tput(cps)", "mpart%",
+              "objects_exch");
+  const auto& completed = system.metrics().series("completed");
+  const auto& executed = system.metrics().series("executed");
+  const auto& mpart = system.metrics().series("mpart");
+  const auto& exchanged = system.metrics().series("objects_exchanged");
+  for (std::size_t t = 0; t < duration; ++t) {
+    const double exec = executed.at(t);
+    std::printf("%4zu %12.0f %9.1f%% %12.0f\n", t, completed.at(t),
+                exec > 0 ? 100.0 * mpart.at(t) / exec : 0.0, exchanged.at(t));
+  }
+  std::printf("plans applied: %.0f (triggers: %.0f)\n\n",
+              system.metrics().series("oracle.plans_applied").total(),
+              system.metrics().series("oracle.repartitions").total());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 6: dynamic workload (evolving social network) ===\n\n");
+  run(core::ExecutionMode::kDynaStar, "a: DynaStar, random start");
+  run(core::ExecutionMode::kSSMR, "b: S-SMR*, optimized start, no adaptation");
+  std::printf(
+      "Reading guide (vs paper Fig. 6): DynaStar starts below S-SMR* (random\n"
+      "vs optimized placement), overtakes it after its first plan; when the\n"
+      "celebrity changes the graph both degrade, but only DynaStar recovers\n"
+      "with a new plan.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Microbenchmarks of the substrate (google-benchmark): simulator event
+// throughput, Paxos ordering cost, single- vs multi-group atomic multicast,
+// and the partitioner's phases. Not a paper figure; quantifies the stack
+// the figures are built on.
+#include <benchmark/benchmark.h>
+
+#include "core/system.h"
+#include "multicast/client.h"
+#include "partitioning/partitioner.h"
+#include "sim/process.h"
+#include "workloads/kv.h"
+#include "workloads/kv_drivers.h"
+#include "workloads/social_graph.h"
+
+namespace dynastar {
+namespace {
+
+void BM_SimulatorEventLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    std::uint64_t counter = 0;
+    for (int i = 0; i < 10'000; ++i) {
+      simulator.schedule_after(i, [&counter] { ++counter; });
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_SimulatorEventLoop);
+
+/// Full-stack KV commands per simulated run, single partition (pure Paxos
+/// ordering path, no cross-partition traffic).
+void BM_SinglePartitionCommands(benchmark::State& state) {
+  for (auto _ : state) {
+    core::SystemConfig config;
+    config.num_partitions = 1;
+    config.repartition_hint_threshold = UINT64_MAX;
+    core::System system(config, workloads::kv_app_factory());
+    core::Assignment assignment;
+    workloads::KvObject zero;
+    for (std::uint64_t k = 0; k < 16; ++k) {
+      assignment[core::VertexId{k}] = PartitionId{0};
+      system.preload_object(ObjectId{k}, core::VertexId{k}, PartitionId{0},
+                            zero);
+    }
+    system.preload_assignment(assignment);
+    for (int c = 0; c < 4; ++c) {
+      system.add_client(
+          std::make_unique<workloads::RandomKvDriver>(16, 0.5, 0.0));
+    }
+    system.run_until(seconds(1));
+    benchmark::DoNotOptimize(system.metrics().series("completed").total());
+  }
+}
+BENCHMARK(BM_SinglePartitionCommands)->Unit(benchmark::kMillisecond);
+
+/// Same load but 50% of commands span two partitions: measures the borrow /
+/// return overhead of the multicast + transfer machinery.
+void BM_CrossPartitionCommands(benchmark::State& state) {
+  for (auto _ : state) {
+    core::SystemConfig config;
+    config.num_partitions = 2;
+    config.repartition_hint_threshold = UINT64_MAX;
+    core::System system(config, workloads::kv_app_factory());
+    core::Assignment assignment;
+    workloads::KvObject zero;
+    for (std::uint64_t k = 0; k < 16; ++k) {
+      assignment[core::VertexId{k}] = PartitionId{k % 2};
+      system.preload_object(ObjectId{k}, core::VertexId{k}, PartitionId{k % 2},
+                            zero);
+    }
+    system.preload_assignment(assignment);
+    for (int c = 0; c < 4; ++c) {
+      system.add_client(
+          std::make_unique<workloads::RandomKvDriver>(16, 0.5, 0.5));
+    }
+    system.run_until(seconds(1));
+    benchmark::DoNotOptimize(system.metrics().series("completed").total());
+  }
+}
+BENCHMARK(BM_CrossPartitionCommands)->Unit(benchmark::kMillisecond);
+
+void BM_PartitionGraph(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  auto social = workloads::generate_social_graph(n, 4, 3);
+  partitioning::GraphBuilder builder(n);
+  for (std::uint32_t u = 0; u < n; ++u)
+    for (std::uint32_t f : social.followers[u]) builder.add_edge(u, f, 1);
+  auto graph = builder.build();
+  for (auto _ : state) {
+    partitioning::PartitionerConfig config;
+    config.seed = 3;
+    auto result = partitioning::partition_graph(graph, 8, config);
+    benchmark::DoNotOptimize(result.edge_cut);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PartitionGraph)->Arg(10'000)->Arg(100'000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dynastar
+
+BENCHMARK_MAIN();

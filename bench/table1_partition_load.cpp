@@ -1,0 +1,47 @@
+// Table 1: average per-partition load at peak throughput (Chirper mix,
+// 4 partitions): commands served, multi-partition commands per second, and
+// objects exchanged per second.
+//
+// Shape to check: load is skewed across partitions even though objects are
+// evenly distributed — Zipfian users make some partitions hotter (the
+// paper's partitions 1-2 serve ~2x partitions 3-4).
+#include <cstdio>
+#include <string>
+
+#include "bench/chirper_common.h"
+
+using namespace dynastar;
+
+int main() {
+  const std::uint32_t partitions = 4;
+  auto config = baselines::dynastar_config(partitions);
+  config.repartition_hint_threshold = 1'000'000'000;
+
+  bench::ChirperParams params;
+  params.clients_per_partition = 14;  // saturating
+  auto setup = bench::make_chirper(config, bench::chirper::Placement::kOptimized,
+                                   params);
+  const std::size_t warmup = 2, measure = 5;
+  setup.system->run_until(seconds(warmup + measure));
+
+  std::printf("=== Table 1: average load at partitions at peak throughput ===\n");
+  std::printf("%9s %12s %24s %26s\n", "Partition", "Tput",
+              "M-part commands per sec", "Exchanged objects per sec");
+  auto& metrics = setup.system->metrics();
+  for (std::uint32_t p = 0; p < partitions; ++p) {
+    const std::string prefix = "partition." + std::to_string(p) + ".";
+    const double tput = bench::window_rate(metrics.series(prefix + "executed"),
+                                           warmup, warmup + measure);
+    const double mpart = bench::window_rate(metrics.series(prefix + "mpart"),
+                                            warmup, warmup + measure);
+    const double exchanged =
+        bench::window_rate(metrics.series(prefix + "objects_exchanged"),
+                           warmup, warmup + measure);
+    std::printf("%9u %12.0f %24.0f %26.0f\n", p + 1, tput, mpart, exchanged);
+  }
+  std::printf(
+      "\nReading guide (vs paper Table 1): despite balanced object placement\n"
+      "the served load is skewed (~2x between hottest and coldest partition)\n"
+      "because Zipfian clients hit some users' partitions far more often.\n");
+  return 0;
+}

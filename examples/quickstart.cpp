@@ -1,0 +1,78 @@
+// Quickstart: a replicated key-value store on DynaStar in ~60 lines of
+// application code.
+//
+//   1. Define your replicated objects (PRObject) and server logic
+//      (AppStateMachine) — here we reuse the bundled KV application.
+//   2. Build a System: partitions, replicas, acceptors, and the oracle are
+//      wired automatically.
+//   3. Preload state and an initial assignment (or create() at runtime).
+//   4. Add closed-loop clients and run.
+//
+// Run:  ./quickstart
+#include <cstdio>
+#include <memory>
+
+#include "core/system.h"
+#include "workloads/kv.h"
+#include "workloads/kv_drivers.h"
+
+using namespace dynastar;
+
+int main() {
+  // --- 1. Configure: DynaStar with 2 partitions (defaults: 2 replicas + 3
+  //        acceptors per partition, plus a replicated oracle). ---
+  core::SystemConfig config;
+  config.mode = core::ExecutionMode::kDynaStar;
+  config.num_partitions = 2;
+  core::System system(config, workloads::kv_app_factory());
+
+  // --- 2. Preload 8 keys, round-robin across partitions. ---
+  core::Assignment assignment;
+  for (std::uint64_t key = 0; key < 8; ++key) {
+    const PartitionId partition{key % 2};
+    assignment[core::VertexId{key}] = partition;
+    system.preload_object(ObjectId{key}, core::VertexId{key}, partition,
+                          workloads::KvObject(0));
+  }
+  system.preload_assignment(assignment);
+
+  // --- 3. A scripted client: single-key put/get plus one cross-partition
+  //        multi-key put (keys 0 and 1 live on different partitions). ---
+  using workloads::KvOp;
+  std::vector<core::CommandSpec> script;
+  auto make = [](std::initializer_list<std::uint64_t> keys, KvOp::Kind kind,
+                 std::uint64_t value) {
+    core::CommandSpec spec;
+    for (auto k : keys)
+      spec.objects.emplace_back(ObjectId{k}, core::VertexId{k});
+    spec.payload = sim::make_message<KvOp>(kind, value);
+    return spec;
+  };
+  script.push_back(make({0}, KvOp::Kind::kPut, 42));
+  script.push_back(make({0}, KvOp::Kind::kGet, 0));
+  script.push_back(make({0, 1}, KvOp::Kind::kPut, 7));  // cross-partition!
+  script.push_back(make({1}, KvOp::Kind::kGet, 0));
+
+  std::vector<workloads::ScriptedKvDriver::Record> records;
+  system.add_client(
+      std::make_unique<workloads::ScriptedKvDriver>(script, &records));
+
+  // --- 4. Run the simulated cluster. ---
+  system.run_until(seconds(2));
+
+  std::printf("quickstart: %zu commands completed\n", records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& record = records[i];
+    std::printf("  cmd %zu: status=%s latency=%.2fms observed=[", i,
+                record.status == core::ReplyStatus::kOk ? "ok" : "error",
+                to_millis(record.completed_at - record.issued_at));
+    for (const auto& value : record.observed)
+      std::printf("%s ", value ? std::to_string(*value).c_str() : "-");
+    std::printf("]\n");
+  }
+  std::printf("\nThe multi-key put was executed once, at a single partition,\n"
+              "after DynaStar borrowed the remote variable and returned it\n"
+              "afterwards — the get on key 1 (owned by the other partition)\n"
+              "sees 7.\n");
+  return records.size() == 4 ? 0 : 1;
+}

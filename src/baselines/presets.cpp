@@ -1,0 +1,36 @@
+#include "baselines/presets.h"
+
+namespace dynastar::baselines {
+
+namespace {
+core::SystemConfig base_config(std::uint32_t partitions, std::uint64_t seed) {
+  core::SystemConfig config;
+  config.num_partitions = partitions;
+  config.seed = seed;
+  return config;
+}
+}  // namespace
+
+core::SystemConfig dynastar_config(std::uint32_t partitions,
+                                   std::uint64_t seed) {
+  core::SystemConfig config = base_config(partitions, seed);
+  config.mode = core::ExecutionMode::kDynaStar;
+  config.repartitioning_enabled = true;
+  return config;
+}
+
+core::SystemConfig ssmr_config(std::uint32_t partitions, std::uint64_t seed) {
+  core::SystemConfig config = base_config(partitions, seed);
+  config.mode = core::ExecutionMode::kSSMR;
+  config.repartitioning_enabled = false;
+  return config;
+}
+
+core::SystemConfig dssmr_config(std::uint32_t partitions, std::uint64_t seed) {
+  core::SystemConfig config = base_config(partitions, seed);
+  config.mode = core::ExecutionMode::kDSSMR;
+  config.repartitioning_enabled = false;
+  return config;
+}
+
+}  // namespace dynastar::baselines

@@ -1,0 +1,30 @@
+// Configuration presets for the three systems the paper evaluates:
+// DynaStar, S-SMR* (static, workload-optimized placement), and DS-SMR
+// (naive dynamic relocation). Benches and examples build systems from these
+// so that every comparison uses identical network/CPU/Paxos parameters and
+// differs only in the protocol under test.
+#pragma once
+
+#include "core/config.h"
+
+namespace dynastar::baselines {
+
+/// DynaStar as evaluated in the paper: repartitioning on, borrow/return
+/// execution, strict epoch validation, eager plan transfer.
+core::SystemConfig dynastar_config(std::uint32_t partitions,
+                                   std::uint64_t seed = 1);
+
+/// S-SMR* (§5.5): static partitioning (installed by the benchmark setup with
+/// full workload knowledge); multi-partition commands executed by every
+/// involved partition after exchanging state copies; no oracle traffic in
+/// steady state.
+core::SystemConfig ssmr_config(std::uint32_t partitions,
+                               std::uint64_t seed = 1);
+
+/// DS-SMR (Le et al., DSN'16): dynamic, but every multi-partition command
+/// permanently moves its variables to the target; no workload graph, no
+/// optimized plans.
+core::SystemConfig dssmr_config(std::uint32_t partitions,
+                                std::uint64_t seed = 1);
+
+}  // namespace dynastar::baselines

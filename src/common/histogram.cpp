@@ -1,0 +1,102 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace dynastar {
+
+namespace {
+// 64 exponent ranges x 32 linear sub-buckets: ~3% relative resolution.
+constexpr std::size_t kSubBuckets = 32;
+constexpr std::size_t kSubBucketBits = 5;
+constexpr std::size_t kTotalBuckets = 64 * kSubBuckets;
+}  // namespace
+
+Histogram::Histogram() : buckets_(kTotalBuckets, 0) {}
+
+std::size_t Histogram::bucket_for(SimTime value) {
+  std::uint64_t v = value <= 0 ? 0 : static_cast<std::uint64_t>(value);
+  if (v < kSubBuckets) return static_cast<std::size_t>(v);
+  const int msb = 63 - std::countl_zero(v);
+  const int shift = msb - static_cast<int>(kSubBucketBits);
+  const std::uint64_t sub = (v >> shift) & (kSubBuckets - 1);
+  const std::size_t exp_index =
+      static_cast<std::size_t>(msb) - kSubBucketBits + 1;
+  return exp_index * kSubBuckets + static_cast<std::size_t>(sub);
+}
+
+SimTime Histogram::bucket_midpoint(std::size_t bucket) {
+  if (bucket < kSubBuckets) return static_cast<SimTime>(bucket);
+  const std::size_t exp_index = bucket / kSubBuckets;
+  const std::uint64_t sub = bucket % kSubBuckets;
+  const int shift = static_cast<int>(exp_index) - 1;
+  const std::uint64_t lo = (kSubBuckets + sub) << shift;
+  const std::uint64_t width = 1ULL << shift;
+  return static_cast<SimTime>(lo + width / 2);
+}
+
+void Histogram::record(SimTime value) {
+  if (value < 0) value = 0;
+  buckets_[bucket_for(value)]++;
+  ++count_;
+  sum_ += static_cast<double>(value);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t i = 0; i < kTotalBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+SimTime Histogram::min() const { return count_ == 0 ? 0 : min_; }
+SimTime Histogram::max() const { return max_; }
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+SimTime Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kTotalBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) return bucket_midpoint(i);
+    if (seen >= target) {
+      // target fell on an empty bucket boundary; find next non-empty.
+      for (std::size_t j = i; j < kTotalBuckets; ++j)
+        if (buckets_[j] > 0) return bucket_midpoint(j);
+    }
+  }
+  return max_;
+}
+
+std::vector<Histogram::CdfPoint> Histogram::cdf() const {
+  std::vector<CdfPoint> points;
+  if (count_ == 0) return points;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kTotalBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    seen += buckets_[i];
+    points.push_back({bucket_midpoint(i),
+                      static_cast<double>(seen) / static_cast<double>(count_)});
+  }
+  return points;
+}
+
+void Histogram::clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = kSimTimeNever;
+  max_ = 0;
+}
+
+}  // namespace dynastar

@@ -1,0 +1,54 @@
+// Latency histogram with percentile and CDF queries.
+//
+// Log-bucketed (HDR-style) so recording is O(1) and memory is bounded
+// regardless of sample count; resolution is ~1% relative error, ample for
+// the avg / p95 / CDF series the paper's figures report.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace dynastar {
+
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one duration (negative values are clamped to zero).
+  void record(SimTime value);
+
+  /// Merges another histogram into this one.
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] SimTime min() const;
+  [[nodiscard]] SimTime max() const;
+  [[nodiscard]] double mean() const;
+
+  /// Value at quantile q in [0, 1]; 0 if the histogram is empty.
+  [[nodiscard]] SimTime percentile(double q) const;
+
+  /// Full CDF as (value, cumulative fraction) points, one per non-empty
+  /// bucket — ready to print as a figure series.
+  struct CdfPoint {
+    SimTime value;
+    double fraction;
+  };
+  [[nodiscard]] std::vector<CdfPoint> cdf() const;
+
+  void clear();
+
+ private:
+  static std::size_t bucket_for(SimTime value);
+  static SimTime bucket_midpoint(std::size_t bucket);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  SimTime min_ = kSimTimeNever;
+  SimTime max_ = 0;
+};
+
+}  // namespace dynastar

@@ -1,0 +1,103 @@
+#include "common/linearizability.h"
+
+#include <unordered_map>
+
+namespace dynastar {
+
+namespace {
+
+// Backtracking search in the style of Wing & Gong: repeatedly pick a
+// "minimal" pending operation (one no other pending operation precedes in
+// real time), check it against the candidate sequential state, and recurse.
+class Checker {
+ public:
+  explicit Checker(const std::vector<KvOperation>& history)
+      : history_(history) {}
+
+  LinearizabilityResult run() {
+    done_.assign(history_.size(), false);
+    if (search(0)) return {true, std::nullopt};
+    LinearizabilityResult result;
+    result.linearizable = false;
+    result.stuck_operation = deepest_stuck_;
+    return result;
+  }
+
+ private:
+  bool is_minimal(std::size_t i) const {
+    for (std::size_t j = 0; j < history_.size(); ++j) {
+      if (done_[j] || j == i) continue;
+      if (history_[j].response_time < history_[i].invoke_time) return false;
+    }
+    return true;
+  }
+
+  /// Applies op if its observations match `state_`; fills `undo` so the
+  /// caller can revert. Returns false (leaving state untouched) otherwise.
+  bool apply(const KvOperation& op,
+             std::vector<std::optional<std::uint64_t>>* undo) {
+    for (std::size_t k = 0; k < op.keys.size(); ++k) {
+      auto it = state_.find(op.keys[k]);
+      const std::optional<std::uint64_t> current =
+          it == state_.end() ? std::nullopt
+                             : std::optional<std::uint64_t>(it->second);
+      if (k < op.observed.size() && current != op.observed[k]) return false;
+    }
+    if (op.is_put) {
+      undo->reserve(op.keys.size());
+      for (std::uint64_t key : op.keys) {
+        auto it = state_.find(key);
+        undo->push_back(it == state_.end()
+                            ? std::nullopt
+                            : std::optional<std::uint64_t>(it->second));
+        state_[key] = op.value;
+      }
+    }
+    return true;
+  }
+
+  void revert(const KvOperation& op,
+              const std::vector<std::optional<std::uint64_t>>& undo) {
+    if (!op.is_put) return;
+    for (std::size_t k = op.keys.size(); k-- > 0;) {
+      if (undo[k].has_value())
+        state_[op.keys[k]] = *undo[k];
+      else
+        state_.erase(op.keys[k]);
+    }
+  }
+
+  bool search(std::size_t placed) {
+    if (placed == history_.size()) return true;
+    for (std::size_t i = 0; i < history_.size(); ++i) {
+      if (done_[i] || !is_minimal(i)) continue;
+      std::vector<std::optional<std::uint64_t>> undo;
+      if (apply(history_[i], &undo)) {
+        done_[i] = true;
+        if (search(placed + 1)) return true;
+        done_[i] = false;
+        revert(history_[i], undo);
+      } else if (placed >= deepest_) {
+        deepest_ = placed;
+        deepest_stuck_ = i;
+      }
+    }
+    return false;
+  }
+
+  const std::vector<KvOperation>& history_;
+  std::vector<bool> done_;
+  std::unordered_map<std::uint64_t, std::uint64_t> state_;
+  std::size_t deepest_ = 0;
+  std::optional<std::size_t> deepest_stuck_;
+};
+
+}  // namespace
+
+LinearizabilityResult check_kv_linearizable(
+    const std::vector<KvOperation>& history) {
+  Checker checker(history);
+  return checker.run();
+}
+
+}  // namespace dynastar

@@ -1,0 +1,45 @@
+// Wing–Gong linearizability checker for key-value histories.
+//
+// Used by the property tests: full-stack runs record every client command's
+// invocation/response times plus observed results, and the checker searches
+// for a legal sequential witness that respects real-time order.
+//
+// Operations are multi-key read-modify-writes, matching the KV application:
+// every operation observes the pre-state of all its keys; a put then writes
+// `value` to all of them. This makes cross-partition commands (the borrow /
+// return path) fully checkable. Exponential in the worst case; fine for
+// test-sized histories (hundreds of ops).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace dynastar {
+
+/// One completed client operation against the KV specification.
+struct KvOperation {
+  /// True: after observing, writes `value` to every key.
+  bool is_put = false;
+  std::vector<std::uint64_t> keys;
+  std::uint64_t value = 0;
+  /// Observed pre-state per key (nullopt = key absent), parallel to `keys`.
+  std::vector<std::optional<std::uint64_t>> observed;
+  /// Real-time window of the operation.
+  std::int64_t invoke_time = 0;
+  std::int64_t response_time = 0;
+};
+
+/// Result of a check, with a counterexample index when it fails.
+struct LinearizabilityResult {
+  bool linearizable = true;
+  /// When not linearizable: the operation the search could never place.
+  std::optional<std::size_t> stuck_operation;
+};
+
+/// Checks whether `history` is linearizable w.r.t. a per-key last-writer-wins
+/// register map that starts with every key absent.
+LinearizabilityResult check_kv_linearizable(
+    const std::vector<KvOperation>& history);
+
+}  // namespace dynastar

@@ -1,0 +1,10 @@
+#include "common/logging.h"
+
+namespace dynastar {
+
+LogLevel& log_level() {
+  static LogLevel level = LogLevel::kOff;
+  return level;
+}
+
+}  // namespace dynastar

@@ -1,0 +1,44 @@
+// Minimal leveled logging. Disabled by default so tight simulation loops pay
+// a single branch; benches and debugging sessions enable it explicitly.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+
+namespace dynastar {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
+
+/// Global log threshold. Not thread-protected: the simulator is
+/// single-threaded by design, and the level is set once at startup.
+LogLevel& log_level();
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(const char* tag) { stream_ << '[' << tag << "] "; }
+  ~LogLine() {
+    stream_ << '\n';
+    std::cerr << stream_.str();
+  }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace dynastar
+
+#define DYNASTAR_LOG(level, tag)                                \
+  if (::dynastar::LogLevel::level < ::dynastar::log_level()) {} \
+  else ::dynastar::detail::LogLine(tag)
+
+#define LOG_TRACE DYNASTAR_LOG(kTrace, "TRACE")
+#define LOG_DEBUG DYNASTAR_LOG(kDebug, "DEBUG")
+#define LOG_INFO DYNASTAR_LOG(kInfo, "INFO")
+#define LOG_WARN DYNASTAR_LOG(kWarn, "WARN")

@@ -1,0 +1,53 @@
+#include "common/metrics.h"
+
+#include <numeric>
+
+namespace dynastar {
+
+void TimeSeries::add(SimTime now, double amount) {
+  if (now < 0) now = 0;
+  const auto bucket = static_cast<std::size_t>(now / bucket_width_);
+  if (bucket >= buckets_.size()) buckets_.resize(bucket + 1, 0.0);
+  buckets_[bucket] += amount;
+}
+
+double TimeSeries::at(std::size_t bucket) const {
+  return bucket < buckets_.size() ? buckets_[bucket] : 0.0;
+}
+
+double TimeSeries::total() const {
+  return std::accumulate(buckets_.begin(), buckets_.end(), 0.0);
+}
+
+TimeSeries& MetricsRegistry::series(const std::string& name) {
+  auto it = series_.find(name);
+  if (it == series_.end())
+    it = series_.emplace(name, TimeSeries(bucket_width_)).first;
+  return it->second;
+}
+
+const TimeSeries* MetricsRegistry::find_series(const std::string& name) const {
+  auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return histograms_[name];
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::add_counter(const std::string& name, double amount) {
+  counters_[name] += amount;
+}
+
+double MetricsRegistry::counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+}  // namespace dynastar

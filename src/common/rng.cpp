@@ -1,0 +1,71 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace dynastar {
+
+std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) {
+  assert(lo <= hi);
+  std::uniform_int_distribution<std::uint64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::uniform01() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Rng::exponential(double mean) {
+  std::exponential_distribution<double> dist(1.0 / mean);
+  return dist(engine_);
+}
+
+Rng Rng::fork() {
+  // Mix two draws so children of consecutive forks are decorrelated.
+  std::uint64_t s = engine_() * 0x9e3779b97f4a7c15ULL ^ engine_();
+  return Rng(s);
+}
+
+namespace {
+double zeta(std::uint64_t n, double theta) {
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(double(i), theta);
+  return sum;
+}
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  assert(n > 0);
+  zetan_ = zeta(n, theta);
+  zeta2theta_ = zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / double(n), 1.0 - theta)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+std::uint64_t ZipfGenerator::next(Rng& rng) const {
+  double u = rng.uniform01();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  auto rank = static_cast<std::uint64_t>(
+      double(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  if (rank >= n_) rank = n_ - 1;
+  return rank;
+}
+
+std::uint64_t NuRand::next(Rng& rng) const {
+  std::uint64_t r1 = rng.uniform(0, a_);
+  std::uint64_t r2 = rng.uniform(x_, y_);
+  return (((r1 | r2) + c_) % (y_ - x_ + 1)) + x_;
+}
+
+}  // namespace dynastar

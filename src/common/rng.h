@@ -1,0 +1,76 @@
+// Deterministic random number generation for the simulation.
+//
+// All randomness in the system flows through seeded Rng instances so that a
+// run is a pure function of its configuration — a prerequisite for the
+// reproducible benchmark figures.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace dynastar {
+
+/// A seeded pseudo-random source. Thin wrapper over mt19937_64 with the
+/// distributions the workloads need.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool chance(double p);
+
+  /// Exponentially distributed duration with the given mean.
+  double exponential(double mean);
+
+  /// Derives an independent child generator; used to give each simulated
+  /// component its own stream without correlation.
+  Rng fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Zipfian distribution over {0, ..., n-1} with exponent theta, using the
+/// standard rejection-free inverse-CDF approximation (Gray et al.).
+/// Used by Chirper clients (paper: rho = 0.95).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta);
+
+  /// Draws a rank in [0, n); rank 0 is the most popular item.
+  std::uint64_t next(Rng& rng) const;
+
+  [[nodiscard]] std::uint64_t n() const { return n_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+/// TPC-C NURand(A, x, y) non-uniform distribution (clause 2.1.6).
+class NuRand {
+ public:
+  /// C is the per-run constant the spec draws once; pass any value.
+  NuRand(std::uint64_t a, std::uint64_t x, std::uint64_t y, std::uint64_t c)
+      : a_(a), x_(x), y_(y), c_(c) {}
+
+  std::uint64_t next(Rng& rng) const;
+
+ private:
+  std::uint64_t a_, x_, y_, c_;
+};
+
+}  // namespace dynastar

@@ -1,0 +1,43 @@
+// AppStateMachine: the deterministic application logic a partition replica
+// runs (the paper's PartitionStateMachine, §5.2). The server logic is
+// written without knowledge of the partitioning scheme: by the time
+// execute() runs, the DynaStar library has gathered every object in omega
+// into `store` (borrowing from remote partitions as needed).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/object.h"
+#include "core/types.h"
+#include "sim/message.h"
+
+namespace dynastar::core {
+
+struct ExecResult {
+  /// Application-level reply payload sent to the client (may be null).
+  sim::MessagePtr reply;
+  /// CPU time the execution costs the replica (drives saturation).
+  SimTime cpu_cost = microseconds(10);
+};
+
+/// Objects created by execute() for command omega's vertices are recorded
+/// through this interface so the library can route them home if their
+/// vertex was borrowed.
+class AppStateMachine {
+ public:
+  virtual ~AppStateMachine() = default;
+
+  /// Executes `cmd` against `store`. Must be deterministic: every replica
+  /// of the partition runs the same sequence of executes on the same store
+  /// state. Objects in omega that do not exist appear as absent in the
+  /// store; the application decides how to reply.
+  virtual ExecResult execute(const Command& cmd, ObjectStore& store) = 0;
+
+  /// Builds the initial object for a create(v) command.
+  virtual ObjectPtr make_object(const Command& cmd) = 0;
+};
+
+using AppFactory = std::function<std::unique_ptr<AppStateMachine>()>;
+
+}  // namespace dynastar::core

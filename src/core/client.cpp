@@ -1,0 +1,178 @@
+#include "core/client.h"
+
+#include <algorithm>
+
+#include "core/server.h"  // choose_target, group_of
+
+namespace dynastar::core {
+
+ClientCore::ClientCore(sim::Env& env, const paxos::Topology& topology,
+                       const SystemConfig& config,
+                       std::unique_ptr<ClientDriver> driver,
+                       MetricsRegistry* metrics)
+    : env_(env),
+      topology_(topology),
+      config_(config),
+      driver_(std::move(driver)),
+      metrics_(metrics),
+      sender_(env, topology) {}
+
+void ClientCore::start() { issue_next(); }
+
+void ClientCore::issue_next() {
+  auto spec = driver_->next(env_.random(), env_.now());
+  if (!spec.has_value()) return;  // client done
+  if (spec->objects.empty()) {
+    env_.start_timer(spec->pause, [this] { issue_next(); });
+    return;
+  }
+
+  std::vector<ObjectId> objects;
+  std::vector<VertexId> vertices;
+  objects.reserve(spec->objects.size());
+  vertices.reserve(spec->objects.size());
+  for (const auto& [obj, vertex] : spec->objects) {
+    objects.push_back(obj);
+    vertices.push_back(vertex);
+  }
+  const std::uint64_t cmd_id = (env_.self().value() << 32) | ++next_cmd_;
+  auto cmd = std::make_shared<const Command>(cmd_id, env_.self(), spec->type,
+                                             std::move(objects),
+                                             std::move(vertices), spec->payload);
+  outstanding_ = Outstanding{std::move(*spec), std::move(cmd), 1, env_.now(),
+                             false};
+  route(/*force_oracle=*/false);
+}
+
+void ClientCore::route(bool force_oracle) {
+  Outstanding& out = *outstanding_;
+  const Command& cmd = *out.cmd;
+
+  bool use_oracle = force_oracle || cmd.type != CommandType::kAccess;
+  std::vector<PartitionId> owners;
+  if (!use_oracle) {
+    owners.reserve(cmd.vertices.size());
+    for (VertexId v : cmd.vertices) {
+      auto it = cache_.find(v);
+      if (it == cache_.end()) {
+        use_oracle = true;
+        break;
+      }
+      owners.push_back(it->second);
+    }
+  }
+
+  if (use_oracle) {
+    ++oracle_queries_;
+    sender_.amcast({kOracleGroup}, sim::make_message<OracleRequest>(
+                                       out.cmd, out.attempt));
+    return;
+  }
+
+  std::vector<PartitionId> dests = owners;
+  std::sort(dests.begin(), dests.end());
+  dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
+  out.multi = dests.size() > 1;
+  const PartitionId target = choose_target(cmd.objects, owners);
+  out.target = target;
+
+  std::vector<GroupId> groups;
+  groups.reserve(dests.size());
+  for (PartitionId p : dests) groups.push_back(group_of(p));
+  sender_.amcast(std::move(groups),
+                 sim::make_message<ExecCommand>(out.cmd, std::move(dests),
+                                                std::move(owners), target,
+                                                cache_epoch_, out.attempt));
+}
+
+bool ClientCore::handle(ProcessId /*from*/, const sim::MessagePtr& msg) {
+  if (auto* prophecy = dynamic_cast<const Prophecy*>(msg.get())) {
+    on_prophecy(*prophecy);
+    return true;
+  }
+  if (auto* reply = dynamic_cast<const CommandReply*>(msg.get())) {
+    on_reply(*reply);
+    return true;
+  }
+  return false;
+}
+
+void ClientCore::on_prophecy(const Prophecy& msg) {
+  if (!outstanding_.has_value() || msg.cmd_id != outstanding_->cmd->cmd_id ||
+      msg.attempt != outstanding_->attempt) {
+    return;  // stale or duplicate (the other oracle replica's copy)
+  }
+  if (msg.epoch > cache_epoch_) {
+    cache_.clear();
+    cache_epoch_ = msg.epoch;
+  }
+  if (msg.epoch == cache_epoch_) {
+    for (const auto& [vertex, partition] : msg.locations) {
+      if (config_.client_cache_capacity != 0 &&
+          cache_.size() >= config_.client_cache_capacity &&
+          !cache_.contains(vertex)) {
+        // Evict an arbitrary resident entry (hash order ~ random).
+        cache_.erase(cache_.begin());
+      }
+      cache_[vertex] = partition;
+    }
+  }
+  if (msg.status == ReplyStatus::kNok) {
+    complete(ReplyStatus::kNok, nullptr);
+    return;
+  }
+  outstanding_->target = msg.target;
+  outstanding_->multi = msg.locations.size() > 1 &&
+                        [&] {
+                          for (const auto& [v, p] : msg.locations)
+                            if (p != msg.locations.front().second) return true;
+                          return false;
+                        }();
+  // kOk: now wait for the target partition's CommandReply.
+}
+
+void ClientCore::on_reply(const CommandReply& msg) {
+  if (!outstanding_.has_value() || msg.cmd_id != outstanding_->cmd->cmd_id ||
+      msg.attempt != outstanding_->attempt) {
+    return;  // duplicate replica reply or reply for a superseded attempt
+  }
+  if (msg.status == ReplyStatus::kRetry) {
+    // Stale addressing: flush the cache and go through the oracle (§4.3).
+    ++retries_;
+    if (metrics_) metrics_->series("client.retries").add(env_.now(), 1.0);
+    cache_.clear();
+    ++outstanding_->attempt;
+    route(/*force_oracle=*/true);
+    return;
+  }
+  complete(msg.status, msg.payload);
+}
+
+void ClientCore::complete(ReplyStatus status, const sim::MessagePtr& payload) {
+  Outstanding out = std::move(*outstanding_);
+  outstanding_.reset();
+  ++completed_;
+  // Under DS-SMR a successful multi-partition command permanently moved
+  // omega to the target; the client saw the move, so it updates its cache.
+  if (config_.mode == ExecutionMode::kDSSMR && status == ReplyStatus::kOk &&
+      out.multi && out.target != kNoPartition) {
+    for (const auto& [obj, vertex] : out.spec.objects)
+      cache_[vertex] = out.target;
+  }
+  // Deleted vertices must not be addressed from the cache again.
+  if (out.cmd->type == CommandType::kDelete && status == ReplyStatus::kOk) {
+    for (const auto& [obj, vertex] : out.spec.objects) cache_.erase(vertex);
+  }
+  if (metrics_) {
+    const SimTime latency = env_.now() - out.start_time;
+    metrics_->series("completed").add(env_.now(), 1.0);
+    if (out.multi) metrics_->series("completed_multi").add(env_.now(), 1.0);
+    metrics_->histogram("latency").record(latency);
+    metrics_->histogram(out.multi ? "latency_multi" : "latency_single")
+        .record(latency);
+  }
+  driver_->on_result(out.spec, status, payload, out.start_time, env_.now());
+  issue_next();
+}
+
+}  // namespace dynastar::core

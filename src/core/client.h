@@ -1,0 +1,108 @@
+// ClientCore: DynaStar's client-side library (Algorithm 1 + the location
+// cache of §4.3). Runs a closed loop: issue one command, wait for its
+// reply, issue the next. Commands whose vertices are all cached are
+// multicast straight to the involved partitions; everything else (creates,
+// cache misses, retries) goes through the oracle.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "core/config.h"
+#include "core/protocol.h"
+#include "core/types.h"
+#include "multicast/client.h"
+#include "paxos/topology.h"
+#include "sim/env.h"
+
+namespace dynastar::core {
+
+/// What the application wants executed next. A spec with an empty `objects`
+/// list is a *pause*: the client idles for `pause` and asks again.
+struct CommandSpec {
+  CommandType type = CommandType::kAccess;
+  /// omega with home vertices: (object, vertex) pairs.
+  std::vector<std::pair<ObjectId, VertexId>> objects;
+  sim::MessagePtr payload;
+  SimTime pause = milliseconds(10);
+
+  static CommandSpec pause_for(SimTime duration) {
+    CommandSpec spec;
+    spec.pause = duration;
+    return spec;
+  }
+};
+
+/// Application-side command generator; one per client.
+class ClientDriver {
+ public:
+  virtual ~ClientDriver() = default;
+  /// Next command to issue, or nullopt to stop this client.
+  virtual std::optional<CommandSpec> next(Rng& rng, SimTime now) = 0;
+  /// Result callback (payload may be null; status kNok = rejected).
+  /// `issued_at` / `completed_at` bound the operation in simulated time
+  /// (retries included), which linearizability tests rely on.
+  virtual void on_result(const CommandSpec& spec, ReplyStatus status,
+                         const sim::MessagePtr& payload, SimTime issued_at,
+                         SimTime completed_at) {
+    (void)spec;
+    (void)status;
+    (void)payload;
+    (void)issued_at;
+    (void)completed_at;
+  }
+};
+
+class ClientCore {
+ public:
+  ClientCore(sim::Env& env, const paxos::Topology& topology,
+             const SystemConfig& config, std::unique_ptr<ClientDriver> driver,
+             MetricsRegistry* metrics);
+
+  void start();
+  bool handle(ProcessId from, const sim::MessagePtr& msg);
+
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+  [[nodiscard]] std::uint64_t oracle_queries() const { return oracle_queries_; }
+
+ private:
+  struct Outstanding {
+    CommandSpec spec;
+    CommandPtr cmd;
+    std::uint32_t attempt = 1;
+    SimTime start_time = 0;
+    bool multi = false;
+    PartitionId target = kNoPartition;
+  };
+
+  void issue_next();
+  void route(bool force_oracle);
+  void on_prophecy(const Prophecy& msg);
+  void on_reply(const CommandReply& msg);
+  void complete(ReplyStatus status, const sim::MessagePtr& payload);
+
+  sim::Env& env_;
+  const paxos::Topology& topology_;
+  const SystemConfig& config_;
+  std::unique_ptr<ClientDriver> driver_;
+  MetricsRegistry* metrics_;
+
+  multicast::McastClient sender_;
+
+  std::unordered_map<VertexId, PartitionId> cache_;
+  Epoch cache_epoch_ = 0;
+
+  std::optional<Outstanding> outstanding_;
+  std::uint64_t next_cmd_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t oracle_queries_ = 0;
+};
+
+}  // namespace dynastar::core

@@ -1,0 +1,77 @@
+// System-wide configuration for a DynaStar (or baseline) deployment.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.h"
+#include "partitioning/partitioner.h"
+#include "paxos/replica.h"
+#include "sim/network.h"
+
+namespace dynastar::core {
+
+/// Which protocol the partition servers run.
+enum class ExecutionMode : std::uint8_t {
+  /// DynaStar (the paper): borrow omega to one target partition, execute
+  /// once, return the variables; periodic METIS repartitioning.
+  kDynaStar,
+  /// S-SMR (Bezerra et al., DSN'14): static partitioning; every involved
+  /// partition executes the command after exchanging copies of state.
+  kSSMR,
+  /// DS-SMR (Le et al., DSN'16): dynamic, but variables move permanently to
+  /// the target on every multi-partition command; no workload graph.
+  kDSSMR,
+};
+
+struct SystemConfig {
+  ExecutionMode mode = ExecutionMode::kDynaStar;
+
+  std::uint32_t num_partitions = 4;
+  std::uint32_t replicas_per_partition = 2;   // paper §6.1
+  std::uint32_t acceptors_per_partition = 3;  // paper §6.1
+
+  // --- DynaStar repartitioning ---
+  /// False disables plans entirely (S-SMR always; DS-SMR has no plans).
+  bool repartitioning_enabled = true;
+  /// Algorithm 2 Task 4: recompute once `changes > threshold` hints arrive.
+  std::uint64_t repartition_hint_threshold = 50'000;
+  SimTime min_repartition_interval = seconds(20);
+  /// Partitions a-mcast accumulated hints to the oracle every N executed
+  /// commands. Count-based (not timer-based) so the report stream is a
+  /// deterministic function of the partition's delivery order — all
+  /// replicas emit identical reports.
+  std::uint64_t hint_batch_commands = 200;
+  /// Eager (Algorithm 3 Task 3) vs on-demand (§7) object relocation after a
+  /// plan is delivered.
+  bool eager_plan_transfer = true;
+  /// Strict epoch validation: any command addressed under an older epoch is
+  /// retried, even if its addressing is still correct (reproduces the
+  /// paper's full cache invalidation on repartition, Fig. 8).
+  bool strict_epoch_validation = true;
+  /// Multiplies the workload graph's weights by this factor at every plan
+  /// computation, so stale access patterns fade (1.0 = never forget).
+  double workload_graph_decay = 1.0;
+
+  // --- Client ---
+  /// Maximum entries in a client's location cache (0 = unbounded). When
+  /// full, a random resident entry is evicted.
+  std::size_t client_cache_capacity = 0;
+
+  // --- Oracle plan computation model ---
+  /// Simulated METIS runtime: base + per (V+E) element cost.
+  SimTime plan_compute_base = milliseconds(50);
+  double plan_compute_ns_per_element = 200.0;
+  partitioning::PartitionerConfig partitioner;
+
+  // --- Node CPU costs (drive saturation / peak throughput) ---
+  SimTime server_service_time = microseconds(4);
+  SimTime oracle_service_time = microseconds(3);
+  SimTime acceptor_service_time = microseconds(2);
+  SimTime client_service_time = microseconds(1);
+
+  paxos::ReplicaConfig paxos;
+  sim::NetworkConfig network;
+  std::uint64_t seed = 1;
+};
+
+}  // namespace dynastar::core

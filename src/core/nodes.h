@@ -1,0 +1,78 @@
+// Simulated nodes hosting the DynaStar cores: partition server replicas,
+// oracle replicas, and clients. Each node is one sim::Process (one queueing
+// CPU) whose messages are dispatched into the layered cores.
+#pragma once
+
+#include <memory>
+
+#include "core/client.h"
+#include "core/config.h"
+#include "core/oracle.h"
+#include "core/server.h"
+#include "sim/process.h"
+
+namespace dynastar::core {
+
+class ServerNode final : public sim::Process {
+ public:
+  ServerNode(ProcessId id, sim::World& world, const paxos::Topology& topology,
+             PartitionId partition, const SystemConfig& config,
+             std::unique_ptr<AppStateMachine> app, bool record_metrics)
+      : sim::Process(id, world),
+        core_(*this, topology, partition, config, std::move(app),
+              &world.metrics(), record_metrics) {
+    set_message_service_time(config.server_service_time);
+  }
+
+  void on_start() override { core_.start(); }
+  void on_message(ProcessId from, const sim::MessagePtr& msg) override {
+    core_.handle(from, msg);
+  }
+
+  PartitionServerCore& core() { return core_; }
+
+ private:
+  PartitionServerCore core_;
+};
+
+class OracleNode final : public sim::Process {
+ public:
+  OracleNode(ProcessId id, sim::World& world, const paxos::Topology& topology,
+             const SystemConfig& config, bool record_metrics)
+      : sim::Process(id, world),
+        core_(*this, topology, config, &world.metrics(), record_metrics) {
+    set_message_service_time(config.oracle_service_time);
+  }
+
+  void on_start() override { core_.start(); }
+  void on_message(ProcessId from, const sim::MessagePtr& msg) override {
+    core_.handle(from, msg);
+  }
+
+  OracleCore& core() { return core_; }
+
+ private:
+  OracleCore core_;
+};
+
+class ClientNode final : public sim::Process {
+ public:
+  ClientNode(ProcessId id, sim::World& world, const paxos::Topology& topology,
+             const SystemConfig& config, std::unique_ptr<ClientDriver> driver)
+      : sim::Process(id, world),
+        core_(*this, topology, config, std::move(driver), &world.metrics()) {
+    set_message_service_time(config.client_service_time);
+  }
+
+  void on_start() override { core_.start(); }
+  void on_message(ProcessId from, const sim::MessagePtr& msg) override {
+    core_.handle(from, msg);
+  }
+
+  ClientCore& core() { return core_; }
+
+ private:
+  ClientCore core_;
+};
+
+}  // namespace dynastar::core

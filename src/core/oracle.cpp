@@ -1,0 +1,273 @@
+#include "core/oracle.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "partitioning/partitioner.h"
+
+namespace dynastar::core {
+
+namespace {
+constexpr SimTime kRequestCost = microseconds(2);
+
+std::uint64_t oracle_uid(std::uint64_t purpose, std::uint64_t counter) {
+  std::uint64_t x = 0x5bd1e995ULL * (purpose + 1) + counter;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x | (1ULL << 62);
+}
+}  // namespace
+
+OracleCore::OracleCore(sim::Env& env, const paxos::Topology& topology,
+                       const SystemConfig& config, MetricsRegistry* metrics,
+                       bool record_metrics)
+    : env_(env),
+      topology_(topology),
+      config_(config),
+      metrics_(metrics),
+      record_metrics_(record_metrics),
+      member_(env, topology, kOracleGroup, config.paxos),
+      plan_sender_(env, topology) {
+  member_.set_deliver(
+      [this](const multicast::McastData& data) { on_adeliver(data); });
+}
+
+void OracleCore::start() { member_.start(); }
+
+void OracleCore::preload_assignment(AssignmentPtr assignment, Epoch epoch) {
+  map_ = *assignment;
+  epoch_ = epoch;
+  for (const auto& [vertex, partition] : map_) graph_.add_vertex(vertex.value(), 0);
+}
+
+void OracleCore::preload_vertex(VertexId v, std::int64_t weight) {
+  graph_.add_vertex(v.value(), weight);
+}
+
+bool OracleCore::handle(ProcessId from, const sim::MessagePtr& msg) {
+  return member_.handle(from, msg);
+}
+
+PartitionId OracleCore::lookup(VertexId v) const {
+  auto pending = pending_creates_.find(v);
+  if (pending != pending_creates_.end()) return pending->second;
+  auto it = map_.find(v);
+  return it == map_.end() ? kNoPartition : it->second;
+}
+
+void OracleCore::on_adeliver(const multicast::McastData& data) {
+  if (auto req = std::dynamic_pointer_cast<const OracleRequest>(data.payload)) {
+    on_request(*req);
+  } else if (auto exec =
+                 std::dynamic_pointer_cast<const ExecCommand>(data.payload)) {
+    on_create_apply(*exec);
+  } else if (auto hint =
+                 std::dynamic_pointer_cast<const HintReport>(data.payload)) {
+    on_hint(*hint);
+  } else if (auto update = std::dynamic_pointer_cast<const LocationUpdate>(
+                 data.payload)) {
+    on_location_update(*update);
+  } else if (auto plan = std::dynamic_pointer_cast<const PlanMsg>(data.payload)) {
+    on_plan(*plan);
+  }
+}
+
+void OracleCore::send_prophecy(
+    const OracleRequest& request, ReplyStatus status, PartitionId target,
+    std::vector<std::pair<VertexId, PartitionId>> locations) {
+  env_.send_message(request.cmd->client,
+                    sim::make_message<Prophecy>(
+                        request.cmd->cmd_id, request.attempt, status, target,
+                        epoch_, std::move(locations)));
+}
+
+void OracleCore::on_request(const OracleRequest& request) {
+  env_.consume_cpu(kRequestCost);
+  if (record_metrics_ && metrics_)
+    metrics_->series("oracle.queries").add(env_.now(), 1.0);
+
+  const Command& cmd = *request.cmd;
+
+  if (cmd.type == CommandType::kCreate) {
+    const VertexId vertex = cmd.vertices.front();
+    PartitionId target = lookup(vertex);
+    if (target == kNoPartition) {
+      // "Random" placement (Algorithm 2 line 6) — round robin is random
+      // w.r.t. the workload and, critically, deterministic across replicas.
+      target = PartitionId{create_round_robin_++ % config_.num_partitions};
+      pending_creates_.emplace(vertex, target);
+    }
+    member_.amcast_as_group(
+        oracle_uid(/*purpose=*/1, ++relays_emitted_),
+        {kOracleGroup, group_of(target)},
+        sim::make_message<ExecCommand>(request.cmd,
+                                       std::vector<PartitionId>{target},
+                                       std::vector<PartitionId>{target}, target,
+                                       epoch_, request.attempt));
+    send_prophecy(request, ReplyStatus::kOk, target, {{vertex, target}});
+    return;
+  }
+
+  // Access / delete: every vertex must exist.
+  std::vector<PartitionId> owners;
+  owners.reserve(cmd.vertices.size());
+  std::vector<std::pair<VertexId, PartitionId>> locations;
+  for (VertexId v : cmd.vertices) {
+    const PartitionId p = lookup(v);
+    if (p == kNoPartition) {
+      send_prophecy(request, ReplyStatus::kNok, kNoPartition, {});
+      return;
+    }
+    owners.push_back(p);
+    locations.emplace_back(v, p);
+  }
+  std::vector<PartitionId> dests = owners;
+  std::sort(dests.begin(), dests.end());
+  dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
+  const PartitionId target = choose_target(cmd.objects, owners);
+
+  std::vector<GroupId> groups;
+  groups.reserve(dests.size() + 1);
+  for (PartitionId p : dests) groups.push_back(group_of(p));
+  if (cmd.type == CommandType::kDelete) groups.push_back(kOracleGroup);
+
+  member_.amcast_as_group(
+      oracle_uid(/*purpose=*/1, ++relays_emitted_), std::move(groups),
+      sim::make_message<ExecCommand>(request.cmd, std::move(dests),
+                                     std::move(owners), target, epoch_,
+                                     request.attempt));
+  send_prophecy(request, ReplyStatus::kOk, target, std::move(locations));
+}
+
+void OracleCore::on_create_apply(const ExecCommand& exec) {
+  // Task 2/5: our own copy of a relayed create or delete.
+  const VertexId vertex = exec.cmd->vertices.front();
+  if (exec.cmd->type == CommandType::kCreate) {
+    map_[vertex] = exec.target;
+    graph_.add_vertex(vertex.value(), 1);
+    pending_creates_.erase(vertex);
+  } else if (exec.cmd->type == CommandType::kDelete) {
+    map_.erase(vertex);
+    graph_.remove_vertex(vertex.value());
+  }
+}
+
+void OracleCore::on_hint(const HintReport& hint) {
+  std::uint64_t delta = 0;
+  for (const auto& [vertex, weight] : hint.vertex_weights) {
+    graph_.add_vertex(vertex, weight);
+    delta += static_cast<std::uint64_t>(weight);
+  }
+  for (const auto& [a, b, weight] : hint.edges)
+    graph_.add_edge(a, b, weight);
+  changes_ += delta;
+  maybe_trigger_repartition();
+}
+
+void OracleCore::on_location_update(const LocationUpdate& update) {
+  for (const auto& [vertex, partition] : update.moves) map_[vertex] = partition;
+}
+
+void OracleCore::maybe_trigger_repartition() {
+  if (!config_.repartitioning_enabled || computing_) return;
+  if (!repartition_requested_ && changes_ < config_.repartition_hint_threshold)
+    return;
+  // Cooldown between plans. This check reads the replica-local clock, so the
+  // two oracle replicas may disagree about a borderline trigger — that is
+  // safe: plans are deduplicated by epoch at every receiver, so at most one
+  // plan per epoch ever applies.
+  if (!repartition_requested_ &&
+      env_.now() - last_plan_time_ < config_.min_repartition_interval) {
+    return;
+  }
+  repartition_requested_ = false;
+  changes_ = 0;
+  computing_ = true;
+  last_plan_time_ = env_.now();
+
+  // Age the workload graph so the plan tracks *current* access patterns
+  // (deterministic: applied at the same log position on every replica).
+  if (config_.workload_graph_decay < 1.0)
+    graph_.decay(config_.workload_graph_decay);
+
+  // Deterministic snapshot at this log position: graph + current map. The
+  // partitioner itself runs "in the background" (paper §5.2): the oracle
+  // keeps serving; completion is modeled as a timer proportional to the
+  // graph size, with per-replica jitter (first finisher's plan wins).
+  auto snapshot = std::make_shared<partitioning::WorkloadGraph::Compact>(
+      graph_.compact());
+  const Epoch candidate = epoch_ + 1;
+  const auto elements = static_cast<double>(snapshot->graph.num_vertices() +
+                                            2 * snapshot->graph.num_edges());
+  SimTime delay =
+      config_.plan_compute_base +
+      static_cast<SimTime>(elements * config_.plan_compute_ns_per_element);
+  delay += static_cast<SimTime>(
+      env_.random().uniform(0, static_cast<std::uint64_t>(delay / 10 + 1)));
+  env_.start_timer(delay, [this, candidate, snapshot] {
+    finish_repartition(candidate, snapshot);
+  });
+  if (record_metrics_ && metrics_)
+    metrics_->series("oracle.repartitions").add(env_.now(), 1.0);
+}
+
+void OracleCore::finish_repartition(
+    Epoch candidate,
+    std::shared_ptr<partitioning::WorkloadGraph::Compact> snapshot) {
+  if (epoch_ >= candidate) return;  // another replica's plan landed first
+
+  const std::uint32_t k = config_.num_partitions;
+  partitioning::PartitionerConfig pconfig = config_.partitioner;
+  pconfig.seed = candidate;  // deterministic across replicas
+  auto result = partitioning::partition_graph(snapshot->graph, k, pconfig);
+
+  // Relabel parts to agree with the current map as much as possible so the
+  // plan moves the minimum number of vertices.
+  std::vector<std::uint32_t> previous(snapshot->ids.size(), 0);
+  for (std::size_t i = 0; i < snapshot->ids.size(); ++i) {
+    auto it = map_.find(VertexId{snapshot->ids[i]});
+    previous[i] =
+        it == map_.end() ? 0 : static_cast<std::uint32_t>(it->second.value());
+  }
+  auto relabeled = partitioning::remap_to_minimize_moves(
+      snapshot->graph, k, previous, std::move(result.assignment));
+
+  auto assignment = std::make_shared<Assignment>();
+  auto moves = std::make_shared<std::vector<VertexMove>>();
+  assignment->reserve(snapshot->ids.size());
+  for (std::size_t i = 0; i < snapshot->ids.size(); ++i) {
+    const VertexId vertex{snapshot->ids[i]};
+    const PartitionId new_owner{relabeled[i]};
+    assignment->emplace(vertex, new_owner);
+    auto it = map_.find(vertex);
+    const PartitionId old_owner = it == map_.end() ? kNoPartition : it->second;
+    if (old_owner != new_owner && old_owner != kNoPartition)
+      moves->push_back(VertexMove{vertex, old_owner, new_owner});
+  }
+
+  std::vector<GroupId> all_groups;
+  all_groups.reserve(config_.num_partitions + 1);
+  all_groups.push_back(kOracleGroup);
+  for (std::uint32_t p = 0; p < config_.num_partitions; ++p)
+    all_groups.push_back(group_of(PartitionId{p}));
+  plan_sender_.amcast(std::move(all_groups),
+                      sim::make_message<PlanMsg>(candidate, std::move(assignment),
+                                                 std::move(moves)));
+  LOG_INFO << "oracle replica " << env_.self() << " finished plan epoch "
+           << candidate << " cut=" << result.edge_cut
+           << " imbalance=" << result.achieved_imbalance;
+}
+
+void OracleCore::on_plan(const PlanMsg& plan) {
+  if (plan.epoch <= epoch_) return;  // the other replica's duplicate
+  for (const auto& [vertex, partition] : *plan.assignment)
+    map_[vertex] = partition;
+  epoch_ = plan.epoch;
+  computing_ = false;
+  last_plan_time_ = env_.now();
+  if (record_metrics_ && metrics_)
+    metrics_->series("oracle.plans_applied").add(env_.now(), 1.0);
+}
+
+}  // namespace dynastar::core

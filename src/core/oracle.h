@@ -1,0 +1,99 @@
+// OracleCore: one replica of DynaStar's location oracle (Algorithm 2).
+//
+// The oracle is itself a replicated partition ordered by the same atomic
+// multicast stack. It keeps (i) the vertex -> partition location map and
+// (ii) the workload graph, answers client prophecies, relays commands to
+// the involved partitions, and periodically recomputes an optimized
+// partitioning with the METIS-like partitioner.
+//
+// Determinism: every decision that feeds replicated state (placement of
+// creates, repartition triggers, plan content) is a pure function of the
+// oracle group's delivery order. Only the *timing* of plan completion is
+// replica-local; plans are deduplicated by epoch at the receivers, so the
+// first replica to finish defines the plan order (paper §5.2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "core/config.h"
+#include "core/protocol.h"
+#include "core/server.h"
+#include "core/types.h"
+#include "multicast/client.h"
+#include "multicast/member.h"
+#include "partitioning/graph.h"
+#include "paxos/topology.h"
+#include "sim/env.h"
+
+namespace dynastar::core {
+
+class OracleCore {
+ public:
+  OracleCore(sim::Env& env, const paxos::Topology& topology,
+             const SystemConfig& config, MetricsRegistry* metrics,
+             bool record_metrics);
+
+  void start();
+  bool handle(ProcessId from, const sim::MessagePtr& msg);
+
+  // --- pre-run state loading ---
+  void preload_assignment(AssignmentPtr assignment, Epoch epoch);
+  /// Seeds the workload graph (so the first plan covers preloaded vertices).
+  void preload_vertex(VertexId v, std::int64_t weight = 1);
+
+  [[nodiscard]] Epoch epoch() const { return epoch_; }
+  [[nodiscard]] const partitioning::WorkloadGraph& graph() const {
+    return graph_;
+  }
+  [[nodiscard]] const Assignment& location_map() const { return map_; }
+  multicast::MemberCore& member() { return member_; }
+
+  /// Forces a repartition on the next hint delivery (used by benches that
+  /// reproduce a specific repartition time).
+  void request_repartition() { repartition_requested_ = true; }
+
+ private:
+  void on_adeliver(const multicast::McastData& data);
+  void on_request(const OracleRequest& request);
+  void on_create_apply(const ExecCommand& exec);
+  void on_hint(const HintReport& hint);
+  void on_location_update(const LocationUpdate& update);
+  void on_plan(const PlanMsg& plan);
+  void maybe_trigger_repartition();
+  void finish_repartition(Epoch candidate,
+                          std::shared_ptr<partitioning::WorkloadGraph::Compact>
+                              snapshot);
+  void send_prophecy(const OracleRequest& request, ReplyStatus status,
+                     PartitionId target,
+                     std::vector<std::pair<VertexId, PartitionId>> locations);
+  [[nodiscard]] PartitionId lookup(VertexId v) const;
+
+  sim::Env& env_;
+  const paxos::Topology& topology_;
+  const SystemConfig& config_;
+  MetricsRegistry* metrics_;
+  bool record_metrics_;
+
+  multicast::MemberCore member_;
+  multicast::McastClient plan_sender_;  // per-replica sender for PlanMsg
+
+  Assignment map_;
+  Epoch epoch_ = 0;
+  partitioning::WorkloadGraph graph_;
+
+  /// Creates relayed but whose Task-2 delivery has not landed yet.
+  std::unordered_map<VertexId, PartitionId> pending_creates_;
+
+  std::uint64_t changes_ = 0;         // hint deltas since last plan
+  bool computing_ = false;            // a plan is being computed
+  SimTime last_plan_time_ = 0;        // replica-local cooldown anchor
+  bool repartition_requested_ = false;
+  std::uint64_t create_round_robin_ = 0;
+  std::uint64_t relays_emitted_ = 0;  // uid counter for group multicasts
+};
+
+}  // namespace dynastar::core

@@ -1,0 +1,246 @@
+// Protocol payloads exchanged between DynaStar clients, the oracle, and
+// partition servers. Payloads travel either inside atomic multicasts
+// (ordered) or as direct sends (unordered coordination: variable exchange,
+// replies, handoffs).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/object.h"
+#include "core/types.h"
+#include "sim/message.h"
+
+namespace dynastar::core {
+
+/// An object in flight between partitions. `object` is an immutable clone;
+/// a null object means "the id was requested but does not exist".
+struct ObjectEnvelope {
+  ObjectId id;
+  VertexId vertex;
+  std::shared_ptr<const PRObject> object;
+};
+
+inline std::size_t envelopes_bytes(const std::vector<ObjectEnvelope>& objs) {
+  std::size_t total = 0;
+  for (const auto& env : objs)
+    total += 24 + (env.object ? env.object->size_bytes() : 0);
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Ordered payloads (inside atomic multicasts)
+// ---------------------------------------------------------------------------
+
+/// Client -> oracle group: resolve and relay this command (cache miss,
+/// create, or retry path).
+struct OracleRequest final : sim::Message {
+  OracleRequest(CommandPtr c, std::uint32_t a) : cmd(std::move(c)), attempt(a) {}
+  const char* type_name() const override { return "core.OracleRequest"; }
+  std::size_t size_bytes() const override { return cmd->size_bytes(); }
+  CommandPtr cmd;
+  /// Client-side resubmission counter; disambiguates retried commands in
+  /// every dedupe key downstream.
+  std::uint32_t attempt;
+};
+
+/// Oracle or cache-hitting client -> involved partitions: execute `cmd` at
+/// `target`; `dests` is the full addressing the sender computed and `epoch`
+/// the plan epoch it used.
+struct ExecCommand final : sim::Message {
+  ExecCommand(CommandPtr c, std::vector<PartitionId> d,
+              std::vector<PartitionId> owners_by_vertex, PartitionId t, Epoch e,
+              std::uint32_t a)
+      : cmd(std::move(c)),
+        dests(std::move(d)),
+        owners(std::move(owners_by_vertex)),
+        target(t),
+        epoch(e),
+        attempt(a) {}
+  const char* type_name() const override { return "core.ExecCommand"; }
+  std::size_t size_bytes() const override {
+    return 32 + dests.size() * 8 + owners.size() * 8 + cmd->size_bytes();
+  }
+  CommandPtr cmd;
+  std::vector<PartitionId> dests;
+  /// Sender's believed owner of cmd->vertices[i] (parallel array); servers
+  /// validate these claims against their own map.
+  std::vector<PartitionId> owners;
+  PartitionId target;
+  Epoch epoch;
+  std::uint32_t attempt;
+};
+
+/// Partition group -> oracle group: accumulated workload-graph observations
+/// (Task 4 hints): vertex access weights and co-access edge weights.
+struct HintReport final : sim::Message {
+  HintReport(PartitionId p,
+             std::vector<std::pair<std::uint64_t, std::int64_t>> vs,
+             std::vector<std::tuple<std::uint64_t, std::uint64_t, std::int64_t>> es)
+      : from(p), vertex_weights(std::move(vs)), edges(std::move(es)) {}
+  const char* type_name() const override { return "core.HintReport"; }
+  std::size_t size_bytes() const override {
+    return 32 + vertex_weights.size() * 16 + edges.size() * 24;
+  }
+  PartitionId from;
+  std::vector<std::pair<std::uint64_t, std::int64_t>> vertex_weights;
+  std::vector<std::tuple<std::uint64_t, std::uint64_t, std::int64_t>> edges;
+};
+
+/// Location assignment: vertex -> partition. Shared so a plan multicast to
+/// every group references one allocation.
+using Assignment = std::unordered_map<VertexId, PartitionId>;
+using AssignmentPtr = std::shared_ptr<const Assignment>;
+
+/// One vertex relocation in a plan.
+struct VertexMove {
+  VertexId vertex;
+  PartitionId from;
+  PartitionId to;
+};
+using MoveListPtr = std::shared_ptr<const std::vector<VertexMove>>;
+
+/// Oracle replica -> all groups + oracle: a freshly computed partitioning
+/// plan. The first delivered plan with a given epoch wins; duplicates from
+/// other oracle replicas are ignored. `moves` is the diff against the
+/// oracle's previous map — servers need the old owner explicitly because a
+/// vertex created since their last plan is absent from their local map.
+struct PlanMsg final : sim::Message {
+  PlanMsg(Epoch e, AssignmentPtr a, MoveListPtr m)
+      : epoch(e), assignment(std::move(a)), moves(std::move(m)) {}
+  const char* type_name() const override { return "core.PlanMsg"; }
+  std::size_t size_bytes() const override {
+    return 32 + assignment->size() * 16 + moves->size() * 24;
+  }
+  Epoch epoch;
+  AssignmentPtr assignment;
+  MoveListPtr moves;
+};
+
+/// DS-SMR only: partition group -> oracle group, permanent relocations
+/// caused by a multi-partition command.
+struct LocationUpdate final : sim::Message {
+  explicit LocationUpdate(std::vector<std::pair<VertexId, PartitionId>> m)
+      : moves(std::move(m)) {}
+  const char* type_name() const override { return "core.LocationUpdate"; }
+  std::size_t size_bytes() const override { return 16 + moves.size() * 16; }
+  std::vector<std::pair<VertexId, PartitionId>> moves;
+};
+
+// ---------------------------------------------------------------------------
+// Direct (unordered) messages
+// ---------------------------------------------------------------------------
+
+/// Oracle replica -> client: the prophecy (§4.1). On kOk the client waits
+/// for the target partition's reply; `locations` refreshes the client's
+/// cache.
+struct Prophecy final : sim::Message {
+  Prophecy(std::uint64_t id, std::uint32_t a, ReplyStatus s, PartitionId t,
+           Epoch e, std::vector<std::pair<VertexId, PartitionId>> locs)
+      : cmd_id(id),
+        attempt(a),
+        status(s),
+        target(t),
+        epoch(e),
+        locations(std::move(locs)) {}
+  const char* type_name() const override { return "core.Prophecy"; }
+  std::size_t size_bytes() const override {
+    return 40 + locations.size() * 16;
+  }
+  std::uint64_t cmd_id;
+  std::uint32_t attempt;
+  ReplyStatus status;
+  PartitionId target;
+  Epoch epoch;
+  std::vector<std::pair<VertexId, PartitionId>> locations;
+};
+
+/// Partition replica -> client: execution result (kOk) or kRetry when the
+/// command's addressing was computed against a stale epoch/map.
+struct CommandReply final : sim::Message {
+  CommandReply(std::uint64_t id, std::uint32_t a, ReplyStatus s,
+               sim::MessagePtr p)
+      : cmd_id(id), attempt(a), status(s), payload(std::move(p)) {}
+  const char* type_name() const override { return "core.CommandReply"; }
+  std::size_t size_bytes() const override {
+    return 24 + (payload ? payload->size_bytes() : 0);
+  }
+  std::uint64_t cmd_id;
+  std::uint32_t attempt;
+  ReplyStatus status;
+  sim::MessagePtr payload;
+};
+
+/// Source partition replica -> target partition replicas: the omega objects
+/// the source holds, for one command (DynaStar borrow; S-SMR copy).
+struct VarTransfer final : sim::Message {
+  VarTransfer(std::uint64_t id, std::uint32_t a, PartitionId f,
+              std::vector<ObjectEnvelope> o)
+      : cmd_id(id), attempt(a), from(f), objects(std::move(o)) {}
+  const char* type_name() const override { return "core.VarTransfer"; }
+  std::size_t size_bytes() const override {
+    return 32 + envelopes_bytes(objects);
+  }
+  std::uint64_t cmd_id;
+  std::uint32_t attempt;
+  PartitionId from;
+  std::vector<ObjectEnvelope> objects;
+};
+
+/// Target partition replica -> source replicas: borrowed objects coming
+/// home after execution (includes objects the execution created for
+/// borrowed vertices).
+struct VarReturn final : sim::Message {
+  VarReturn(std::uint64_t id, std::uint32_t a, PartitionId f,
+            std::vector<ObjectEnvelope> o)
+      : cmd_id(id), attempt(a), from(f), objects(std::move(o)) {}
+  const char* type_name() const override { return "core.VarReturn"; }
+  std::size_t size_bytes() const override {
+    return 32 + envelopes_bytes(objects);
+  }
+  std::uint64_t cmd_id;
+  std::uint32_t attempt;
+  PartitionId from;
+  std::vector<ObjectEnvelope> objects;
+};
+
+/// Old owner -> new owner (plan application): all objects of one vertex.
+struct ObjectHandoff final : sim::Message {
+  ObjectHandoff(Epoch e, PartitionId f, VertexId v,
+                std::vector<ObjectEnvelope> o)
+      : epoch(e), from(f), vertex(v), objects(std::move(o)) {}
+  const char* type_name() const override { return "core.ObjectHandoff"; }
+  std::size_t size_bytes() const override {
+    return 40 + envelopes_bytes(objects);
+  }
+  Epoch epoch;
+  PartitionId from;
+  VertexId vertex;
+  std::vector<ObjectEnvelope> objects;
+};
+
+/// New owner -> old owner (on-demand plan mode): send me vertex `vertex`.
+struct FetchVertex final : sim::Message {
+  FetchVertex(Epoch e, PartitionId f, VertexId v)
+      : epoch(e), from(f), vertex(v) {}
+  const char* type_name() const override { return "core.FetchVertex"; }
+  Epoch epoch;
+  PartitionId from;
+  VertexId vertex;
+};
+
+/// Involved partition -> other involved partitions: I rejected this command
+/// (stale addressing); do not wait for my variables.
+struct AbortNotice final : sim::Message {
+  AbortNotice(std::uint64_t id, std::uint32_t a, PartitionId f)
+      : cmd_id(id), attempt(a), from(f) {}
+  const char* type_name() const override { return "core.AbortNotice"; }
+  std::uint64_t cmd_id;
+  std::uint32_t attempt;
+  PartitionId from;
+};
+
+}  // namespace dynastar::core

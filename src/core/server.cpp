@@ -1,0 +1,837 @@
+#include "core/server.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace dynastar::core {
+
+namespace {
+/// CPU charged for packing/unpacking one relocated object.
+constexpr SimTime kPerObjectMoveCost = nanoseconds(500);
+
+/// Deterministic uid for group-emitted multicasts, namespaced by purpose.
+std::uint64_t group_uid(GroupId g, std::uint64_t purpose,
+                        std::uint64_t counter) {
+  std::uint64_t x = g.value() * 0x9e3779b97f4a7c15ULL + purpose;
+  x ^= counter + 0xbf58476d1ce4e5b9ULL + (x << 6) + (x >> 2);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  return x | (1ULL << 63);  // avoid colliding with client uids
+}
+}  // namespace
+
+PartitionId choose_target([[maybe_unused]] const std::vector<ObjectId>& objects,
+                          const std::vector<PartitionId>& owner_per_object) {
+  assert(!objects.empty() && objects.size() == owner_per_object.size());
+  // Count objects per owner; winner = most objects, ties -> lowest id.
+  std::map<PartitionId, std::size_t> counts;
+  for (PartitionId p : owner_per_object) counts[p]++;
+  PartitionId best = owner_per_object[0];
+  std::size_t best_count = 0;
+  for (const auto& [p, count] : counts) {
+    if (count > best_count) {
+      best = p;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+PartitionServerCore::PartitionServerCore(
+    sim::Env& env, const paxos::Topology& topology, PartitionId partition,
+    const SystemConfig& config, std::unique_ptr<AppStateMachine> app,
+    MetricsRegistry* metrics, bool record_metrics)
+    : env_(env),
+      topology_(topology),
+      partition_(partition),
+      config_(config),
+      app_(std::move(app)),
+      metrics_(metrics),
+      record_metrics_(record_metrics),
+      member_(env, topology, group_of(partition), config.paxos) {
+  member_.set_deliver(
+      [this](const multicast::McastData& data) { on_adeliver(data); });
+}
+
+void PartitionServerCore::start() { member_.start(); }
+
+bool PartitionServerCore::is_primary_replica() const {
+  return topology_.group(group_of(partition_)).replicas.front() == env_.self();
+}
+
+void PartitionServerCore::preload_object(ObjectId id, VertexId vertex,
+                                         ObjectPtr object) {
+  store_.put(id, vertex, std::move(object));
+}
+
+void PartitionServerCore::preload_assignment(AssignmentPtr assignment,
+                                             Epoch epoch) {
+  map_ = *assignment;
+  epoch_ = epoch;
+}
+
+bool PartitionServerCore::handle(ProcessId from, const sim::MessagePtr& msg) {
+  if (member_.handle(from, msg)) return true;
+  if (auto* m = dynamic_cast<const VarTransfer*>(msg.get())) {
+    on_var_transfer(*m);
+    return true;
+  }
+  if (auto* m = dynamic_cast<const VarReturn*>(msg.get())) {
+    on_var_return(*m);
+    return true;
+  }
+  if (auto* m = dynamic_cast<const ObjectHandoff*>(msg.get())) {
+    on_handoff(*m);
+    return true;
+  }
+  if (auto* m = dynamic_cast<const FetchVertex*>(msg.get())) {
+    on_fetch(*m);
+    return true;
+  }
+  if (auto* m = dynamic_cast<const AbortNotice*>(msg.get())) {
+    on_abort(*m);
+    return true;
+  }
+  return false;
+}
+
+void PartitionServerCore::send_to_partition(PartitionId p,
+                                            sim::MessagePtr msg) {
+  for (ProcessId replica : topology_.group(group_of(p)).replicas)
+    env_.send_message(replica, msg);
+}
+
+// ---------------------------------------------------------------------------
+// Delivery and the execution queue
+// ---------------------------------------------------------------------------
+
+void PartitionServerCore::on_adeliver(const multicast::McastData& data) {
+  if (auto exec = std::dynamic_pointer_cast<const ExecCommand>(data.payload)) {
+    queue_.push_back(QueueItem{std::move(exec), nullptr});
+  } else if (auto plan =
+                 std::dynamic_pointer_cast<const PlanMsg>(data.payload)) {
+    queue_.push_back(QueueItem{nullptr, std::move(plan)});
+  } else {
+    return;  // oracle-only payloads multicast to every group are ignored here
+  }
+  if (!blocked_) pump();
+}
+
+void PartitionServerCore::pump() {
+  while (!queue_.empty()) {
+    blocked_ = false;
+    QueueItem& item = queue_.front();
+    if (item.plan) {
+      PlanMsgPtr plan = item.plan;
+      queue_.pop_front();
+      apply_plan(*plan);
+      continue;
+    }
+    ExecCommandPtr ec = item.exec;
+    if (ec->cmd->type == CommandType::kCreate) {
+      execute_create(*ec);
+      queue_.pop_front();
+      continue;
+    }
+    if (ec->cmd->type == CommandType::kDelete) {
+      execute_delete(*ec);
+      queue_.pop_front();
+      continue;
+    }
+    const CmdKey key{ec->cmd->cmd_id, ec->attempt};
+    switch (classify(*ec)) {
+      case Classification::kFuture:
+        future_.push_back(ec);
+        queue_.pop_front();
+        continue;
+      case Classification::kStale:
+        // Consistent at every involved partition (commands and plans are
+        // ordered by the atomic multicast), so no abort notices needed.
+        reject(*ec, /*notify_peers=*/false);
+        queue_.pop_front();
+        continue;
+      case Classification::kInvalid:
+        reject(*ec, /*notify_peers=*/true);
+        queue_.pop_front();
+        continue;
+      case Classification::kBlocked:
+        blocked_ = true;
+        return;
+      case Classification::kReady:
+        break;
+    }
+
+    const bool multi = ec->dests.size() > 1;
+    if (config_.mode == ExecutionMode::kSSMR) {
+      if (multi && !transfers_ready_for_ssmr(*ec)) {
+        blocked_ = true;
+        return;
+      }
+      execute_ssmr(*ec);
+      queue_.pop_front();
+      continue;
+    }
+
+    if (ec->target == partition_) {
+      execute_target(*ec);
+      queue_.pop_front();
+      continue;
+    }
+
+    // Non-target involved partition. Send our variables exactly once, then
+    // (DynaStar) block until they come home (Algorithm 3 line 17).
+    if (!sent_transfers_.contains(key)) execute_non_target(*ec);
+    if (config_.mode == ExecutionMode::kDynaStar && lends_.contains(key)) {
+      blocked_ = true;
+      return;
+    }
+    sent_transfers_.erase(key);
+    queue_.pop_front();
+  }
+}
+
+PartitionServerCore::Classification PartitionServerCore::classify(
+    const ExecCommand& ec) {
+  const CmdKey key{ec.cmd->cmd_id, ec.attempt};
+
+  if (ec.epoch > epoch_) return Classification::kFuture;
+
+  if (config_.mode == ExecutionMode::kDynaStar &&
+      config_.strict_epoch_validation) {
+    if (ec.epoch < epoch_) return Classification::kStale;
+  } else if (config_.mode != ExecutionMode::kSSMR) {
+    // Claims validation (DS-SMR, or DynaStar in relaxed mode): the sender's
+    // believed owners must agree with this partition's map for every vertex
+    // it claims here and every vertex we actually own.
+    for (std::size_t i = 0; i < ec.cmd->vertices.size(); ++i) {
+      const VertexId v = ec.cmd->vertices[i];
+      auto it = map_.find(v);
+      const bool claimed_mine = ec.owners[i] == partition_;
+      const bool actually_mine = it != map_.end() && it->second == partition_;
+      if (claimed_mine != actually_mine) return Classification::kInvalid;
+    }
+  }
+
+  // A peer may have rejected this command; the target resolves that in
+  // execute_target / execute_non_target. For blocking decisions an abort
+  // counts as "ready to proceed to cleanup".
+  const auto tstate = transfers_.find(key);
+  const bool aborted =
+      tstate != transfers_.end() && !tstate->second.aborted.empty();
+
+  if (!objects_available(ec, /*claimed_mine_only=*/true))
+    return Classification::kBlocked;
+
+  const bool multi = ec.dests.size() > 1;
+  if (multi && ec.target == partition_ &&
+      config_.mode != ExecutionMode::kSSMR && !aborted) {
+    // Target: wait for every other involved partition's transfer.
+    std::size_t received =
+        tstate == transfers_.end() ? 0 : tstate->second.received.size();
+    if (received + 1 < ec.dests.size()) {
+      // The sends from peers happen when they reach this command; we may
+      // also need to send nothing (we are target) — just wait.
+      return Classification::kBlocked;
+    }
+  }
+  return Classification::kReady;
+}
+
+bool PartitionServerCore::transfers_ready_for_ssmr(const ExecCommand& ec) {
+  const CmdKey key{ec.cmd->cmd_id, ec.attempt};
+  // S-SMR: every involved partition ships copies to every other one, then
+  // each executes the whole command locally. Send once, then wait.
+  if (!ssmr_sent_.contains(key)) {
+    ssmr_sent_.insert(key);
+    std::vector<ObjectEnvelope> mine;
+    for (std::size_t i = 0; i < ec.cmd->objects.size(); ++i) {
+      if (ec.owners[i] != partition_) continue;
+      const ObjectId id = ec.cmd->objects[i];
+      const PRObject* obj = store_.find(id);
+      mine.push_back(ObjectEnvelope{
+          id, ec.cmd->vertices[i],
+          obj ? std::shared_ptr<const PRObject>(obj->clone()) : nullptr});
+    }
+    env_.consume_cpu(kPerObjectMoveCost *
+                     static_cast<SimTime>(mine.size() + 1));
+    auto msg = sim::make_message<VarTransfer>(ec.cmd->cmd_id, ec.attempt,
+                                              partition_, std::move(mine));
+    for (PartitionId dest : ec.dests) {
+      if (dest != partition_) send_to_partition(dest, msg);
+    }
+    if (record_metrics_ && metrics_) {
+      note_objects_exchanged(static_cast<double>(
+          std::count(ec.owners.begin(), ec.owners.end(), partition_)));
+    }
+  }
+  const auto tstate = transfers_.find(key);
+  const std::size_t received =
+      tstate == transfers_.end() ? 0 : tstate->second.received.size();
+  return received + 1 >= ec.dests.size();
+}
+
+bool PartitionServerCore::objects_available(const ExecCommand& ec,
+                                            bool /*claimed_mine_only*/) {
+  bool available = true;
+  for (std::size_t i = 0; i < ec.cmd->objects.size(); ++i) {
+    if (ec.owners[i] != partition_) continue;
+    const VertexId v = ec.cmd->vertices[i];
+    auto awaited = awaited_.find(v);
+    if (awaited != awaited_.end()) {
+      available = false;
+      if (!config_.eager_plan_transfer && !fetch_requested_.contains(v)) {
+        fetch_requested_.insert(v);
+        send_to_partition(awaited->second, sim::make_message<FetchVertex>(
+                                               epoch_, partition_, v));
+      }
+      continue;
+    }
+    if (lent_objects_.contains(ec.cmd->objects[i])) available = false;
+  }
+  return available;
+}
+
+// ---------------------------------------------------------------------------
+// Execution paths
+// ---------------------------------------------------------------------------
+
+void PartitionServerCore::execute_target(const ExecCommand& ec) {
+  const CmdKey key{ec.cmd->cmd_id, ec.attempt};
+  auto tstate = transfers_.find(key);
+
+  // Peer rejection: return whatever arrived and tell the client to retry.
+  if (tstate != transfers_.end() && !tstate->second.aborted.empty()) {
+    auto& sources = resolved_[key];
+    for (const auto& [source, envelopes] : tstate->second.received)
+      sources.insert(source);
+    for (auto& [source, envelopes] : tstate->second.received) {
+      send_to_partition(source,
+                        sim::make_message<VarReturn>(ec.cmd->cmd_id, ec.attempt,
+                                                     partition_, envelopes));
+    }
+    transfers_.erase(tstate);
+    env_.send_message(ec.cmd->client,
+                      sim::make_message<CommandReply>(
+                          ec.cmd->cmd_id, ec.attempt, ReplyStatus::kRetry, nullptr));
+    return;
+  }
+
+  const bool multi = ec.dests.size() > 1;
+  if (multi) {
+    auto& sources = resolved_[key];
+    if (tstate != transfers_.end())
+      for (const auto& [source, envelopes] : tstate->second.received)
+        sources.insert(source);
+  }
+  std::size_t borrowed_objects = 0;
+
+  if (multi && tstate != transfers_.end()) {
+    for (const auto& [source, envelopes] : tstate->second.received) {
+      insert_envelopes(envelopes);
+      borrowed_objects += envelopes.size();
+    }
+  }
+  env_.consume_cpu(kPerObjectMoveCost *
+                   static_cast<SimTime>(borrowed_objects));
+
+  ExecResult result = app_->execute(*ec.cmd, store_);
+  env_.consume_cpu(result.cpu_cost);
+
+  env_.send_message(
+      ec.cmd->client,
+      sim::make_message<CommandReply>(ec.cmd->cmd_id, ec.attempt, ReplyStatus::kOk,
+                                      std::move(result.reply)));
+
+  if (multi) {
+    if (config_.mode == ExecutionMode::kDynaStar) {
+      // Return every borrowed vertex (with any objects the execution
+      // created under it) to its owner.
+      std::map<PartitionId, std::vector<ObjectEnvelope>> by_owner;
+      std::set<VertexId> done;
+      for (std::size_t i = 0; i < ec.cmd->vertices.size(); ++i) {
+        if (ec.owners[i] == partition_) continue;
+        const VertexId v = ec.cmd->vertices[i];
+        if (!done.insert(v).second) continue;
+        auto envelopes = extract_vertex(v);
+        auto& sink = by_owner[ec.owners[i]];
+        sink.insert(sink.end(), std::make_move_iterator(envelopes.begin()),
+                    std::make_move_iterator(envelopes.end()));
+      }
+      std::size_t returned = 0;
+      for (auto& [owner, envelopes] : by_owner) {
+        returned += envelopes.size();
+        send_to_partition(owner, sim::make_message<VarReturn>(
+                                     ec.cmd->cmd_id, ec.attempt, partition_,
+                                     std::move(envelopes)));
+      }
+      if (record_metrics_ && metrics_)
+        note_objects_exchanged(static_cast<double>(returned));
+    } else if (config_.mode == ExecutionMode::kDSSMR) {
+      // Permanent relocation: keep the objects, take ownership of the
+      // vertices, and tell the oracle.
+      std::vector<std::pair<VertexId, PartitionId>> moves;
+      std::set<VertexId> done;
+      for (std::size_t i = 0; i < ec.cmd->vertices.size(); ++i) {
+        const VertexId v = ec.cmd->vertices[i];
+        if (!done.insert(v).second) continue;
+        map_[v] = partition_;
+        if (ec.owners[i] != partition_) moves.emplace_back(v, partition_);
+      }
+      if (!moves.empty()) {
+        member_.amcast_as_group(
+            group_uid(group_of(partition_), /*purpose=*/2,
+                      ++location_updates_emitted_),
+            {kOracleGroup},
+            sim::make_message<LocationUpdate>(std::move(moves)));
+      }
+    }
+    transfers_.erase(key);
+  }
+
+  if (config_.mode == ExecutionMode::kDynaStar) record_hints(*ec.cmd, multi);
+  note_command_metrics(ec, multi);
+}
+
+void PartitionServerCore::execute_create(const ExecCommand& ec) {
+  // Creates introduce a vertex no plan can reference yet, so they are
+  // executable regardless of the epoch (Algorithm 2, Tasks 2/3).
+  const ObjectId id = ec.cmd->objects.front();
+  const VertexId vertex = ec.cmd->vertices.front();
+  if (store_.contains(id)) {
+    env_.send_message(ec.cmd->client,
+                      sim::make_message<CommandReply>(
+                          ec.cmd->cmd_id, ec.attempt, ReplyStatus::kNok, nullptr));
+    return;
+  }
+  store_.put(id, vertex, app_->make_object(*ec.cmd));
+  map_[vertex] = partition_;
+  env_.send_message(ec.cmd->client,
+                    sim::make_message<CommandReply>(ec.cmd->cmd_id, ec.attempt,
+                                                    ReplyStatus::kOk, nullptr));
+  if (config_.mode == ExecutionMode::kDynaStar)
+    record_hints(*ec.cmd, /*multi_partition=*/false);
+  note_command_metrics(ec, /*multi=*/false);
+}
+
+void PartitionServerCore::execute_delete(const ExecCommand& ec) {
+  // delete(v): drop every object homed at the vertex and forget the
+  // mapping. The oracle removed the vertex from its own map/graph when it
+  // delivered its copy of this multicast (it is a destination).
+  const VertexId vertex = ec.cmd->vertices.front();
+  for (ObjectId id : store_.objects_of_vertex(vertex)) store_.take(id);
+  map_.erase(vertex);
+  env_.send_message(ec.cmd->client,
+                    sim::make_message<CommandReply>(ec.cmd->cmd_id, ec.attempt,
+                                                    ReplyStatus::kOk, nullptr));
+  note_command_metrics(ec, /*multi=*/false);
+}
+
+void PartitionServerCore::execute_non_target(const ExecCommand& ec) {
+  const CmdKey key{ec.cmd->cmd_id, ec.attempt};
+
+  // If a peer already rejected this command, skip it entirely.
+  auto tstate = transfers_.find(key);
+  if (tstate != transfers_.end() && !tstate->second.aborted.empty()) {
+    transfers_.erase(tstate);
+    return;
+  }
+  sent_transfers_.insert(key);
+
+  // Ship every omega object we own to the target (a move: the objects leave
+  // this partition until returned — or forever under DS-SMR).
+  std::vector<ObjectEnvelope> mine;
+  LendRecord lend{ec.target, {}};
+  std::set<VertexId> vertex_set;
+  for (std::size_t i = 0; i < ec.cmd->objects.size(); ++i) {
+    if (ec.owners[i] != partition_) continue;
+    const ObjectId id = ec.cmd->objects[i];
+    const VertexId v = ec.cmd->vertices[i];
+    ObjectPtr obj = store_.take(id);
+    mine.push_back(ObjectEnvelope{
+        id, v, std::shared_ptr<const PRObject>(std::move(obj))});
+    vertex_set.insert(v);
+  }
+  lend.vertices.assign(vertex_set.begin(), vertex_set.end());
+  env_.consume_cpu(kPerObjectMoveCost * static_cast<SimTime>(mine.size() + 1));
+
+  if (record_metrics_ && metrics_)
+    note_objects_exchanged(static_cast<double>(mine.size()));
+
+  if (config_.mode == ExecutionMode::kDSSMR) {
+    // Record the previous owners so an aborted move (a peer partition with
+    // a stale claim rejected the command; the target bounces our objects
+    // back) can be rolled back — otherwise the objects and the map entry
+    // would be lost forever.
+    MoveRecord record;
+    std::set<VertexId> done;
+    for (std::size_t i = 0; i < ec.cmd->vertices.size(); ++i) {
+      const VertexId v = ec.cmd->vertices[i];
+      if (!done.insert(v).second) continue;
+      auto it = map_.find(v);
+      record.previous_owner.emplace_back(
+          v, it == map_.end() ? kNoPartition : it->second);
+      map_[v] = ec.target;
+    }
+    dssmr_moves_.emplace(key, std::move(record));
+    send_to_partition(ec.target,
+                      sim::make_message<VarTransfer>(ec.cmd->cmd_id, ec.attempt,
+                                                     partition_, std::move(mine)));
+    return;  // permanent move: nothing comes back unless the move aborts
+  }
+
+  // DynaStar: record the lend before sending so a (same-event) return
+  // cannot race past the bookkeeping.
+  for (const auto& env : mine) lent_objects_.insert(env.id);
+  for (VertexId v : lend.vertices) lent_vertex_count_[v]++;
+  lends_.emplace(key, std::move(lend));
+  send_to_partition(ec.target,
+                    sim::make_message<VarTransfer>(ec.cmd->cmd_id, ec.attempt,
+                                                   partition_, std::move(mine)));
+}
+
+void PartitionServerCore::execute_ssmr(const ExecCommand& ec) {
+  const CmdKey key{ec.cmd->cmd_id, ec.attempt};
+  const bool multi = ec.dests.size() > 1;
+  if (multi) {
+    auto tstate = transfers_.find(key);
+    if (tstate != transfers_.end()) {
+      for (const auto& [source, envelopes] : tstate->second.received)
+        insert_envelopes(envelopes);
+    }
+  }
+
+  ExecResult result = app_->execute(*ec.cmd, store_);
+  env_.consume_cpu(result.cpu_cost);
+  env_.send_message(
+      ec.cmd->client,
+      sim::make_message<CommandReply>(ec.cmd->cmd_id, ec.attempt, ReplyStatus::kOk,
+                                      std::move(result.reply)));
+
+  if (multi) {
+    // Drop the copies of remote vertices; keep only our own updated state.
+    std::set<VertexId> done;
+    for (std::size_t i = 0; i < ec.cmd->vertices.size(); ++i) {
+      if (ec.owners[i] == partition_) continue;
+      const VertexId v = ec.cmd->vertices[i];
+      if (!done.insert(v).second) continue;
+      for (ObjectId id : store_.objects_of_vertex(v)) store_.take(id);
+    }
+    transfers_.erase(key);
+    ssmr_sent_.erase(key);
+  }
+  note_command_metrics(ec, multi);
+}
+
+void PartitionServerCore::reject(const ExecCommand& ec, bool notify_peers) {
+  if (ec.target == partition_) {
+    auto& sources = resolved_[CmdKey{ec.cmd->cmd_id, ec.attempt}];
+    auto tstate = transfers_.find(CmdKey{ec.cmd->cmd_id, ec.attempt});
+    if (tstate != transfers_.end())
+      for (const auto& [source, envelopes] : tstate->second.received)
+        sources.insert(source);
+  }
+  env_.send_message(ec.cmd->client,
+                    sim::make_message<CommandReply>(
+                        ec.cmd->cmd_id, ec.attempt, ReplyStatus::kRetry, nullptr));
+  if (record_metrics_ && metrics_)
+    metrics_->series("retries").add(env_.now(), 1.0);
+  const CmdKey key{ec.cmd->cmd_id, ec.attempt};
+  if (notify_peers) {
+    auto notice =
+        sim::make_message<AbortNotice>(ec.cmd->cmd_id, ec.attempt, partition_);
+    for (PartitionId dest : ec.dests) {
+      if (dest != partition_) send_to_partition(dest, notice);
+    }
+  }
+  // Return anything that already arrived for this command.
+  auto tstate = transfers_.find(key);
+  if (tstate != transfers_.end()) {
+    for (auto& [source, envelopes] : tstate->second.received) {
+      send_to_partition(source,
+                        sim::make_message<VarReturn>(ec.cmd->cmd_id, ec.attempt,
+                                                     partition_, envelopes));
+    }
+    transfers_.erase(tstate);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Plan application (repartitioning)
+// ---------------------------------------------------------------------------
+
+void PartitionServerCore::apply_plan(const PlanMsg& plan) {
+  if (plan.epoch <= epoch_) return;  // duplicate from the other oracle replica
+
+  std::size_t moved_out = 0, moved_in = 0;
+  for (const VertexMove& move : *plan.moves) {
+    if (move.from == move.to) continue;
+    if (move.from == partition_) {
+      obligations_[move.vertex] = move.to;
+      ++moved_out;
+    } else if (move.to == partition_) {
+      awaited_[move.vertex] = move.from;
+      ++moved_in;
+    }
+  }
+  // Switch the map and epoch before sending handoffs so forwarded vertices
+  // carry the new view.
+  for (const auto& [vertex, new_owner] : *plan.assignment)
+    map_[vertex] = new_owner;
+  epoch_ = plan.epoch;
+  fetch_requested_.clear();
+
+  if (config_.eager_plan_transfer) {
+    // Algorithm 3 Task 3: ship everything now (deferred when lent out).
+    std::vector<VertexId> to_send;
+    to_send.reserve(obligations_.size());
+    for (const auto& [vertex, owner] : obligations_) to_send.push_back(vertex);
+    for (VertexId v : to_send) send_handoff_if_possible(v);
+  }
+
+  if (record_metrics_ && metrics_) {
+    metrics_->series("plan_applied").add(env_.now(), 1.0);
+    metrics_->add_counter("vertices_moved_out", static_cast<double>(moved_out));
+    metrics_->add_counter("vertices_moved_in", static_cast<double>(moved_in));
+  }
+
+  // Process handoffs that raced ahead of the plan.
+  auto buffered = std::move(handoff_buffer_);
+  handoff_buffer_.clear();
+  for (const auto& msg : buffered) on_handoff(*msg);
+
+  // Re-enqueue the commands that were waiting for this epoch, ahead of
+  // everything delivered after the plan.
+  for (auto it = future_.rbegin(); it != future_.rend(); ++it)
+    queue_.push_front(QueueItem{*it, nullptr});
+  future_.clear();
+}
+
+void PartitionServerCore::send_handoff_if_possible(VertexId vertex) {
+  auto it = obligations_.find(vertex);
+  if (it == obligations_.end()) return;
+  auto lent = lent_vertex_count_.find(vertex);
+  if (lent != lent_vertex_count_.end() && lent->second > 0) {
+    fetch_wanted_.insert(vertex);  // send as soon as the lend returns
+    return;
+  }
+  if (!config_.eager_plan_transfer && !fetch_wanted_.contains(vertex)) {
+    // On-demand mode: only ship once the new owner asked.
+    return;
+  }
+  auto envelopes = extract_vertex(vertex);
+  env_.consume_cpu(kPerObjectMoveCost *
+                   static_cast<SimTime>(envelopes.size() + 1));
+  if (record_metrics_ && metrics_) {
+    note_objects_exchanged(static_cast<double>(envelopes.size()));
+    metrics_->series("plan_handoffs")
+        .add(env_.now(), static_cast<double>(envelopes.size()));
+  }
+  send_to_partition(it->second,
+                    sim::make_message<ObjectHandoff>(epoch_, partition_, vertex,
+                                                     std::move(envelopes)));
+  fetch_wanted_.erase(vertex);
+  obligations_.erase(it);
+}
+
+void PartitionServerCore::on_handoff(const ObjectHandoff& msg) {
+  if (msg.epoch > epoch_) {
+    handoff_buffer_.push_back(std::make_shared<const ObjectHandoff>(msg));
+    return;
+  }
+  if (!handoffs_seen_.insert({msg.epoch, msg.vertex.value()}).second) return;
+  insert_envelopes(msg.objects);
+  awaited_.erase(msg.vertex);
+  fetch_requested_.erase(msg.vertex);
+  // The vertex may already be obliged onward (it moved again while in
+  // flight); forward immediately.
+  if (obligations_.contains(msg.vertex)) {
+    if (!config_.eager_plan_transfer) fetch_wanted_.insert(msg.vertex);
+    send_handoff_if_possible(msg.vertex);
+  }
+  if (!blocked_) return;
+  blocked_ = false;
+  pump();
+}
+
+void PartitionServerCore::on_fetch(const FetchVertex& msg) {
+  if (!obligations_.contains(msg.vertex)) return;  // already shipped
+  fetch_wanted_.insert(msg.vertex);
+  send_handoff_if_possible(msg.vertex);
+}
+
+// ---------------------------------------------------------------------------
+// Direct message handlers
+// ---------------------------------------------------------------------------
+
+void PartitionServerCore::on_var_transfer(const VarTransfer& msg) {
+  const CmdKey key{msg.cmd_id, msg.attempt};
+  // A transfer can arrive after this target already resolved the command
+  // (a peer's abort raced ahead of the source's objects). Bounce it home
+  // immediately or the source would wait (or lose its objects) forever.
+  // Duplicates from sources whose transfer was already consumed are
+  // dropped instead.
+  if (auto res = resolved_.find(key); res != resolved_.end()) {
+    if (res->second.insert(msg.from).second) {
+      send_to_partition(msg.from, sim::make_message<VarReturn>(
+                                      msg.cmd_id, msg.attempt, partition_,
+                                      msg.objects));
+    }
+    return;
+  }
+  auto& state = transfers_[key];
+  auto [it, inserted] = state.received.emplace(msg.from, msg.objects);
+  (void)it;
+  if (!inserted) return;  // duplicate from the source's other replica
+  if (blocked_) {
+    blocked_ = false;
+    pump();
+  }
+}
+
+void PartitionServerCore::on_var_return(const VarReturn& msg) {
+  const CmdKey key{msg.cmd_id, msg.attempt};
+  if (!returns_seen_.insert(key).second) return;  // other replica's copy
+
+  if (config_.mode == ExecutionMode::kDSSMR) {
+    // A return only happens when the move aborted: restore objects and map.
+    auto move = dssmr_moves_.find(key);
+    if (move == dssmr_moves_.end()) return;
+    insert_envelopes(msg.objects);
+    for (const auto& [vertex, previous] : move->second.previous_owner) {
+      if (previous == kNoPartition)
+        map_.erase(vertex);
+      else
+        map_[vertex] = previous;
+    }
+    dssmr_moves_.erase(move);
+    if (blocked_) {
+      blocked_ = false;
+      pump();
+    }
+    return;
+  }
+
+  auto it = lends_.find(key);
+  if (it == lends_.end()) return;  // nothing lent (e.g., we were the target)
+  insert_envelopes(msg.objects);
+  for (VertexId v : it->second.vertices) {
+    auto cnt = lent_vertex_count_.find(v);
+    if (cnt != lent_vertex_count_.end() && --cnt->second == 0)
+      lent_vertex_count_.erase(cnt);
+  }
+  // Objects are home again.
+  for (const auto& env : msg.objects) lent_objects_.erase(env.id);
+  // Any ids lent but not present in the return (deleted by the execution)
+  // must still be released.
+  std::vector<VertexId> vertices = it->second.vertices;
+  lends_.erase(it);
+  for (VertexId v : vertices) {
+    if (obligations_.contains(v)) send_handoff_if_possible(v);
+  }
+  if (blocked_) {
+    blocked_ = false;
+    pump();
+  }
+}
+
+void PartitionServerCore::on_abort(const AbortNotice& msg) {
+  auto& state = transfers_[CmdKey{msg.cmd_id, msg.attempt}];
+  if (!state.aborted.insert(msg.from).second) return;
+  if (blocked_) {
+    blocked_ = false;
+    pump();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+void PartitionServerCore::insert_envelopes(
+    const std::vector<ObjectEnvelope>& envelopes) {
+  for (const auto& env : envelopes) {
+    if (!env.object) continue;  // the object did not exist at the source
+    store_.put(env.id, env.vertex, ObjectPtr(env.object->clone()));
+  }
+}
+
+std::vector<ObjectEnvelope> PartitionServerCore::extract_vertex(
+    VertexId vertex) {
+  std::vector<ObjectEnvelope> envelopes;
+  for (ObjectId id : store_.objects_of_vertex(vertex)) {
+    ObjectPtr obj = store_.take(id);
+    envelopes.push_back(ObjectEnvelope{
+        id, vertex, std::shared_ptr<const PRObject>(std::move(obj))});
+  }
+  return envelopes;
+}
+
+void PartitionServerCore::record_hints(const Command& cmd,
+                                       bool /*multi_partition*/) {
+  // Vertex weights ~ access counts; edges between co-accessed vertices.
+  // Large omegas (a celebrity post) contribute a star around the first
+  // vertex instead of a full clique to keep hint volume linear.
+  std::vector<std::uint64_t> unique;
+  for (VertexId v : cmd.vertices) unique.push_back(v.value());
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  for (std::uint64_t v : unique) hint_vertices_[v] += 1;
+  if (unique.size() <= 8) {
+    for (std::size_t i = 0; i < unique.size(); ++i)
+      for (std::size_t j = i + 1; j < unique.size(); ++j)
+        hint_edges_[{unique[i], unique[j]}] += 1;
+  } else {
+    const std::uint64_t hub = cmd.vertices.front().value();
+    for (std::uint64_t v : unique) {
+      if (v == hub) continue;
+      auto key = std::minmax(hub, v);
+      hint_edges_[{key.first, key.second}] += 1;
+    }
+  }
+  if (++commands_since_hint_ >= config_.hint_batch_commands) maybe_emit_hints();
+}
+
+void PartitionServerCore::maybe_emit_hints() {
+  commands_since_hint_ = 0;
+  if (hint_vertices_.empty()) return;
+  std::vector<std::pair<std::uint64_t, std::int64_t>> vs(
+      hint_vertices_.begin(), hint_vertices_.end());
+  std::vector<std::tuple<std::uint64_t, std::uint64_t, std::int64_t>> es;
+  es.reserve(hint_edges_.size());
+  for (const auto& [edge, w] : hint_edges_)
+    es.emplace_back(edge.first, edge.second, w);
+  hint_vertices_.clear();
+  hint_edges_.clear();
+  member_.amcast_as_group(
+      group_uid(group_of(partition_), /*purpose=*/1, ++hint_emissions_),
+      {kOracleGroup},
+      sim::make_message<HintReport>(partition_, std::move(vs), std::move(es)));
+}
+
+void PartitionServerCore::note_objects_exchanged(double count) {
+  if (!record_metrics_ || metrics_ == nullptr || count <= 0) return;
+  const SimTime now = env_.now();
+  metrics_->series("objects_exchanged").add(now, count);
+  metrics_->series("partition." + std::to_string(partition_.value()) +
+                   ".objects_exchanged")
+      .add(now, count);
+}
+
+void PartitionServerCore::note_command_metrics(
+    [[maybe_unused]] const ExecCommand& ec, bool multi) {
+  if (!record_metrics_ || !metrics_) return;
+  const SimTime now = env_.now();
+  metrics_->series("executed").add(now, 1.0);
+  metrics_->series("partition." + std::to_string(partition_.value()) +
+                   ".executed")
+      .add(now, 1.0);
+  if (multi) {
+    metrics_->series("mpart").add(now, 1.0);
+    metrics_->series("partition." + std::to_string(partition_.value()) +
+                     ".mpart")
+        .add(now, 1.0);
+  }
+}
+
+}  // namespace dynastar::core

@@ -1,0 +1,185 @@
+// PartitionServerCore: one replica of one state partition.
+//
+// Implements Algorithm 3 of the paper plus the mechanics the paper leaves to
+// the implementation: epoch-tagged addressing validation, a FIFO execution
+// queue driven by the group's atomic-multicast delivery order (which is what
+// makes the borrow/return waits deadlock-free — acyclic multicast order
+// means all partitions process shared commands in a consistent relative
+// order), non-blocking partitioning-plan application, and the S-SMR / DS-SMR
+// baseline execution modes.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/metrics.h"
+#include "core/app.h"
+#include "core/config.h"
+#include "core/object.h"
+#include "core/protocol.h"
+#include "core/types.h"
+#include "multicast/member.h"
+#include "paxos/topology.h"
+#include "sim/env.h"
+
+namespace dynastar::core {
+
+/// Maps partition ids to multicast groups: the oracle is group 0, partition
+/// p is group p+1.
+inline GroupId group_of(PartitionId p) { return GroupId{p.value() + 1}; }
+inline PartitionId partition_of(GroupId g) { return PartitionId{g.value() - 1}; }
+constexpr GroupId kOracleGroup{0};
+
+/// Deterministic choice of the execution target: the partition owning the
+/// most of omega's objects; ties broken by lowest partition id (§4.2.2).
+PartitionId choose_target(const std::vector<ObjectId>& objects,
+                          const std::vector<PartitionId>& owner_per_object);
+
+class PartitionServerCore {
+ public:
+  PartitionServerCore(sim::Env& env, const paxos::Topology& topology,
+                      PartitionId partition, const SystemConfig& config,
+                      std::unique_ptr<AppStateMachine> app,
+                      MetricsRegistry* metrics, bool record_metrics);
+
+  void start();
+
+  /// Handles multicast/paxos traffic and the direct coordination messages.
+  bool handle(ProcessId from, const sim::MessagePtr& msg);
+
+  // --- pre-run state loading (benchmark setup; not part of the protocol) ---
+  void preload_object(ObjectId id, VertexId vertex, ObjectPtr object);
+  void preload_assignment(AssignmentPtr assignment, Epoch epoch);
+
+  [[nodiscard]] PartitionId partition() const { return partition_; }
+  [[nodiscard]] Epoch epoch() const { return epoch_; }
+  [[nodiscard]] const ObjectStore& store() const { return store_; }
+  multicast::MemberCore& member() { return member_; }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  /// Dedupe key for per-command coordination: (cmd_id, attempt).
+  using CmdKey = std::pair<std::uint64_t, std::uint32_t>;
+  using ExecCommandPtr = std::shared_ptr<const ExecCommand>;
+  using PlanMsgPtr = std::shared_ptr<const PlanMsg>;
+
+  struct QueueItem {
+    ExecCommandPtr exec;  // exactly one of exec/plan set
+    PlanMsgPtr plan;
+  };
+
+  enum class Classification { kReady, kBlocked, kFuture, kStale, kInvalid };
+
+  // Delivery / queue pump.
+  void on_adeliver(const multicast::McastData& data);
+  void pump();
+  Classification classify(const ExecCommand& ec);
+  bool objects_available(const ExecCommand& ec, bool claimed_mine_only);
+  bool transfers_ready_for_ssmr(const ExecCommand& ec);
+  void execute_create(const ExecCommand& ec);
+  void execute_delete(const ExecCommand& ec);
+  void execute_target(const ExecCommand& ec);
+  void execute_non_target(const ExecCommand& ec);
+  void execute_ssmr(const ExecCommand& ec);
+  void reject(const ExecCommand& ec, bool notify_peers);
+  void apply_plan(const PlanMsg& plan);
+
+  // Direct message handlers.
+  void on_var_transfer(const VarTransfer& msg);
+  void on_var_return(const VarReturn& msg);
+  void on_handoff(const ObjectHandoff& msg);
+  void on_fetch(const FetchVertex& msg);
+  void on_abort(const AbortNotice& msg);
+
+  // Helpers.
+  void send_to_partition(PartitionId p, sim::MessagePtr msg);
+  void send_handoff_if_possible(VertexId vertex);
+  void insert_envelopes(const std::vector<ObjectEnvelope>& envelopes);
+  std::vector<ObjectEnvelope> extract_vertex(VertexId vertex);
+  void record_hints(const Command& cmd, bool multi_partition);
+  void maybe_emit_hints();
+  void note_objects_exchanged(double count);
+  void note_command_metrics(const ExecCommand& ec, bool multi_partition);
+  [[nodiscard]] bool is_primary_replica() const;
+
+  sim::Env& env_;
+  const paxos::Topology& topology_;
+  PartitionId partition_;
+  const SystemConfig& config_;
+  std::unique_ptr<AppStateMachine> app_;
+  MetricsRegistry* metrics_;
+  bool record_metrics_;
+
+  multicast::MemberCore member_;
+
+  ObjectStore store_;
+  Assignment map_;
+  Epoch epoch_ = 0;
+
+  // FIFO execution queue in a-delivery order; `blocked_` true while the head
+  // waits for transfers / returns / handoffs.
+  std::deque<QueueItem> queue_;
+  bool blocked_ = false;
+
+  // Commands delivered before the plan their addressing was computed
+  // against; re-enqueued when that plan is applied.
+  std::deque<ExecCommandPtr> future_;
+
+  // Target-side: transfers received per command (may arrive early).
+  struct TransferState {
+    std::map<PartitionId, std::vector<ObjectEnvelope>> received;
+    std::set<PartitionId> aborted;
+  };
+  std::map<CmdKey, TransferState> transfers_;
+
+  // Source-side: objects currently lent out, per command.
+  struct LendRecord {
+    PartitionId borrower;
+    std::vector<VertexId> vertices;
+  };
+  std::map<CmdKey, LendRecord> lends_;
+  std::unordered_set<ObjectId> lent_objects_;
+  std::unordered_map<VertexId, int> lent_vertex_count_;
+  std::set<CmdKey> returns_seen_;
+  std::set<CmdKey> sent_transfers_;  // non-target: vars already shipped
+  std::set<CmdKey> ssmr_sent_;
+  // Target-side: commands already executed or rejected, with the sources
+  // whose transfers were consumed (or already bounced). A late transfer
+  // from any *other* source is bounced straight back; duplicates from an
+  // already-consumed source are dropped (bouncing those would resurrect
+  // pre-execution object state at the source).
+  std::map<CmdKey, std::set<PartitionId>> resolved_;
+
+  // Plan-application state.
+  std::unordered_map<VertexId, PartitionId> awaited_;      // inbound moves
+  std::unordered_map<VertexId, PartitionId> obligations_;  // outbound moves
+  std::unordered_set<VertexId> fetch_requested_;  // on-demand: asked sources
+  std::unordered_set<VertexId> fetch_wanted_;     // on-demand src: send when free
+  std::set<std::pair<Epoch, std::uint64_t>> handoffs_seen_;
+  std::vector<std::shared_ptr<const ObjectHandoff>> handoff_buffer_;
+
+  // Workload-graph hints accumulated since the last report (deterministic
+  // across replicas: driven purely by executed commands).
+  std::map<std::uint64_t, std::int64_t> hint_vertices_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::int64_t> hint_edges_;
+  std::uint64_t commands_since_hint_ = 0;
+  std::uint64_t hint_emissions_ = 0;
+
+  std::uint64_t location_updates_emitted_ = 0;  // DS-SMR uid counter
+
+  // DS-SMR: state needed to roll an aborted permanent move back. Entries
+  // for committed moves are never revisited (the target commits exactly
+  // once) and are retained for the run's lifetime.
+  struct MoveRecord {
+    std::vector<std::pair<VertexId, PartitionId>> previous_owner;
+  };
+  std::map<CmdKey, MoveRecord> dssmr_moves_;
+};
+
+}  // namespace dynastar::core

@@ -1,0 +1,87 @@
+#include "core/system.h"
+
+#include <cassert>
+
+namespace dynastar::core {
+
+System::System(SystemConfig config, AppFactory app_factory)
+    : config_(std::move(config)),
+      world_(config_.network, config_.seed),
+      app_factory_(std::move(app_factory)) {
+  const std::uint32_t replicas = config_.replicas_per_partition;
+  const std::uint32_t acceptors = config_.acceptors_per_partition;
+  const std::uint32_t groups = config_.num_partitions + 1;  // + oracle
+
+  // Process ids are assigned in spawn order; lay the topology out first so
+  // the cores (constructed inside the nodes) can resolve peers immediately.
+  std::uint64_t next_id = 0;
+  for (std::uint32_t g = 0; g < groups; ++g) {
+    paxos::GroupDef def;
+    def.id = GroupId{g};
+    for (std::uint32_t r = 0; r < replicas; ++r)
+      def.replicas.push_back(ProcessId{next_id++});
+    for (std::uint32_t a = 0; a < acceptors; ++a)
+      def.acceptors.push_back(ProcessId{next_id++});
+    topology_.add_group(std::move(def));
+  }
+
+  // Oracle group (group 0).
+  for (std::uint32_t r = 0; r < replicas; ++r) {
+    auto& node = world_.spawn<OracleNode>(topology_, config_,
+                                          /*record_metrics=*/r == 0);
+    oracle_nodes_.push_back(&node);
+  }
+  for (std::uint32_t a = 0; a < acceptors; ++a) {
+    auto& node = world_.spawn<paxos::AcceptorNode>(GroupId{0});
+    node.set_message_service_time(config_.acceptor_service_time);
+    acceptors_.push_back(&node);
+  }
+
+  // Partition groups.
+  server_nodes_.resize(config_.num_partitions);
+  for (std::uint32_t p = 0; p < config_.num_partitions; ++p) {
+    for (std::uint32_t r = 0; r < replicas; ++r) {
+      auto& node = world_.spawn<ServerNode>(topology_, PartitionId{p}, config_,
+                                            app_factory_(),
+                                            /*record_metrics=*/r == 0);
+      server_nodes_[p].push_back(&node);
+    }
+    for (std::uint32_t a = 0; a < acceptors; ++a) {
+      auto& node = world_.spawn<paxos::AcceptorNode>(GroupId{p + 1});
+      node.set_message_service_time(config_.acceptor_service_time);
+      acceptors_.push_back(&node);
+    }
+  }
+
+  // Sanity: the computed ids must match what spawn handed out.
+  for (std::uint32_t g = 0; g < groups; ++g) {
+    const auto& def = topology_.group(GroupId{g});
+    for ([[maybe_unused]] ProcessId pid : def.replicas)
+      assert(world_.find(pid) != nullptr);
+    for ([[maybe_unused]] ProcessId pid : def.acceptors)
+      assert(world_.find(pid) != nullptr);
+  }
+}
+
+ClientNode& System::add_client(std::unique_ptr<ClientDriver> driver) {
+  auto& node = world_.spawn<ClientNode>(topology_, config_, std::move(driver));
+  clients_.push_back(&node);
+  return node;
+}
+
+void System::preload_object(ObjectId id, VertexId vertex, PartitionId partition,
+                            const PRObject& object) {
+  for (ServerNode* node : server_nodes_[partition.value()])
+    node->core().preload_object(id, vertex, ObjectPtr(object.clone()));
+}
+
+void System::preload_assignment(const Assignment& assignment) {
+  auto shared = std::make_shared<const Assignment>(assignment);
+  for (OracleNode* node : oracle_nodes_)
+    node->core().preload_assignment(shared, /*epoch=*/0);
+  for (auto& replicas : server_nodes_)
+    for (ServerNode* node : replicas)
+      node->core().preload_assignment(shared, /*epoch=*/0);
+}
+
+}  // namespace dynastar::core

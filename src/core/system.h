@@ -1,0 +1,68 @@
+// System: builds and owns a complete simulated deployment — oracle group,
+// partition groups (replicas + acceptors), and clients — and offers the
+// pre-run state loading the benchmarks use.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/app.h"
+#include "core/config.h"
+#include "core/nodes.h"
+#include "paxos/nodes.h"
+#include "paxos/topology.h"
+#include "sim/world.h"
+
+namespace dynastar::core {
+
+class System {
+ public:
+  /// Constructs the full topology: group 0 = oracle, group p+1 = partition
+  /// p, each with config.replicas_per_partition replicas and
+  /// config.acceptors_per_partition acceptors.
+  System(SystemConfig config, AppFactory app_factory);
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  /// Adds a closed-loop client with the given command generator.
+  ClientNode& add_client(std::unique_ptr<ClientDriver> driver);
+
+  // --- pre-run state loading (must happen before run_until) ---
+  /// Installs `object` (cloned per replica) at `partition` under `vertex`.
+  void preload_object(ObjectId id, VertexId vertex, PartitionId partition,
+                      const PRObject& object);
+  /// Installs the initial vertex -> partition map at the oracle and every
+  /// server (epoch 0).
+  void preload_assignment(const Assignment& assignment);
+
+  void run_until(SimTime t) { world_.run_until(t); }
+
+  sim::World& world() { return world_; }
+  MetricsRegistry& metrics() { return world_.metrics(); }
+  const paxos::Topology& topology() const { return topology_; }
+  const SystemConfig& config() const { return config_; }
+
+  OracleCore& oracle(std::size_t replica = 0) {
+    return oracle_nodes_[replica]->core();
+  }
+  PartitionServerCore& server(PartitionId p, std::size_t replica = 0) {
+    return server_nodes_[p.value()][replica]->core();
+  }
+  ClientNode& client(std::size_t i) { return *clients_[i]; }
+  [[nodiscard]] std::size_t num_clients() const { return clients_.size(); }
+
+ private:
+  SystemConfig config_;
+  paxos::Topology topology_;
+  sim::World world_;
+  AppFactory app_factory_;
+
+  std::vector<OracleNode*> oracle_nodes_;
+  std::vector<std::vector<ServerNode*>> server_nodes_;  // [partition][replica]
+  std::vector<paxos::AcceptorNode*> acceptors_;
+  std::vector<ClientNode*> clients_;
+};
+
+}  // namespace dynastar::core

@@ -1,0 +1,69 @@
+// Core DynaStar types: commands, vertices, and replies.
+//
+// DynaStar tracks locations at an application-chosen granularity (the
+// paper's §4.1 footnote): each state variable (object) has a *home vertex*;
+// the location map and the workload graph are per-vertex. TPC-C uses one
+// vertex per warehouse/district, Chirper one vertex per user.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "sim/message.h"
+
+namespace dynastar::core {
+
+struct VertexTag {};
+/// Granularity unit of the location map and workload graph.
+using VertexId = StrongId<VertexTag>;
+
+enum class CommandType : std::uint8_t {
+  kCreate,  // create(v): new vertex + its first object
+  kAccess,  // access(omega): read/modify existing objects
+  kDelete,  // delete(v): remove a vertex and its objects
+};
+
+/// One client command. Immutable once multicast; the `objects`/`vertices`
+/// arrays are parallel (vertices[i] is the home vertex of objects[i]) and
+/// together describe omega, the command's read/write set.
+struct Command final : sim::Message {
+  Command(std::uint64_t id, ProcessId client_process, CommandType t,
+          std::vector<ObjectId> objs, std::vector<VertexId> verts,
+          sim::MessagePtr app_payload)
+      : cmd_id(id),
+        client(client_process),
+        type(t),
+        objects(std::move(objs)),
+        vertices(std::move(verts)),
+        payload(std::move(app_payload)) {}
+
+  const char* type_name() const override { return "core.Command"; }
+  std::size_t size_bytes() const override {
+    return 64 + objects.size() * 16 +
+           (payload ? payload->size_bytes() : 0);
+  }
+
+  std::uint64_t cmd_id;
+  ProcessId client;
+  CommandType type;
+  std::vector<ObjectId> objects;
+  std::vector<VertexId> vertices;
+  sim::MessagePtr payload;
+};
+
+using CommandPtr = std::shared_ptr<const Command>;
+
+/// Outcome status carried in replies to the client.
+enum class ReplyStatus : std::uint8_t {
+  kOk,
+  kRetry,  // stale addressing/epoch: re-resolve via the oracle
+  kNok,    // oracle rejected the command (e.g., unknown variable)
+};
+
+/// Plan epochs: each partitioning plan gets a monotonically increasing id;
+/// commands carry the epoch their addressing was computed against.
+using Epoch = std::uint64_t;
+
+}  // namespace dynastar::core

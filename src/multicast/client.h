@@ -1,0 +1,49 @@
+// Client-side a-mcast helper for processes that are not group members
+// (application clients). Assigns uids and per-group FIFO sequence numbers
+// and transmits to every replica of each destination group.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "multicast/messages.h"
+#include "paxos/topology.h"
+#include "sim/env.h"
+
+namespace dynastar::multicast {
+
+class McastClient {
+ public:
+  McastClient(sim::Env& env, const paxos::Topology& topology)
+      : env_(env), topology_(topology) {}
+
+  /// Atomically multicasts `payload` to `groups`; returns the message uid.
+  Uid amcast(std::vector<GroupId> groups, sim::MessagePtr payload) {
+    std::sort(groups.begin(), groups.end());
+    groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+    const Uid uid = (env_.self().value() << 32) | ++next_uid_;
+    std::vector<std::pair<GroupId, std::uint64_t>> seqs;
+    seqs.reserve(groups.size());
+    for (GroupId g : groups) seqs.emplace_back(g, ++seq_per_group_[g]);
+    auto data = std::make_shared<const McastData>(
+        uid, env_.self().value(), env_.self(), std::move(groups),
+        std::move(seqs), std::move(payload));
+    auto msg = sim::make_message<McastSend>(data);
+    for (GroupId dest : data->groups) {
+      for (ProcessId replica : topology_.group(dest).replicas) {
+        env_.send_message(replica, msg);
+      }
+    }
+    return uid;
+  }
+
+ private:
+  sim::Env& env_;
+  const paxos::Topology& topology_;
+  std::uint64_t next_uid_ = 0;
+  std::map<GroupId, std::uint64_t> seq_per_group_;
+};
+
+}  // namespace dynastar::multicast

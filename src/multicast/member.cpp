@@ -1,0 +1,242 @@
+#include "multicast/member.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace dynastar::multicast {
+
+namespace {
+/// CPU cost of advancing the multicast state machine by one log entry.
+constexpr SimTime kEntryCost = microseconds(2);
+
+/// Leader re-drives in-flight coordination this often.
+constexpr SimTime kRepairInterval = milliseconds(50);
+
+std::uint64_t group_sender_key(GroupId g) { return (1ULL << 40) + g.value(); }
+}  // namespace
+
+MemberCore::MemberCore(sim::Env& env, const paxos::Topology& topology,
+                       GroupId group, paxos::ReplicaConfig paxos_config)
+    : env_(env),
+      topology_(topology),
+      group_(group),
+      replica_(env, topology, group, paxos_config) {
+  replica_.set_deliver([this](std::uint64_t /*seq*/, const sim::MessagePtr& v) {
+    on_log_entry(v);
+  });
+  replica_.set_on_lead([this] { on_gain_leadership(); });
+}
+
+void MemberCore::start() {
+  replica_.start();
+  arm_repair_timer();
+}
+
+void MemberCore::arm_repair_timer() {
+  // Periodic leader-side repair: lost McastSends / TsProposals / Finals are
+  // re-driven; every path is idempotent (log-side and receiver-side dedupe),
+  // so duplicates are harmless.
+  env_.start_timer(kRepairInterval, [this] {
+    if (replica_.is_leader()) {
+      for (const auto& [uid, data] : unstarted_)
+        replica_.submit(sim::make_message<StartEntry>(data));
+      for (auto& [uid, pending] : pending_) {
+        if (pending.data->groups.size() > 1 && !pending.final_ts.has_value()) {
+          broadcast_ts_proposal(pending);
+          maybe_submit_final(uid);
+        }
+      }
+    }
+    arm_repair_timer();
+  });
+}
+
+bool MemberCore::handle(ProcessId from, const sim::MessagePtr& msg) {
+  if (replica_.handle(from, msg)) return true;
+  if (auto* send = dynamic_cast<const McastSend*>(msg.get())) {
+    on_send(*send);
+    return true;
+  }
+  if (auto* prop = dynamic_cast<const TsProposal*>(msg.get())) {
+    on_ts_proposal(*prop);
+    return true;
+  }
+  return false;
+}
+
+void MemberCore::on_send(const McastSend& msg) {
+  const Uid uid = msg.data->uid;
+  const auto& groups = msg.data->groups;
+  if (std::find(groups.begin(), groups.end(), group_) == groups.end()) return;
+  if (seen_.contains(uid) || unstarted_.contains(uid)) return;
+  unstarted_[uid] = msg.data;
+  if (replica_.is_leader())
+    replica_.submit(sim::make_message<StartEntry>(msg.data));
+}
+
+void MemberCore::on_ts_proposal(const TsProposal& msg) {
+  auto it = pending_.find(msg.uid);
+  if (it == pending_.end()) {
+    if (!seen_.contains(msg.uid))
+      early_proposals_[msg.uid][msg.from_group] = msg.ts;
+    return;
+  }
+  auto [pos, inserted] =
+      it->second.proposals.emplace(msg.from_group, msg.ts);
+  (void)pos;
+  if (inserted) maybe_submit_final(msg.uid);
+}
+
+void MemberCore::on_log_entry(const sim::MessagePtr& value) {
+  env_.consume_cpu(kEntryCost);
+  if (auto* start = dynamic_cast<const StartEntry*>(value.get())) {
+    process_start(start->data);
+    return;
+  }
+  if (auto* final_entry = dynamic_cast<const FinalEntry*>(value.get())) {
+    process_final(final_entry->uid, final_entry->ts);
+    return;
+  }
+  // Unknown entries are no-ops (e.g., gap-filling empty batches).
+}
+
+void MemberCore::process_start(const McastDataPtr& data) {
+  if (seen_.contains(data->uid)) {
+    unstarted_.erase(data->uid);
+    return;
+  }
+  auto& channel = channels_[data->sender];
+  const std::uint64_t seq = data->seq_for(group_);
+  if (seq != channel.next_seq) {
+    if (seq > channel.next_seq) channel.held[seq] = data;
+    return;
+  }
+  McastDataPtr current = data;
+  while (true) {
+    // Admit `current`: assign the group-local timestamp.
+    seen_.insert(current->uid);
+    unstarted_.erase(current->uid);
+    Pending pending;
+    pending.data = current;
+    pending.local_ts = ++clock_;
+    pending.proposals.emplace(group_, pending.local_ts);
+    if (auto early = early_proposals_.find(current->uid);
+        early != early_proposals_.end()) {
+      for (const auto& [g, ts] : early->second)
+        pending.proposals.emplace(g, ts);
+      early_proposals_.erase(early);
+    }
+    const bool single_group = current->groups.size() == 1;
+    auto [it, inserted] = pending_.emplace(current->uid, std::move(pending));
+    assert(inserted);
+    if (single_group) {
+      it->second.final_ts = it->second.local_ts;
+    } else if (replica_.is_leader()) {
+      broadcast_ts_proposal(it->second);
+      maybe_submit_final(current->uid);
+    }
+    ++channel.next_seq;
+    auto next = channel.held.find(channel.next_seq);
+    if (next == channel.held.end()) break;
+    current = next->second;
+    channel.held.erase(next);
+  }
+  try_deliver();
+}
+
+void MemberCore::process_final(Uid uid, Timestamp ts) {
+  auto it = pending_.find(uid);
+  if (it == pending_.end() || it->second.final_ts.has_value()) return;
+  clock_ = std::max(clock_, ts);
+  it->second.final_ts = ts;
+  try_deliver();
+}
+
+void MemberCore::maybe_submit_final(Uid uid) {
+  if (!replica_.is_leader()) return;
+  auto it = pending_.find(uid);
+  if (it == pending_.end()) return;
+  const Pending& pending = it->second;
+  if (pending.final_ts.has_value() || final_submitted_.contains(uid)) return;
+  if (pending.proposals.size() < pending.data->groups.size()) return;
+  Timestamp final_ts = 0;
+  for (const auto& [g, ts] : pending.proposals) final_ts = std::max(final_ts, ts);
+  final_submitted_.insert(uid);
+  replica_.submit(sim::make_message<FinalEntry>(uid, final_ts));
+}
+
+void MemberCore::broadcast_ts_proposal(const Pending& pending) {
+  for (GroupId dest : pending.data->groups) {
+    if (dest == group_) continue;
+    for (ProcessId replica : topology_.group(dest).replicas) {
+      env_.send_message(replica, sim::make_message<TsProposal>(
+                                     pending.data->uid, group_, pending.local_ts));
+    }
+  }
+}
+
+void MemberCore::try_deliver() {
+  while (!pending_.empty()) {
+    // The deliverable message is the pending minimum by (lower bound, uid),
+    // provided its final timestamp is known: every other pending message can
+    // only end up with a larger (ts, uid) key.
+    auto min_it = pending_.end();
+    Timestamp min_lb = 0;
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      const Timestamp lb = it->second.final_ts.value_or(it->second.local_ts);
+      if (min_it == pending_.end() || lb < min_lb ||
+          (lb == min_lb && it->first < min_it->first)) {
+        min_it = it;
+        min_lb = lb;
+      }
+    }
+    if (!min_it->second.final_ts.has_value()) return;
+    McastDataPtr data = min_it->second.data;
+    final_submitted_.erase(min_it->first);
+    early_proposals_.erase(min_it->first);
+    pending_.erase(min_it);
+    ++delivered_count_;
+    if (deliver_) deliver_(*data);
+  }
+}
+
+void MemberCore::on_gain_leadership() {
+  // A previous leader may have died between ordering and coordinating; make
+  // every in-flight step happen again (receivers deduplicate).
+  for (const auto& [uid, data] : unstarted_)
+    replica_.submit(sim::make_message<StartEntry>(data));
+  for (auto& [uid, pending] : pending_) {
+    if (pending.data->groups.size() > 1 && !pending.final_ts.has_value()) {
+      broadcast_ts_proposal(pending);
+      maybe_submit_final(uid);
+    }
+  }
+  for (const auto& data : outbox_) transmit(data);
+}
+
+void MemberCore::amcast_as_group(Uid uid, std::vector<GroupId> groups,
+                                 sim::MessagePtr payload) {
+  std::sort(groups.begin(), groups.end());
+  groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+  std::vector<std::pair<GroupId, std::uint64_t>> seqs;
+  seqs.reserve(groups.size());
+  for (GroupId g : groups) seqs.emplace_back(g, ++group_sender_seq_[g]);
+  auto data = std::make_shared<const McastData>(
+      uid, group_sender_key(group_), env_.self(), std::move(groups),
+      std::move(seqs), std::move(payload));
+  outbox_.push_back(data);
+  if (replica_.is_leader()) transmit(data);
+}
+
+void MemberCore::transmit(const McastDataPtr& data) {
+  auto msg = sim::make_message<McastSend>(data);
+  for (GroupId dest : data->groups) {
+    for (ProcessId replica : topology_.group(dest).replicas) {
+      env_.send_message(replica, msg);
+    }
+  }
+}
+
+}  // namespace dynastar::multicast

@@ -1,0 +1,112 @@
+// MemberCore: one group member's view of the atomic multicast protocol.
+//
+// Owns the group's Paxos replica and drives the multicast state machine from
+// the replica's delivered log, so every replica of a group makes identical
+// decisions. Network-side events (incoming sends, timestamp proposals) feed
+// the leader, which injects the corresponding log entries.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "multicast/messages.h"
+#include "paxos/replica.h"
+#include "paxos/topology.h"
+#include "sim/env.h"
+
+namespace dynastar::multicast {
+
+class MemberCore {
+ public:
+  /// Called exactly once per a-delivered message, in the group's delivery
+  /// order.
+  using DeliverFn = std::function<void(const McastData&)>;
+
+  MemberCore(sim::Env& env, const paxos::Topology& topology, GroupId group,
+             paxos::ReplicaConfig paxos_config = {});
+
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  void start();
+
+  /// Handles Paxos and multicast messages; returns false for anything else
+  /// (application messages the caller should dispatch itself).
+  bool handle(ProcessId from, const sim::MessagePtr& msg);
+
+  /// Deterministic group-sender a-mcast: every replica of this group calls
+  /// this with identical arguments while processing the same log position;
+  /// only the current leader transmits (others stash for re-emission on
+  /// leadership change). `uid` must be derived from replicated state.
+  void amcast_as_group(Uid uid, std::vector<GroupId> groups,
+                       sim::MessagePtr payload);
+
+  [[nodiscard]] GroupId group() const { return group_; }
+  [[nodiscard]] bool is_leader() const { return replica_.is_leader(); }
+  paxos::ReplicaCore& replica() { return replica_; }
+  [[nodiscard]] std::uint64_t delivered_count() const { return delivered_count_; }
+
+ private:
+  struct Pending {
+    McastDataPtr data;
+    Timestamp local_ts = 0;
+    std::map<GroupId, Timestamp> proposals;
+    std::optional<Timestamp> final_ts;
+  };
+
+  void on_log_entry(const sim::MessagePtr& value);
+  void process_start(const McastDataPtr& data);
+  void process_final(Uid uid, Timestamp ts);
+  void on_send(const McastSend& msg);
+  void on_ts_proposal(const TsProposal& msg);
+  void maybe_submit_final(Uid uid);
+  void broadcast_ts_proposal(const Pending& pending);
+  void try_deliver();
+  void on_gain_leadership();
+  void transmit(const McastDataPtr& data);
+  void arm_repair_timer();
+
+  sim::Env& env_;
+  const paxos::Topology& topology_;
+  GroupId group_;
+  paxos::ReplicaCore replica_;
+  DeliverFn deliver_;
+
+  Timestamp clock_ = 0;
+  std::unordered_map<Uid, Pending> pending_;
+  std::unordered_set<Uid> seen_;  // started or delivered: dedupe for Start
+  std::uint64_t delivered_count_ = 0;
+
+  // Timestamp proposals that arrived before the Start entry was processed.
+  std::unordered_map<Uid, std::map<GroupId, Timestamp>> early_proposals_;
+  // Finals already submitted (leader-side dedupe; log-side dedupe also holds).
+  std::unordered_set<Uid> final_submitted_;
+
+  // FIFO holdback: per sender, next expected seq and messages waiting.
+  struct SenderChannel {
+    std::uint64_t next_seq = 1;
+    std::map<std::uint64_t, McastDataPtr> held;
+  };
+  std::unordered_map<std::uint64_t, SenderChannel> channels_;
+
+  // McastSends received but not yet seen as Start entries; the leader
+  // submits them, every replica retains them until started so a new leader
+  // can re-submit.
+  std::map<Uid, McastDataPtr> unstarted_;
+
+  // Group-sender outbox: multicasts this group emitted (deterministically)
+  // that a new leader must re-transmit. Bounded by pruning on Start feedback
+  // from destination groups is unnecessary in simulation; kept whole.
+  std::vector<McastDataPtr> outbox_;
+
+  // Deterministic per-destination-group fifo sequence counters for
+  // amcast_as_group (replicated state: identical at all replicas).
+  std::map<GroupId, std::uint64_t> group_sender_seq_;
+};
+
+}  // namespace dynastar::multicast

@@ -1,0 +1,103 @@
+// Atomic multicast: message and log-entry types.
+//
+// The protocol is the Skeen-style genuine algorithm used by BaseCast
+// (Coelho et al., DSN'17): each destination group orders the message in its
+// Paxos log and assigns it a local logical timestamp; destination groups
+// exchange their timestamps; the final timestamp is the maximum, and every
+// group delivers in (timestamp, uid) order. Only sender and destination
+// groups communicate — the multicast is genuine.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "sim/message.h"
+
+namespace dynastar::multicast {
+
+/// Globally unique multicast message id, chosen by the logical sender.
+/// Deterministic senders (replicated groups emitting outputs) derive it from
+/// replicated state so every replica computes the same uid.
+using Uid = std::uint64_t;
+
+/// Group-local logical timestamp.
+using Timestamp = std::uint64_t;
+
+/// The unit the application hands to a-mcast: destination groups plus an
+/// opaque payload. `fifo_seq` carries one per-(sender, group) sequence
+/// number per destination so each group can process a sender's messages in
+/// submission order.
+struct McastData final : sim::Message {
+  McastData(Uid u, std::uint64_t sender_key, ProcessId orig,
+            std::vector<GroupId> gs,
+            std::vector<std::pair<GroupId, std::uint64_t>> seqs,
+            sim::MessagePtr p)
+      : uid(u),
+        sender(sender_key),
+        origin(orig),
+        groups(std::move(gs)),
+        fifo_seq(std::move(seqs)),
+        payload(std::move(p)) {}
+  const char* type_name() const override { return "mcast.Data"; }
+  std::size_t size_bytes() const override {
+    return 64 + groups.size() * 8 + payload->size_bytes();
+  }
+
+  [[nodiscard]] std::uint64_t seq_for(GroupId g) const {
+    for (const auto& [group, seq] : fifo_seq)
+      if (group == g) return seq;
+    return 0;
+  }
+
+  Uid uid;
+  /// Logical sender key for per-(sender, group) FIFO ordering. Client nodes
+  /// use their process id; replicated group senders use a key derived from
+  /// their group id so every replica computes the same channel.
+  std::uint64_t sender;
+  ProcessId origin;
+  std::vector<GroupId> groups;  // sorted, unique
+  std::vector<std::pair<GroupId, std::uint64_t>> fifo_seq;
+  sim::MessagePtr payload;
+};
+
+using McastDataPtr = std::shared_ptr<const McastData>;
+
+/// Sender -> replicas of each destination group.
+struct McastSend final : sim::Message {
+  explicit McastSend(McastDataPtr d) : data(std::move(d)) {}
+  const char* type_name() const override { return "mcast.Send"; }
+  std::size_t size_bytes() const override { return data->size_bytes(); }
+  McastDataPtr data;
+};
+
+/// Leader of one destination group -> replicas of the other destination
+/// groups: "my group ordered `uid` at local timestamp `ts`".
+struct TsProposal final : sim::Message {
+  TsProposal(Uid u, GroupId g, Timestamp t) : uid(u), from_group(g), ts(t) {}
+  const char* type_name() const override { return "mcast.TsProposal"; }
+  Uid uid;
+  GroupId from_group;
+  Timestamp ts;
+};
+
+/// Log entry: the group ordered this multicast (assigns the local timestamp
+/// deterministically at processing time).
+struct StartEntry final : sim::Message {
+  explicit StartEntry(McastDataPtr d) : data(std::move(d)) {}
+  const char* type_name() const override { return "mcast.Start"; }
+  std::size_t size_bytes() const override { return data->size_bytes(); }
+  McastDataPtr data;
+};
+
+/// Log entry: the final (max) timestamp for `uid` is known; bump the group
+/// clock and make the message deliverable.
+struct FinalEntry final : sim::Message {
+  FinalEntry(Uid u, Timestamp t) : uid(u), ts(t) {}
+  const char* type_name() const override { return "mcast.Final"; }
+  Uid uid;
+  Timestamp ts;
+};
+
+}  // namespace dynastar::multicast

@@ -1,0 +1,127 @@
+#include "partitioning/graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace dynastar::partitioning {
+
+std::int64_t Graph::total_vertex_weight() const {
+  return std::accumulate(vertex_weights.begin(), vertex_weights.end(),
+                         std::int64_t{0});
+}
+
+void GraphBuilder::add_edge(std::uint32_t a, std::uint32_t b, std::int64_t w) {
+  assert(a < adj_.size() && b < adj_.size());
+  if (a == b) return;
+  adj_[a][b] += w;
+  adj_[b][a] += w;
+}
+
+Graph GraphBuilder::build() const {
+  Graph g;
+  const std::size_t n = vertex_weights_.size();
+  g.vertex_weights = vertex_weights_;
+  g.xadj.resize(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) g.xadj[v + 1] = g.xadj[v] + adj_[v].size();
+  g.adjacency.resize(g.xadj[n]);
+  g.edge_weights.resize(g.xadj[n]);
+  for (std::size_t v = 0; v < n; ++v) {
+    std::size_t pos = g.xadj[v];
+    // Deterministic neighbor order independent of hash iteration.
+    std::vector<std::pair<std::uint32_t, std::int64_t>> sorted(
+        adj_[v].begin(), adj_[v].end());
+    std::sort(sorted.begin(), sorted.end());
+    for (const auto& [u, w] : sorted) {
+      g.adjacency[pos] = u;
+      g.edge_weights[pos] = w;
+      ++pos;
+    }
+  }
+  return g;
+}
+
+void WorkloadGraph::add_vertex(std::uint64_t id, std::int64_t weight_delta) {
+  vertices_[id] += weight_delta;
+}
+
+void WorkloadGraph::add_edge(std::uint64_t a, std::uint64_t b,
+                             std::int64_t weight_delta) {
+  if (a == b) {
+    add_vertex(a, weight_delta);
+    return;
+  }
+  vertices_.try_emplace(a, 0);
+  vertices_.try_emplace(b, 0);
+  auto& forward = edges_[a][b];
+  if (forward == 0) ++num_edges_;
+  forward += weight_delta;
+  edges_[b][a] += weight_delta;
+}
+
+void WorkloadGraph::remove_vertex(std::uint64_t id) {
+  auto it = edges_.find(id);
+  if (it != edges_.end()) {
+    for (const auto& [neighbor, w] : it->second) {
+      auto nit = edges_.find(neighbor);
+      if (nit != edges_.end()) {
+        nit->second.erase(id);
+        if (nit->second.empty()) edges_.erase(nit);
+      }
+      --num_edges_;
+    }
+    edges_.erase(it);
+  }
+  vertices_.erase(id);
+}
+
+void WorkloadGraph::decay(double factor) {
+  for (auto& [id, w] : vertices_)
+    w = static_cast<std::int64_t>(std::floor(static_cast<double>(w) * factor));
+  for (auto eit = edges_.begin(); eit != edges_.end();) {
+    auto& neighbors = eit->second;
+    for (auto nit = neighbors.begin(); nit != neighbors.end();) {
+      const auto decayed = static_cast<std::int64_t>(
+          std::floor(static_cast<double>(nit->second) * factor));
+      if (decayed <= 0) {
+        // Count each undirected edge once (when erasing from the smaller id).
+        if (eit->first < nit->first) --num_edges_;
+        nit = neighbors.erase(nit);
+      } else {
+        nit->second = decayed;
+        ++nit;
+      }
+    }
+    if (neighbors.empty())
+      eit = edges_.erase(eit);
+    else
+      ++eit;
+  }
+}
+
+WorkloadGraph::Compact WorkloadGraph::compact() const {
+  Compact result;
+  result.ids.reserve(vertices_.size());
+  for (const auto& [id, w] : vertices_) result.ids.push_back(id);
+  std::sort(result.ids.begin(), result.ids.end());
+  std::unordered_map<std::uint64_t, std::uint32_t> index;
+  index.reserve(result.ids.size());
+  for (std::uint32_t i = 0; i < result.ids.size(); ++i)
+    index.emplace(result.ids[i], i);
+
+  GraphBuilder builder(result.ids.size());
+  for (std::uint32_t i = 0; i < result.ids.size(); ++i) {
+    auto w = vertices_.at(result.ids[i]);
+    builder.set_vertex_weight(i, std::max<std::int64_t>(w, 1));
+  }
+  for (const auto& [a, neighbors] : edges_) {
+    for (const auto& [b, w] : neighbors) {
+      if (a < b) builder.add_edge(index.at(a), index.at(b), w);
+    }
+  }
+  result.graph = builder.build();
+  return result;
+}
+
+}  // namespace dynastar::partitioning

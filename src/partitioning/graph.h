@@ -1,0 +1,88 @@
+// Graph structures for workload-driven partitioning.
+//
+// WorkloadGraph is the oracle's dynamic accumulation structure (the paper's
+// workload graph: vertices = state variables at the application's chosen
+// granularity, edge weights = how often commands co-access two vertices).
+// Graph is the compact CSR form handed to the partitioner.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace dynastar::partitioning {
+
+/// Compact immutable undirected graph with vertex and edge weights (CSR).
+struct Graph {
+  std::vector<std::int64_t> vertex_weights;
+  std::vector<std::size_t> xadj;        // size n+1
+  std::vector<std::uint32_t> adjacency; // neighbor vertex indices
+  std::vector<std::int64_t> edge_weights;
+
+  [[nodiscard]] std::size_t num_vertices() const {
+    return vertex_weights.size();
+  }
+  [[nodiscard]] std::size_t num_edges() const { return adjacency.size() / 2; }
+  [[nodiscard]] std::int64_t total_vertex_weight() const;
+
+  /// Degree of vertex v.
+  [[nodiscard]] std::size_t degree(std::uint32_t v) const {
+    return xadj[v + 1] - xadj[v];
+  }
+};
+
+/// Builder used by tests and generators: accumulate edges, then freeze.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::size_t num_vertices)
+      : vertex_weights_(num_vertices, 1), adj_(num_vertices) {}
+
+  void set_vertex_weight(std::uint32_t v, std::int64_t w) {
+    vertex_weights_[v] = w;
+  }
+  /// Adds (or reinforces) the undirected edge {a, b}.
+  void add_edge(std::uint32_t a, std::uint32_t b, std::int64_t w = 1);
+
+  [[nodiscard]] Graph build() const;
+
+ private:
+  std::vector<std::int64_t> vertex_weights_;
+  std::vector<std::unordered_map<std::uint32_t, std::int64_t>> adj_;
+};
+
+/// The oracle's evolving workload graph over application vertex ids.
+class WorkloadGraph {
+ public:
+  /// Reinforces a vertex (weight_delta ~ accesses observed).
+  void add_vertex(std::uint64_t id, std::int64_t weight_delta = 1);
+  /// Reinforces the undirected edge {a, b}; creates the vertices if needed.
+  void add_edge(std::uint64_t a, std::uint64_t b, std::int64_t weight_delta = 1);
+  /// Removes a vertex and its edges (delete(v) in the paper).
+  void remove_vertex(std::uint64_t id);
+
+  /// Multiplies all weights by `factor` (in (0,1]) and drops edges that
+  /// decay to zero — lets the oracle forget stale access patterns.
+  void decay(double factor);
+
+  [[nodiscard]] std::size_t num_vertices() const { return vertices_.size(); }
+  [[nodiscard]] std::size_t num_edges() const { return num_edges_; }
+  [[nodiscard]] bool contains(std::uint64_t id) const {
+    return vertices_.contains(id);
+  }
+
+  struct Compact {
+    Graph graph;
+    std::vector<std::uint64_t> ids;  // compact index -> application vertex id
+  };
+  /// Freezes into CSR form for the partitioner.
+  [[nodiscard]] Compact compact() const;
+
+ private:
+  std::unordered_map<std::uint64_t, std::int64_t> vertices_;
+  std::unordered_map<std::uint64_t,
+                     std::unordered_map<std::uint64_t, std::int64_t>>
+      edges_;  // symmetric: stored under both endpoints
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace dynastar::partitioning

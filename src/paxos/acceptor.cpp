@@ -1,0 +1,57 @@
+#include "paxos/acceptor.h"
+
+namespace dynastar::paxos {
+
+bool AcceptorCore::handle(ProcessId from, const sim::MessagePtr& msg) {
+  if (auto* prepare = dynamic_cast<const Prepare*>(msg.get())) {
+    if (prepare->group != group_) return false;
+    on_prepare(from, *prepare);
+    return true;
+  }
+  if (auto* accept = dynamic_cast<const Accept*>(msg.get())) {
+    if (accept->group != group_) return false;
+    on_accept(from, *accept);
+    return true;
+  }
+  return false;
+}
+
+void AcceptorCore::on_prepare(ProcessId from, const Prepare& msg) {
+  if (storage_.promised != kNoBallot && msg.ballot <= storage_.promised) {
+    env_.send_message(from,
+                      sim::make_message<Nack>(group_, msg.ballot, storage_.promised));
+    return;
+  }
+  storage_.promised = msg.ballot;
+  std::vector<AcceptedEntry> accepted;
+  for (auto it = storage_.votes.lower_bound(msg.from_slot);
+       it != storage_.votes.end(); ++it) {
+    accepted.push_back(it->second);
+  }
+  env_.send_message(
+      from, sim::make_message<Promise>(group_, msg.ballot, std::move(accepted)));
+}
+
+void AcceptorCore::on_accept(ProcessId from, const Accept& msg) {
+  if (storage_.promised != kNoBallot && msg.ballot < storage_.promised) {
+    env_.send_message(from,
+                      sim::make_message<Nack>(group_, msg.ballot, storage_.promised));
+    return;
+  }
+  storage_.promised = msg.ballot;
+  storage_.votes[msg.slot] = AcceptedEntry{msg.slot, msg.ballot, msg.value};
+  // Trim votes far below the leader's applied prefix. The window covers a
+  // prospective new leader whose own applied prefix lags the old leader's:
+  // its phase-1 recovery still finds every vote it can need. A replica
+  // lagging more than the window would require snapshot transfer in a real
+  // deployment; the simulation's heartbeat-driven catch-up keeps lag far
+  // below this bound.
+  constexpr Slot kVoteWindow = 4096;
+  if (msg.committed > kVoteWindow)
+    storage_.votes.erase(
+        storage_.votes.begin(),
+        storage_.votes.lower_bound(msg.committed - kVoteWindow));
+  env_.send_message(from, sim::make_message<Accepted>(group_, msg.ballot, msg.slot));
+}
+
+}  // namespace dynastar::paxos

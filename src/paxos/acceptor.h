@@ -1,0 +1,41 @@
+// Paxos acceptor: the voting role. Its durable state (highest promised
+// ballot, per-slot votes) lives in AcceptorStorage, which the hosting node
+// keeps across crashes — modeling stable storage.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "paxos/messages.h"
+#include "paxos/topology.h"
+#include "sim/env.h"
+
+namespace dynastar::paxos {
+
+/// Durable acceptor state; survives process crashes.
+struct AcceptorStorage {
+  Ballot promised = kNoBallot;  // kNoBallot == never promised
+  std::map<Slot, AcceptedEntry> votes;
+};
+
+class AcceptorCore {
+ public:
+  AcceptorCore(sim::Env& env, GroupId group, AcceptorStorage& storage)
+      : env_(env), group_(group), storage_(storage) {}
+
+  /// Processes a Paxos message addressed to this acceptor. Returns true if
+  /// the message was one the acceptor understands.
+  bool handle(ProcessId from, const sim::MessagePtr& msg);
+
+  [[nodiscard]] GroupId group() const { return group_; }
+
+ private:
+  void on_prepare(ProcessId from, const Prepare& msg);
+  void on_accept(ProcessId from, const Accept& msg);
+
+  sim::Env& env_;
+  GroupId group_;
+  AcceptorStorage& storage_;
+};
+
+}  // namespace dynastar::paxos

@@ -1,0 +1,135 @@
+// Wire messages of the Multi-Paxos protocol.
+//
+// Log positions are `Slot` (0-based), ballots are totally ordered integers
+// whose owner rotates over the group's replicas (owner = ballot % replicas).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "sim/message.h"
+
+namespace dynastar::paxos {
+
+using Slot = std::uint64_t;
+using Ballot = std::uint64_t;
+
+constexpr Ballot kNoBallot = UINT64_MAX;
+
+/// A slot the acceptor has voted on (used in Promise to recover values).
+struct AcceptedEntry {
+  Slot slot;
+  Ballot ballot;
+  sim::MessagePtr value;
+};
+
+/// Client/replica -> leader: please order this value.
+struct ProposeReq final : sim::Message {
+  explicit ProposeReq(sim::MessagePtr v) : value(std::move(v)) {}
+  const char* type_name() const override { return "paxos.ProposeReq"; }
+  std::size_t size_bytes() const override { return 64 + value->size_bytes(); }
+  sim::MessagePtr value;
+};
+
+/// Phase 1a: leader -> acceptors.
+struct Prepare final : sim::Message {
+  Prepare(GroupId g, Ballot b, Slot from) : group(g), ballot(b), from_slot(from) {}
+  const char* type_name() const override { return "paxos.Prepare"; }
+  GroupId group;
+  Ballot ballot;
+  Slot from_slot;
+};
+
+/// Phase 1b: acceptor -> leader, with every vote at slot >= from_slot.
+struct Promise final : sim::Message {
+  Promise(GroupId g, Ballot b, std::vector<AcceptedEntry> acc)
+      : group(g), ballot(b), accepted(std::move(acc)) {}
+  const char* type_name() const override { return "paxos.Promise"; }
+  std::size_t size_bytes() const override { return 64 + accepted.size() * 64; }
+  GroupId group;
+  Ballot ballot;
+  std::vector<AcceptedEntry> accepted;
+};
+
+/// Acceptor -> proposer: your ballot is stale (promised is higher).
+struct Nack final : sim::Message {
+  Nack(GroupId g, Ballot b, Ballot promised_b)
+      : group(g), ballot(b), promised(promised_b) {}
+  const char* type_name() const override { return "paxos.Nack"; }
+  GroupId group;
+  Ballot ballot;
+  Ballot promised;
+};
+
+/// Phase 2a: leader -> acceptors. `committed` piggybacks the leader's
+/// applied prefix so acceptors can trim votes below it.
+struct Accept final : sim::Message {
+  Accept(GroupId g, Ballot b, Slot s, Slot committed_prefix, sim::MessagePtr v)
+      : group(g),
+        ballot(b),
+        slot(s),
+        committed(committed_prefix),
+        value(std::move(v)) {}
+  const char* type_name() const override { return "paxos.Accept"; }
+  std::size_t size_bytes() const override { return 64 + value->size_bytes(); }
+  GroupId group;
+  Ballot ballot;
+  Slot slot;
+  Slot committed;
+  sim::MessagePtr value;
+};
+
+/// Phase 2b: acceptor -> leader.
+struct Accepted final : sim::Message {
+  Accepted(GroupId g, Ballot b, Slot s) : group(g), ballot(b), slot(s) {}
+  const char* type_name() const override { return "paxos.Accepted"; }
+  GroupId group;
+  Ballot ballot;
+  Slot slot;
+};
+
+/// Leader -> other replicas: slot is chosen.
+struct Decision final : sim::Message {
+  Decision(GroupId g, Slot s, sim::MessagePtr v)
+      : group(g), slot(s), value(std::move(v)) {}
+  const char* type_name() const override { return "paxos.Decision"; }
+  std::size_t size_bytes() const override { return 64 + value->size_bytes(); }
+  GroupId group;
+  Slot slot;
+  sim::MessagePtr value;
+};
+
+/// Leader -> replicas: liveness heartbeat (suppresses elections).
+struct Heartbeat final : sim::Message {
+  Heartbeat(GroupId g, Ballot b, Slot next) : group(g), ballot(b), next_slot(next) {}
+  const char* type_name() const override { return "paxos.Heartbeat"; }
+  GroupId group;
+  Ballot ballot;
+  Slot next_slot;
+};
+
+/// Lagging replica -> leader: resend decisions starting at from_slot.
+struct CatchupReq final : sim::Message {
+  CatchupReq(GroupId g, Slot from) : group(g), from_slot(from) {}
+  const char* type_name() const override { return "paxos.CatchupReq"; }
+  GroupId group;
+  Slot from_slot;
+};
+
+/// Values proposed by the leader are batches of submitted values; the
+/// replica unwraps them on delivery. Empty batches act as no-ops when a new
+/// leader fills log gaps.
+struct Batch final : sim::Message {
+  explicit Batch(std::vector<sim::MessagePtr> vs) : values(std::move(vs)) {}
+  const char* type_name() const override { return "paxos.Batch"; }
+  std::size_t size_bytes() const override {
+    std::size_t total = 32;
+    for (const auto& v : values) total += v->size_bytes();
+    return total;
+  }
+  std::vector<sim::MessagePtr> values;
+};
+
+}  // namespace dynastar::paxos

@@ -1,0 +1,39 @@
+// Simulated node hosting a Paxos acceptor. Durable state survives crashes;
+// the core is rebuilt from storage on recovery (modeling a process restart
+// that re-reads its disk).
+#pragma once
+
+#include <memory>
+
+#include "paxos/acceptor.h"
+#include "sim/process.h"
+
+namespace dynastar::paxos {
+
+class AcceptorNode final : public sim::Process {
+ public:
+  AcceptorNode(ProcessId id, sim::World& world, GroupId group)
+      : sim::Process(id, world), group_(group) {
+    set_message_service_time(microseconds(3));
+    core_ = std::make_unique<AcceptorCore>(*this, group_, storage_);
+  }
+
+  void on_message(ProcessId from, const sim::MessagePtr& msg) override {
+    core_->handle(from, msg);
+  }
+
+  void on_crash() override { core_.reset(); }
+
+  void on_recover() override {
+    core_ = std::make_unique<AcceptorCore>(*this, group_, storage_);
+  }
+
+  [[nodiscard]] const AcceptorStorage& storage() const { return storage_; }
+
+ private:
+  GroupId group_;
+  AcceptorStorage storage_;  // stable storage: outlives crashes
+  std::unique_ptr<AcceptorCore> core_;
+};
+
+}  // namespace dynastar::paxos

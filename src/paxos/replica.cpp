@@ -1,0 +1,342 @@
+#include "paxos/replica.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace dynastar::paxos {
+
+namespace {
+/// Applied log entries retained for serving CatchupReq.
+constexpr Slot kCatchupWindow = 4096;
+}  // namespace
+
+ReplicaCore::ReplicaCore(sim::Env& env, const Topology& topology, GroupId group,
+                         ReplicaConfig config)
+    : env_(env), topology_(topology), group_(group), config_(config) {
+  const auto& replicas = topology_.group(group_).replicas;
+  auto it = std::find(replicas.begin(), replicas.end(), env_.self());
+  assert(it != replicas.end() && "replica core hosted on non-member node");
+  my_index_ = static_cast<std::size_t>(it - replicas.begin());
+}
+
+ProcessId ReplicaCore::leader_hint() const {
+  const auto& replicas = topology_.group(group_).replicas;
+  return replicas[ballot_ % replicas.size()];
+}
+
+Ballot ReplicaCore::next_owned_ballot(Ballot at_least) const {
+  const std::size_t n = topology_.group(group_).replicas.size();
+  Ballot b = at_least + (my_index_ + n - at_least % n) % n;
+  if (b < at_least) b += n;  // overflow guard; unreachable in practice
+  return b;
+}
+
+void ReplicaCore::start() {
+  last_leader_contact_ = env_.now();
+  if (my_index_ == 0) {
+    start_phase1();
+  } else {
+    arm_election_timer();
+  }
+}
+
+void ReplicaCore::submit(sim::MessagePtr value) {
+  if (state_ == State::kLeading) {
+    batch_.push_back(std::move(value));
+    if (batch_.size() >= config_.max_batch) {
+      flush_batch();
+    } else if (!flush_scheduled_) {
+      flush_scheduled_ = true;
+      env_.start_timer(config_.batch_delay, [this] {
+        flush_scheduled_ = false;
+        flush_batch();
+      });
+    }
+    return;
+  }
+  // Forward to whoever owns the current ballot; if an election is running we
+  // stash and retry shortly.
+  if (state_ == State::kFollower) {
+    env_.send_message(leader_hint(), sim::make_message<ProposeReq>(std::move(value)));
+  } else {
+    stashed_.push_back(std::move(value));
+    env_.start_timer(config_.phase1_timeout, [this] {
+      while (!stashed_.empty()) {
+        auto v = std::move(stashed_.front());
+        stashed_.pop_front();
+        submit(std::move(v));
+      }
+    });
+  }
+}
+
+bool ReplicaCore::handle(ProcessId from, const sim::MessagePtr& msg) {
+  if (auto* p = dynamic_cast<const ProposeReq*>(msg.get())) {
+    on_propose(*p);
+    return true;
+  }
+  if (auto* p = dynamic_cast<const Promise*>(msg.get())) {
+    if (p->group != group_) return false;
+    on_promise(from, *p);
+    return true;
+  }
+  if (auto* p = dynamic_cast<const Nack*>(msg.get())) {
+    if (p->group != group_) return false;
+    on_nack(*p);
+    return true;
+  }
+  if (auto* p = dynamic_cast<const Accepted*>(msg.get())) {
+    if (p->group != group_) return false;
+    on_accepted(from, *p);
+    return true;
+  }
+  if (auto* p = dynamic_cast<const Decision*>(msg.get())) {
+    if (p->group != group_) return false;
+    on_decision(*p);
+    return true;
+  }
+  if (auto* p = dynamic_cast<const Heartbeat*>(msg.get())) {
+    if (p->group != group_) return false;
+    on_heartbeat(*p);
+    return true;
+  }
+  if (auto* p = dynamic_cast<const CatchupReq*>(msg.get())) {
+    if (p->group != group_) return false;
+    on_catchup(from, *p);
+    return true;
+  }
+  return false;
+}
+
+void ReplicaCore::on_propose(const ProposeReq& msg) { submit(msg.value); }
+
+void ReplicaCore::start_phase1() {
+  // A retry from within phase 1 must move to a strictly higher ballot; the
+  // first attempt may reuse the current one (so replica 0 bootstraps at 0).
+  const Ballot at_least = (state_ == State::kPhase1) ? ballot_ + 1 : ballot_;
+  state_ = State::kPhase1;
+  ballot_ = next_owned_ballot(at_least);
+  promises_.clear();
+  recovered_.clear();
+  ++phase1_epoch_;
+  const std::uint64_t epoch = phase1_epoch_;
+  LOG_DEBUG << "g" << group_ << " r" << my_index_ << " phase1 ballot " << ballot_;
+  for (ProcessId acceptor : topology_.group(group_).acceptors) {
+    env_.send_message(acceptor,
+                      sim::make_message<Prepare>(group_, ballot_, next_deliver_slot_));
+  }
+  env_.start_timer(config_.phase1_timeout, [this, epoch] {
+    if (state_ == State::kPhase1 && phase1_epoch_ == epoch) start_phase1();
+  });
+}
+
+void ReplicaCore::on_promise(ProcessId from, const Promise& msg) {
+  if (state_ != State::kPhase1 || msg.ballot != ballot_) return;
+  if (!promises_.insert(from.value()).second) return;
+  for (const auto& entry : msg.accepted) {
+    auto it = recovered_.find(entry.slot);
+    if (it == recovered_.end() || it->second.ballot < entry.ballot)
+      recovered_[entry.slot] = entry;
+  }
+  if (promises_.size() >= topology_.group(group_).quorum()) become_leader();
+}
+
+void ReplicaCore::become_leader() {
+  state_ = State::kLeading;
+  next_slot_ = next_deliver_slot_;
+  if (!recovered_.empty())
+    next_slot_ = std::max(next_slot_, recovered_.rbegin()->first + 1);
+  in_flight_.clear();
+  // Re-propose recovered values at our ballot and plug holes with no-ops so
+  // the log prefix becomes decidable.
+  for (Slot s = next_deliver_slot_; s < next_slot_; ++s) {
+    if (log_.contains(s)) continue;
+    auto it = recovered_.find(s);
+    sim::MessagePtr value = (it != recovered_.end())
+                                ? it->second.value
+                                : sim::make_message<Batch>(std::vector<sim::MessagePtr>{});
+    propose_slot(s, std::move(value));
+  }
+  recovered_.clear();
+  promises_.clear();
+  LOG_DEBUG << "g" << group_ << " r" << my_index_ << " leading ballot " << ballot_;
+  arm_heartbeat_timer();
+  if (!batch_.empty()) flush_batch();
+  while (!stashed_.empty()) {
+    batch_.push_back(std::move(stashed_.front()));
+    stashed_.pop_front();
+  }
+  if (!batch_.empty()) flush_batch();
+  if (on_lead_) on_lead_();
+}
+
+void ReplicaCore::step_down(Ballot higher) {
+  // Adopt the higher ballot; its owner is the presumptive leader. Any values
+  // we were trying to order are re-submitted so they are not lost (the upper
+  // layer deduplicates).
+  ballot_ = higher;
+  state_ = State::kFollower;
+  last_leader_contact_ = env_.now();
+  std::vector<sim::MessagePtr> to_resubmit;
+  for (auto& [slot, inflight] : in_flight_) to_resubmit.push_back(inflight.value);
+  in_flight_.clear();
+  for (auto& v : batch_) to_resubmit.push_back(std::move(v));
+  batch_.clear();
+  for (auto& v : to_resubmit) {
+    if (dynamic_cast<const Batch*>(v.get()) != nullptr) {
+      // Unwrap recovered batches back into individual values.
+      auto batch = std::static_pointer_cast<const Batch>(v);
+      for (const auto& inner : batch->values) submit(inner);
+    } else {
+      submit(std::move(v));
+    }
+  }
+  arm_election_timer();
+}
+
+void ReplicaCore::on_nack(const Nack& msg) {
+  if (msg.promised > ballot_) step_down(msg.promised);
+}
+
+void ReplicaCore::flush_batch() {
+  if (state_ != State::kLeading || batch_.empty()) return;
+  auto value = sim::make_message<Batch>(std::move(batch_));
+  batch_.clear();
+  propose_slot(next_slot_++, std::move(value));
+}
+
+void ReplicaCore::propose_slot(Slot slot, sim::MessagePtr value) {
+  auto [it, inserted] = in_flight_.try_emplace(slot, InFlight{value, {}, 0});
+  (void)inserted;
+  it->second.value = value;
+  it->second.votes.clear();
+  it->second.proposed_at = env_.now();
+  for (ProcessId acceptor : topology_.group(group_).acceptors) {
+    env_.send_message(acceptor, sim::make_message<Accept>(
+                                    group_, ballot_, slot, next_deliver_slot_,
+                                    value));
+  }
+}
+
+void ReplicaCore::on_accepted(ProcessId from, const Accepted& msg) {
+  if (state_ != State::kLeading || msg.ballot != ballot_) return;
+  auto it = in_flight_.find(msg.slot);
+  if (it == in_flight_.end()) return;
+  it->second.votes.insert(from.value());
+  if (it->second.votes.size() < topology_.group(group_).quorum()) return;
+  sim::MessagePtr value = it->second.value;
+  in_flight_.erase(it);
+  for (ProcessId replica : topology_.group(group_).replicas) {
+    if (replica == env_.self()) continue;
+    env_.send_message(replica, sim::make_message<Decision>(group_, msg.slot, value));
+  }
+  record_decision(msg.slot, std::move(value));
+}
+
+void ReplicaCore::on_decision(const Decision& msg) {
+  last_leader_contact_ = env_.now();
+  record_decision(msg.slot, msg.value);
+}
+
+void ReplicaCore::record_decision(Slot slot, sim::MessagePtr value) {
+  if (slot < next_deliver_slot_) return;  // duplicate of an applied slot
+  log_.emplace(slot, std::move(value));
+  try_deliver();
+}
+
+void ReplicaCore::try_deliver() {
+  while (true) {
+    auto it = log_.find(next_deliver_slot_);
+    if (it == log_.end()) break;
+    const sim::MessagePtr& value = it->second;
+    if (auto* batch = dynamic_cast<const Batch*>(value.get())) {
+      for (const auto& inner : batch->values) {
+        if (deliver_) deliver_(next_seq_, inner);
+        ++next_seq_;
+      }
+    } else {
+      if (deliver_) deliver_(next_seq_, value);
+      ++next_seq_;
+    }
+    ++next_deliver_slot_;
+  }
+  // Trim the applied prefix, keeping a window for peer catch-up. A replica
+  // that lags further than the window re-learns via phase-1 recovery from
+  // the acceptors (equivalent to snapshot transfer in a real deployment).
+  if (next_deliver_slot_ > kCatchupWindow) {
+    const Slot cutoff = next_deliver_slot_ - kCatchupWindow;
+    log_.erase(log_.begin(), log_.lower_bound(cutoff));
+  }
+}
+
+void ReplicaCore::arm_heartbeat_timer() {
+  if (state_ != State::kLeading) return;
+  for (ProcessId replica : topology_.group(group_).replicas) {
+    if (replica == env_.self()) continue;
+    env_.send_message(replica,
+                      sim::make_message<Heartbeat>(group_, ballot_, next_slot_));
+  }
+  // Retransmit phase-2 messages for slots that have not gathered a quorum
+  // within a heartbeat period (lost Accepts would otherwise stall the slot
+  // and, with it, delivery of everything after).
+  const SimTime now = env_.now();
+  for (auto& [slot, inflight] : in_flight_) {
+    if (now - inflight.proposed_at < config_.heartbeat_interval) continue;
+    inflight.proposed_at = now;
+    for (ProcessId acceptor : topology_.group(group_).acceptors) {
+      env_.send_message(acceptor,
+                        sim::make_message<Accept>(group_, ballot_, slot,
+                                                  next_deliver_slot_,
+                                                  inflight.value));
+    }
+  }
+  env_.start_timer(config_.heartbeat_interval, [this] { arm_heartbeat_timer(); });
+}
+
+void ReplicaCore::on_heartbeat(const Heartbeat& msg) {
+  if (msg.ballot < ballot_) return;
+  if (msg.ballot > ballot_ && state_ != State::kFollower) {
+    step_down(msg.ballot);
+  } else {
+    ballot_ = msg.ballot;
+    if (state_ != State::kFollower) state_ = State::kFollower;
+  }
+  last_leader_contact_ = env_.now();
+  maybe_request_catchup(msg.next_slot);
+}
+
+void ReplicaCore::maybe_request_catchup(Slot leader_next) {
+  if (next_deliver_slot_ >= leader_next || catchup_pending_) return;
+  catchup_pending_ = true;
+  env_.start_timer(config_.catchup_delay, [this] {
+    catchup_pending_ = false;
+    if (state_ == State::kLeading) return;
+    env_.send_message(leader_hint(),
+                      sim::make_message<CatchupReq>(group_, next_deliver_slot_));
+  });
+}
+
+void ReplicaCore::on_catchup(ProcessId from, const CatchupReq& msg) {
+  for (auto it = log_.lower_bound(msg.from_slot); it != log_.end(); ++it) {
+    env_.send_message(from,
+                      sim::make_message<Decision>(group_, it->first, it->second));
+  }
+}
+
+void ReplicaCore::arm_election_timer() {
+  // Randomized patience avoids dueling candidates with two replicas.
+  const SimTime jitter = static_cast<SimTime>(env_.random().uniform(
+      0, static_cast<std::uint64_t>(config_.election_timeout)));
+  env_.start_timer(config_.election_timeout + jitter, [this] {
+    if (state_ != State::kFollower) return;
+    if (env_.now() - last_leader_contact_ >= config_.election_timeout) {
+      start_phase1();
+    } else {
+      arm_election_timer();
+    }
+  });
+}
+
+}  // namespace dynastar::paxos

@@ -1,0 +1,133 @@
+// Multi-Paxos replica: proposer + learner role, one instance per group
+// member. A stable leader (the owner of the highest seen ballot) batches
+// submitted values, runs phase 2 against the group's acceptors, and
+// disseminates decisions to the other replicas; leadership changes via
+// phase 1 when heartbeats stop. Values are delivered to the upper layer
+// (the atomic multicast member) in a single total order per group.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "paxos/messages.h"
+#include "paxos/topology.h"
+#include "sim/env.h"
+
+namespace dynastar::paxos {
+
+struct ReplicaConfig {
+  /// Leader-side batching window; values submitted within it share a slot.
+  SimTime batch_delay = microseconds(100);
+  std::size_t max_batch = 64;
+  SimTime heartbeat_interval = milliseconds(20);
+  /// Base follower patience before starting an election (jitter is added).
+  SimTime election_timeout = milliseconds(100);
+  /// Phase-1 retry if no quorum of promises arrives.
+  SimTime phase1_timeout = milliseconds(50);
+  /// Follower delay before requesting missing decisions from the leader.
+  SimTime catchup_delay = milliseconds(10);
+};
+
+class ReplicaCore {
+ public:
+  /// Called once per delivered value, in delivery order; `seq` increases by
+  /// one per value with no gaps.
+  using DeliverFn = std::function<void(std::uint64_t seq, const sim::MessagePtr&)>;
+
+  ReplicaCore(sim::Env& env, const Topology& topology, GroupId group,
+              ReplicaConfig config = {});
+
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Invoked every time this replica completes phase 1 and starts leading.
+  /// Upper layers use it to re-emit coordination messages a failed leader
+  /// may have dropped.
+  void set_on_lead(std::function<void()> fn) { on_lead_ = std::move(fn); }
+
+  /// Starts timers; leader bootstrap for replica index 0.
+  void start();
+
+  /// Submits a value for total ordering within this group. May be called by
+  /// the co-located upper layer at any time.
+  void submit(sim::MessagePtr value);
+
+  /// Processes a Paxos message; returns false if the message is not a Paxos
+  /// message of this group.
+  bool handle(ProcessId from, const sim::MessagePtr& msg);
+
+  [[nodiscard]] bool is_leader() const { return state_ == State::kLeading; }
+  [[nodiscard]] Ballot ballot() const { return ballot_; }
+  [[nodiscard]] ProcessId leader_hint() const;
+  [[nodiscard]] std::uint64_t delivered_count() const { return next_seq_; }
+  [[nodiscard]] GroupId group() const { return group_; }
+
+ private:
+  enum class State { kFollower, kPhase1, kLeading };
+
+  void on_propose(const ProposeReq& msg);
+  void on_promise(ProcessId from, const Promise& msg);
+  void on_nack(const Nack& msg);
+  void on_accepted(ProcessId from, const Accepted& msg);
+  void on_decision(const Decision& msg);
+  void on_heartbeat(const Heartbeat& msg);
+  void on_catchup(ProcessId from, const CatchupReq& msg);
+
+  void start_phase1();
+  void become_leader();
+  void step_down(Ballot higher);
+  void flush_batch();
+  void propose_slot(Slot slot, sim::MessagePtr value);
+  void record_decision(Slot slot, sim::MessagePtr value);
+  void try_deliver();
+  void arm_election_timer();
+  void arm_heartbeat_timer();
+  void maybe_request_catchup(Slot leader_next);
+  [[nodiscard]] Ballot next_owned_ballot(Ballot at_least) const;
+  [[nodiscard]] std::size_t my_index() const { return my_index_; }
+
+  sim::Env& env_;
+  const Topology& topology_;
+  GroupId group_;
+  ReplicaConfig config_;
+  DeliverFn deliver_;
+  std::function<void()> on_lead_;
+  std::size_t my_index_ = 0;
+
+  State state_ = State::kFollower;
+  Ballot ballot_ = 0;
+
+  // Phase 1 bookkeeping.
+  std::unordered_set<std::uint64_t> promises_;
+  std::map<Slot, AcceptedEntry> recovered_;
+  std::uint64_t phase1_epoch_ = 0;
+
+  // Leader phase 2 bookkeeping.
+  struct InFlight {
+    sim::MessagePtr value;
+    std::unordered_set<std::uint64_t> votes;
+    SimTime proposed_at = 0;
+  };
+  std::map<Slot, InFlight> in_flight_;
+  Slot next_slot_ = 0;
+  std::vector<sim::MessagePtr> batch_;
+  bool flush_scheduled_ = false;
+
+  // Learner state.
+  std::map<Slot, sim::MessagePtr> log_;
+  Slot next_deliver_slot_ = 0;
+  std::uint64_t next_seq_ = 0;
+
+  // Liveness.
+  SimTime last_leader_contact_ = 0;
+  bool catchup_pending_ = false;
+
+  // Values awaiting a known leader (buffered during elections).
+  std::deque<sim::MessagePtr> stashed_;
+};
+
+}  // namespace dynastar::paxos

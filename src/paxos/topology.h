@@ -1,0 +1,42 @@
+// Static deployment description: which processes form each replica group and
+// which acceptors order that group's log. Mirrors the paper's deployment of
+// "2 replicas and 3 acceptors per partition" (§6.1), though any sizes work.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace dynastar::paxos {
+
+struct GroupDef {
+  GroupId id;
+  /// Replicas: learn + execute the group's log (the partition servers).
+  std::vector<ProcessId> replicas;
+  /// Acceptors: the Paxos voters persisting the log.
+  std::vector<ProcessId> acceptors;
+
+  [[nodiscard]] std::size_t quorum() const { return acceptors.size() / 2 + 1; }
+};
+
+class Topology {
+ public:
+  void add_group(GroupDef def) {
+    assert(def.id.value() == groups_.size());
+    groups_.push_back(std::move(def));
+  }
+
+  [[nodiscard]] const GroupDef& group(GroupId id) const {
+    assert(id.value() < groups_.size());
+    return groups_[id.value()];
+  }
+
+  [[nodiscard]] std::size_t num_groups() const { return groups_.size(); }
+  [[nodiscard]] const std::vector<GroupDef>& groups() const { return groups_; }
+
+ private:
+  std::vector<GroupDef> groups_;
+};
+
+}  // namespace dynastar::paxos

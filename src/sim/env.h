@@ -1,0 +1,39 @@
+// Env: the narrow interface protocol cores (Paxos roles, multicast members,
+// DynaStar servers) use to interact with their host node. Cores never touch
+// the simulator directly, which keeps them unit-testable against a mock Env
+// and would let the same cores run over a real transport.
+#pragma once
+
+#include <functional>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "sim/message.h"
+
+namespace dynastar::sim {
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Identity of the hosting node.
+  [[nodiscard]] virtual ProcessId self() const = 0;
+
+  /// Current (simulated) time.
+  [[nodiscard]] virtual SimTime now() const = 0;
+
+  /// Sends a message to another node.
+  virtual void send_message(ProcessId to, MessagePtr msg) = 0;
+
+  /// One-shot timer; cancelled implicitly if the node crashes first.
+  virtual void start_timer(SimTime delay, std::function<void()> fn) = 0;
+
+  /// Charges `amount` of CPU time to this node; subsequent message handling
+  /// is pushed back accordingly (models execution cost / saturation).
+  virtual void consume_cpu(SimTime amount) = 0;
+
+  /// Node-local deterministic randomness.
+  virtual Rng& random() = 0;
+};
+
+}  // namespace dynastar::sim

@@ -1,0 +1,34 @@
+// Message base for inter-process communication in the simulation.
+//
+// The simulated network passes immutable shared message objects instead of
+// byte buffers — a documented substitution for wire serialization: the
+// protocols never mutate a received message, so sharing one allocation among
+// all destinations preserves distributed semantics while keeping the
+// simulator fast.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+namespace dynastar::sim {
+
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  /// Human-readable type tag for logging and debugging.
+  [[nodiscard]] virtual const char* type_name() const = 0;
+
+  /// Approximate wire size; the network uses it for bandwidth accounting.
+  [[nodiscard]] virtual std::size_t size_bytes() const { return 64; }
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+/// Convenience factory: make_message<AppendEntries>(args...).
+template <typename T, typename... Args>
+MessagePtr make_message(Args&&... args) {
+  return std::make_shared<const T>(std::forward<Args>(args)...);
+}
+
+}  // namespace dynastar::sim

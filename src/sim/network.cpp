@@ -1,0 +1,56 @@
+#include "sim/network.h"
+
+namespace dynastar::sim {
+
+namespace {
+std::uint64_t link_key(ProcessId from, ProcessId to) {
+  return (from.value() << 32) | (to.value() & 0xffffffffULL);
+}
+}  // namespace
+
+SimTime Network::sample_latency(std::size_t payload_bytes) {
+  SimTime latency = config_.base_latency;
+  if (config_.jitter > 0)
+    latency += static_cast<SimTime>(
+        rng_.uniform(0, static_cast<std::uint64_t>(config_.jitter)));
+  latency += config_.per_kib_cost *
+             static_cast<SimTime>((payload_bytes + 1023) / 1024);
+  return latency;
+}
+
+void Network::send(ProcessId from, ProcessId to, MessagePtr msg) {
+  ++messages_sent_;
+  bytes_sent_ += msg->size_bytes();
+  if (blocked_.contains(link_key(from, to))) {
+    ++messages_dropped_;
+    return;
+  }
+  if (config_.drop_probability > 0 && rng_.chance(config_.drop_probability)) {
+    ++messages_dropped_;
+    return;
+  }
+  const bool duplicate = config_.duplicate_probability > 0 &&
+                         rng_.chance(config_.duplicate_probability);
+  const SimTime latency = sample_latency(msg->size_bytes());
+  sim_.schedule_after(latency, [this, from, to, msg] {
+    deliver_(from, to, msg);
+  });
+  if (duplicate) {
+    const SimTime dup_latency = sample_latency(msg->size_bytes());
+    sim_.schedule_after(dup_latency, [this, from, to, msg] {
+      deliver_(from, to, msg);
+    });
+  }
+}
+
+void Network::block_link(ProcessId from, ProcessId to) {
+  blocked_.insert(link_key(from, to));
+}
+
+void Network::unblock_link(ProcessId from, ProcessId to) {
+  blocked_.erase(link_key(from, to));
+}
+
+void Network::unblock_all() { blocked_.clear(); }
+
+}  // namespace dynastar::sim

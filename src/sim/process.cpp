@@ -1,0 +1,52 @@
+#include "sim/process.h"
+
+namespace dynastar::sim {
+
+SimTime Process::now() const { return world_.now(); }
+
+void Process::send_message(ProcessId to, MessagePtr msg) {
+  world_.network().send(id_, to, std::move(msg));
+}
+
+void Process::start_timer(SimTime delay, std::function<void()> fn) {
+  const std::uint64_t inc = incarnation_;
+  world_.sim().schedule_after(delay, [this, inc, fn = std::move(fn)]() mutable {
+    if (crashed_ || incarnation_ != inc) return;
+    fn();
+  });
+}
+
+void Process::accept_delivery(ProcessId from, MessagePtr msg) {
+  inbox_.emplace_back(from, std::move(msg));
+  if (!serving_) serve_next();
+}
+
+void Process::serve_next() {
+  if (inbox_.empty()) {
+    serving_ = false;
+    return;
+  }
+  serving_ = true;
+  const std::uint64_t inc = incarnation_;
+  // The message occupies the CPU for its service time, then the handler runs
+  // and may charge additional work (consume_cpu) which delays the next one.
+  world_.sim().schedule_after(message_service_time_, [this, inc] {
+    if (crashed_ || incarnation_ != inc || inbox_.empty()) return;
+    auto [from, msg] = std::move(inbox_.front());
+    inbox_.pop_front();
+    pending_work_ = 0;
+    on_message(from, msg);
+    const SimTime extra = pending_work_;
+    pending_work_ = 0;
+    if (extra > 0) {
+      world_.sim().schedule_after(extra, [this, inc] {
+        if (crashed_ || incarnation_ != inc) return;
+        serve_next();
+      });
+    } else {
+      serve_next();
+    }
+  });
+}
+
+}  // namespace dynastar::sim

@@ -1,0 +1,41 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace dynastar::sim {
+
+void Simulator::schedule_at(SimTime t, Action action) {
+  if (t < now_) t = now_;
+  heap_.push_back(Event{t, next_seq_++, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), EventLater{});
+}
+
+void Simulator::schedule_after(SimTime delay, Action action) {
+  assert(delay >= 0);
+  schedule_at(now_ + delay, std::move(action));
+}
+
+bool Simulator::step() {
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), EventLater{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  now_ = ev.time;
+  ++executed_;
+  ev.action();
+  return true;
+}
+
+void Simulator::run_until(SimTime t) {
+  while (!heap_.empty() && heap_.front().time <= t) step();
+  if (now_ < t) now_ = t;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace dynastar::sim

@@ -1,0 +1,67 @@
+// Deterministic discrete-event simulation kernel.
+//
+// A single-threaded event loop over a binary heap keyed by
+// (time, sequence). The sequence tiebreak makes execution order — and thus
+// every protocol run and every benchmark figure — a pure function of the
+// configuration and seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace dynastar::sim {
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `action` to run at absolute simulated time `t`
+  /// (clamped to `now` if in the past).
+  void schedule_at(SimTime t, Action action);
+
+  /// Schedules `action` to run `delay` after the current time.
+  void schedule_after(SimTime delay, Action action);
+
+  /// Executes the next pending event. Returns false when the queue is empty.
+  bool step();
+
+  /// Runs events until simulated time reaches `t` (events at exactly `t`
+  /// are executed) or the queue drains.
+  void run_until(SimTime t);
+
+  /// Runs until the event queue is empty.
+  void run();
+
+  [[nodiscard]] std::size_t pending_events() const { return heap_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Action action;
+  };
+  // std::push_heap is a max-heap; "later" events compare smaller.
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::vector<Event> heap_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace dynastar::sim

@@ -1,0 +1,87 @@
+// Client drivers for the KV application: a scripted driver for tests and a
+// random closed-loop driver for load generation.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/client.h"
+#include "workloads/kv.h"
+
+namespace dynastar::workloads {
+
+/// Replays a fixed list of commands, recording each result.
+class ScriptedKvDriver final : public core::ClientDriver {
+ public:
+  struct Record {
+    core::CommandSpec spec;
+    core::ReplyStatus status;
+    std::vector<std::optional<std::uint64_t>> observed;
+    SimTime issued_at = 0;
+    SimTime completed_at = 0;
+  };
+
+  using DoneFn = std::function<void()>;
+
+  explicit ScriptedKvDriver(std::vector<core::CommandSpec> script,
+                            std::vector<Record>* sink = nullptr)
+      : script_(script.begin(), script.end()), sink_(sink) {}
+
+  std::optional<core::CommandSpec> next(Rng& /*rng*/, SimTime /*now*/) override {
+    if (script_.empty()) return std::nullopt;
+    auto spec = std::move(script_.front());
+    script_.pop_front();
+    return spec;
+  }
+
+  void on_result(const core::CommandSpec& spec, core::ReplyStatus status,
+                 const sim::MessagePtr& payload, SimTime issued_at,
+                 SimTime completed_at) override {
+    if (sink_ == nullptr) return;
+    Record record{spec, status, {}, issued_at, completed_at};
+    if (auto* reply = dynamic_cast<const KvReply*>(payload.get()))
+      record.observed = reply->values;
+    sink_->push_back(std::move(record));
+  }
+
+ private:
+  std::deque<core::CommandSpec> script_;
+  std::vector<Record>* sink_;
+};
+
+/// Uniform random single- and multi-key operations over a fixed keyspace
+/// (vertex == key). `multi_fraction` of commands touch `multi_span` keys.
+class RandomKvDriver final : public core::ClientDriver {
+ public:
+  RandomKvDriver(std::uint64_t num_keys, double write_fraction,
+                 double multi_fraction, std::uint64_t multi_span = 2)
+      : num_keys_(num_keys),
+        write_fraction_(write_fraction),
+        multi_fraction_(multi_fraction),
+        multi_span_(multi_span) {}
+
+  std::optional<core::CommandSpec> next(Rng& rng, SimTime /*now*/) override {
+    core::CommandSpec spec;
+    const bool write = rng.chance(write_fraction_);
+    const bool multi = rng.chance(multi_fraction_);
+    const std::uint64_t span = multi ? multi_span_ : 1;
+    for (std::uint64_t i = 0; i < span; ++i) {
+      const std::uint64_t key = rng.uniform(0, num_keys_ - 1);
+      spec.objects.emplace_back(ObjectId{key}, core::VertexId{key});
+    }
+    spec.payload = sim::make_message<KvOp>(
+        write ? KvOp::Kind::kPut : KvOp::Kind::kGet, rng.uniform(0, 1u << 30));
+    return spec;
+  }
+
+ private:
+  std::uint64_t num_keys_;
+  double write_fraction_;
+  double multi_fraction_;
+  std::uint64_t multi_span_;
+};
+
+}  // namespace dynastar::workloads

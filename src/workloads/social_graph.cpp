@@ -1,0 +1,70 @@
+#include "workloads/social_graph.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace dynastar::workloads {
+
+std::size_t SocialGraph::num_edges() const {
+  std::size_t total = 0;
+  for (const auto& f : followers) total += f.size();
+  return total;
+}
+
+std::uint32_t SocialGraph::max_followers() const {
+  std::size_t best = 0;
+  for (const auto& f : followers) best = std::max(best, f.size());
+  return static_cast<std::uint32_t>(best);
+}
+
+SocialGraph generate_social_graph(std::uint32_t num_users,
+                                  std::uint32_t edges_per_node,
+                                  std::uint64_t seed) {
+  SocialGraph graph;
+  graph.followers.resize(num_users);
+  graph.following.resize(num_users);
+  if (num_users == 0) return graph;
+
+  Rng rng(seed);
+  // `targets` holds one entry per (follow received); sampling uniformly from
+  // it implements preferential attachment by follower count.
+  std::vector<std::uint32_t> targets;
+  targets.reserve(static_cast<std::size_t>(num_users) * edges_per_node);
+  targets.push_back(0);
+
+  for (std::uint32_t u = 1; u < num_users; ++u) {
+    const std::uint32_t m = std::min(edges_per_node, u);
+    std::vector<std::uint32_t> chosen;
+    chosen.reserve(m);
+    int guard = 0;
+    while (chosen.size() < m && guard < 200) {
+      ++guard;
+      // Mix preferential picks (heavy-tailed follower counts: celebrities)
+      // with *local* picks among recently joined users (temporal
+      // communities — the structure a graph partitioner exploits, present
+      // in real social networks like the Higgs dataset).
+      std::uint32_t candidate;
+      if (rng.chance(0.5)) {
+        candidate = targets[rng.uniform(0, targets.size() - 1)];
+      } else {
+        const std::uint32_t window = std::min<std::uint32_t>(u, 100);
+        candidate =
+            static_cast<std::uint32_t>(u - 1 - rng.uniform(0, window - 1));
+      }
+      if (candidate == u) continue;
+      if (std::find(chosen.begin(), chosen.end(), candidate) != chosen.end())
+        continue;
+      chosen.push_back(candidate);
+    }
+    for (std::uint32_t followee : chosen) {
+      graph.following[u].push_back(followee);
+      graph.followers[followee].push_back(u);
+      targets.push_back(followee);
+    }
+    targets.push_back(u);  // newcomers can be discovered too
+  }
+  return graph;
+}
+
+}  // namespace dynastar::workloads

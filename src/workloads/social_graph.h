@@ -1,0 +1,34 @@
+// Social graph substrate for the Chirper benchmark.
+//
+// The paper evaluates on the Higgs Twitter dataset (456,631 nodes, ~14.8M
+// follower edges). That dataset is not redistributable and no network access
+// exists here, so we substitute a preferential-attachment generator: it
+// reproduces the properties the evaluation depends on — a heavy-tailed
+// follower distribution (celebrities) and local community structure the
+// partitioner can exploit. Node ids are ordered by age, so low ids are the
+// high-degree "celebrities", which pairs naturally with Zipfian access.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dynastar::workloads {
+
+struct SocialGraph {
+  /// followers[u] = users that follow u (their timelines receive u's posts).
+  std::vector<std::vector<std::uint32_t>> followers;
+  /// following[u] = users u follows.
+  std::vector<std::vector<std::uint32_t>> following;
+
+  [[nodiscard]] std::size_t num_users() const { return followers.size(); }
+  [[nodiscard]] std::size_t num_edges() const;
+  [[nodiscard]] std::uint32_t max_followers() const;
+};
+
+/// Barabási–Albert-style digraph: each new user follows `edges_per_node`
+/// existing users chosen preferentially by follower count.
+SocialGraph generate_social_graph(std::uint32_t num_users,
+                                  std::uint32_t edges_per_node,
+                                  std::uint64_t seed);
+
+}  // namespace dynastar::workloads

@@ -1,0 +1,94 @@
+// Command-trace recording and replay.
+//
+// RecordingDriver wraps any ClientDriver and appends every issued command
+// (with its issue time and outcome) to a Trace; ReplayDriver re-issues a
+// recorded trace verbatim. Together they make any workload — including the
+// random, Zipf-driven ones — repeatable across system configurations: the
+// same trace can be replayed against DynaStar, S-SMR*, and DS-SMR for a
+// command-for-command comparison.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/client.h"
+
+namespace dynastar::workloads {
+
+struct TraceEntry {
+  core::CommandSpec spec;
+  SimTime issued_at = 0;
+  SimTime completed_at = 0;
+  core::ReplyStatus status = core::ReplyStatus::kOk;
+};
+
+struct Trace {
+  std::vector<TraceEntry> entries;
+
+  [[nodiscard]] std::size_t size() const { return entries.size(); }
+  [[nodiscard]] std::size_t ok_count() const {
+    std::size_t n = 0;
+    for (const auto& entry : entries)
+      if (entry.status == core::ReplyStatus::kOk) ++n;
+    return n;
+  }
+};
+
+/// Wraps an inner driver, recording everything it issues.
+class RecordingDriver final : public core::ClientDriver {
+ public:
+  RecordingDriver(std::unique_ptr<core::ClientDriver> inner, Trace* trace)
+      : inner_(std::move(inner)), trace_(trace) {}
+
+  std::optional<core::CommandSpec> next(Rng& rng, SimTime now) override {
+    return inner_->next(rng, now);
+  }
+
+  void on_result(const core::CommandSpec& spec, core::ReplyStatus status,
+                 const sim::MessagePtr& payload, SimTime issued_at,
+                 SimTime completed_at) override {
+    trace_->entries.push_back(TraceEntry{spec, issued_at, completed_at, status});
+    inner_->on_result(spec, status, payload, issued_at, completed_at);
+  }
+
+ private:
+  std::unique_ptr<core::ClientDriver> inner_;
+  Trace* trace_;
+};
+
+/// Replays a recorded trace. `paced` replays at the recorded issue times
+/// (open loop); otherwise commands go back-to-back (closed loop).
+class ReplayDriver final : public core::ClientDriver {
+ public:
+  ReplayDriver(std::shared_ptr<const Trace> trace, bool paced = false,
+               Trace* sink = nullptr)
+      : trace_(std::move(trace)), paced_(paced), sink_(sink) {}
+
+  std::optional<core::CommandSpec> next(Rng& /*rng*/, SimTime now) override {
+    if (index_ >= trace_->entries.size()) return std::nullopt;
+    const TraceEntry& entry = trace_->entries[index_];
+    if (paced_ && now < entry.issued_at) {
+      return core::CommandSpec::pause_for(entry.issued_at - now);
+    }
+    ++index_;
+    return entry.spec;
+  }
+
+  void on_result(const core::CommandSpec& spec, core::ReplyStatus status,
+                 const sim::MessagePtr& /*payload*/, SimTime issued_at,
+                 SimTime completed_at) override {
+    if (sink_ != nullptr)
+      sink_->entries.push_back(TraceEntry{spec, issued_at, completed_at, status});
+  }
+
+  [[nodiscard]] std::size_t replayed() const { return index_; }
+
+ private:
+  std::shared_ptr<const Trace> trace_;
+  bool paced_;
+  Trace* sink_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace dynastar::workloads

@@ -1,0 +1,49 @@
+// Test utility: global acyclicity check for multicast delivery orders.
+//
+// The paper's "atomic order" property requires the union of all processes'
+// delivery orders to be acyclic. This is strictly stronger than checking
+// pairwise consistency between two observers: a cycle can span three
+// groups that are pairwise consistent on their shared messages.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <set>
+#include <vector>
+
+namespace dynastar::testing {
+
+/// Returns true iff the union of the observers' delivery orders is a DAG.
+template <typename Id>
+bool global_order_acyclic(const std::vector<std::vector<Id>>& observations) {
+  std::map<Id, std::set<Id>> successors;
+  std::map<Id, int> indegree;
+  for (const auto& order : observations) {
+    for (const auto& id : order) {
+      successors.try_emplace(id);
+      indegree.try_emplace(id, 0);
+    }
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      for (std::size_t j = i + 1; j < order.size(); ++j) {
+        if (successors[order[i]].insert(order[j]).second)
+          ++indegree[order[j]];
+      }
+    }
+  }
+  // Kahn's algorithm: the order is acyclic iff every vertex drains.
+  std::queue<Id> ready;
+  for (const auto& [id, degree] : indegree)
+    if (degree == 0) ready.push(id);
+  std::size_t drained = 0;
+  while (!ready.empty()) {
+    const Id id = ready.front();
+    ready.pop();
+    ++drained;
+    for (const Id& next : successors[id])
+      if (--indegree[next] == 0) ready.push(next);
+  }
+  return drained == indegree.size();
+}
+
+}  // namespace dynastar::testing

@@ -1,0 +1,166 @@
+// AcceptorCore unit tests against a mock Env — no simulator involved.
+// Verifies the single-slot Paxos acceptor rules directly: promise
+// monotonicity, vote recording, nacks, and durable-state semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "paxos/acceptor.h"
+#include "paxos/messages.h"
+
+namespace dynastar::paxos {
+namespace {
+
+/// Captures outgoing messages; provides deterministic time/randomness.
+class MockEnv final : public sim::Env {
+ public:
+  [[nodiscard]] ProcessId self() const override { return ProcessId{99}; }
+  [[nodiscard]] SimTime now() const override { return now_; }
+  void send_message(ProcessId to, sim::MessagePtr msg) override {
+    sent.emplace_back(to, std::move(msg));
+  }
+  void start_timer(SimTime, std::function<void()> fn) override {
+    timers.push_back(std::move(fn));
+  }
+  void consume_cpu(SimTime amount) override { cpu_used += amount; }
+  Rng& random() override { return rng_; }
+
+  template <typename T>
+  const T* last_as() const {
+    return sent.empty() ? nullptr
+                        : dynamic_cast<const T*>(sent.back().second.get());
+  }
+
+  std::vector<std::pair<ProcessId, sim::MessagePtr>> sent;
+  std::vector<std::function<void()>> timers;
+  SimTime cpu_used = 0;
+  SimTime now_ = 0;
+
+ private:
+  Rng rng_{1};
+};
+
+struct Noop final : sim::Message {
+  const char* type_name() const override { return "test.Noop"; }
+};
+
+class AcceptorUnit : public ::testing::Test {
+ protected:
+  AcceptorUnit() : core_(env_, GroupId{0}, storage_) {}
+
+  void prepare(Ballot ballot, Slot from = 0, ProcessId from_proc = ProcessId{1}) {
+    core_.handle(from_proc, sim::make_message<Prepare>(GroupId{0}, ballot, from));
+  }
+  void accept(Ballot ballot, Slot slot, ProcessId from_proc = ProcessId{1}) {
+    core_.handle(from_proc, sim::make_message<Accept>(GroupId{0}, ballot, slot,
+                                                      0, sim::make_message<Noop>()));
+  }
+
+  MockEnv env_;
+  AcceptorStorage storage_;
+  AcceptorCore core_;
+};
+
+TEST_F(AcceptorUnit, PromisesFreshBallot) {
+  prepare(5);
+  EXPECT_EQ(storage_.promised, 5u);
+  const auto* promise = env_.last_as<Promise>();
+  ASSERT_NE(promise, nullptr);
+  EXPECT_EQ(promise->ballot, 5u);
+  EXPECT_TRUE(promise->accepted.empty());
+}
+
+TEST_F(AcceptorUnit, NacksStaleBallot) {
+  prepare(5);
+  prepare(3);
+  const auto* nack = env_.last_as<Nack>();
+  ASSERT_NE(nack, nullptr);
+  EXPECT_EQ(nack->promised, 5u);
+  EXPECT_EQ(storage_.promised, 5u);  // unchanged
+}
+
+TEST_F(AcceptorUnit, EqualBallotRePrepareIsNacked) {
+  prepare(5);
+  prepare(5);
+  EXPECT_NE(env_.last_as<Nack>(), nullptr);
+}
+
+TEST_F(AcceptorUnit, AcceptsAtPromisedBallot) {
+  prepare(5);
+  accept(5, 0);
+  const auto* accepted = env_.last_as<Accepted>();
+  ASSERT_NE(accepted, nullptr);
+  EXPECT_EQ(accepted->slot, 0u);
+  ASSERT_TRUE(storage_.votes.contains(0));
+  EXPECT_EQ(storage_.votes.at(0).ballot, 5u);
+}
+
+TEST_F(AcceptorUnit, AcceptsHigherBallotWithoutPrepare) {
+  // Phase 2 at a higher ballot implies the promise.
+  prepare(5);
+  accept(8, 0);
+  EXPECT_NE(env_.last_as<Accepted>(), nullptr);
+  EXPECT_EQ(storage_.promised, 8u);
+}
+
+TEST_F(AcceptorUnit, RejectsAcceptBelowPromise) {
+  prepare(5);
+  accept(4, 0);
+  EXPECT_NE(env_.last_as<Nack>(), nullptr);
+  EXPECT_FALSE(storage_.votes.contains(0));
+}
+
+TEST_F(AcceptorUnit, PromiseReturnsVotesFromSlot) {
+  prepare(1);
+  accept(1, 0);
+  accept(1, 1);
+  accept(1, 2);
+  env_.sent.clear();
+  prepare(9, /*from=*/1);
+  const auto* promise = env_.last_as<Promise>();
+  ASSERT_NE(promise, nullptr);
+  ASSERT_EQ(promise->accepted.size(), 2u);  // slots 1 and 2 only
+  EXPECT_EQ(promise->accepted[0].slot, 1u);
+  EXPECT_EQ(promise->accepted[1].slot, 2u);
+}
+
+TEST_F(AcceptorUnit, LaterBallotOverwritesVote) {
+  prepare(1);
+  accept(1, 0);
+  accept(7, 0);
+  EXPECT_EQ(storage_.votes.at(0).ballot, 7u);
+}
+
+TEST_F(AcceptorUnit, IgnoresOtherGroups) {
+  const bool handled = core_.handle(
+      ProcessId{1}, sim::make_message<Prepare>(GroupId{3}, 1, 0));
+  EXPECT_FALSE(handled);
+  EXPECT_EQ(storage_.promised, kNoBallot);
+}
+
+TEST_F(AcceptorUnit, CommittedPrefixTrimsOldVotes) {
+  prepare(1);
+  for (Slot s = 0; s < 10; ++s) accept(1, s);
+  EXPECT_EQ(storage_.votes.size(), 10u);
+  // An accept with a committed prefix far ahead trims everything below
+  // committed - window; with committed=5000 and window 4096, slots < 904 go.
+  core_.handle(ProcessId{1},
+               sim::make_message<Accept>(GroupId{0}, 1, 5000, 5000,
+                                         sim::make_message<Noop>()));
+  EXPECT_FALSE(storage_.votes.contains(0));
+  EXPECT_FALSE(storage_.votes.contains(9));
+  EXPECT_TRUE(storage_.votes.contains(5000));
+}
+
+TEST_F(AcceptorUnit, StorageSurvivesCoreRebuild) {
+  prepare(4);
+  accept(4, 0);
+  // Simulate crash-recovery: new core over the same storage.
+  AcceptorCore recovered(env_, GroupId{0}, storage_);
+  env_.sent.clear();
+  recovered.handle(ProcessId{2}, sim::make_message<Prepare>(GroupId{0}, 2, 0));
+  EXPECT_NE(env_.last_as<Nack>(), nullptr);  // remembers promised=4
+}
+
+}  // namespace
+}  // namespace dynastar::paxos

@@ -1,0 +1,96 @@
+// Chirper over the full stack: posts fan out to followers across
+// partitions; repartitioning reduces the multi-partition rate.
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "workloads/chirper.h"
+#include "workloads/social_graph.h"
+
+namespace dynastar {
+namespace {
+
+namespace chirper = workloads::chirper;
+
+core::SystemConfig chirper_config(core::ExecutionMode mode,
+                                  std::uint32_t partitions) {
+  core::SystemConfig config;
+  config.mode = mode;
+  config.num_partitions = partitions;
+  config.repartitioning_enabled = mode == core::ExecutionMode::kDynaStar;
+  config.repartition_hint_threshold = 1'000'000'000;
+  return config;
+}
+
+TEST(ChirperIntegration, PostReachesFollowerTimelines) {
+  auto graph = workloads::generate_social_graph(100, 3, 5);
+  core::System system(chirper_config(core::ExecutionMode::kDynaStar, 2),
+                      chirper::chirper_app_factory());
+  chirper::setup(system, graph, chirper::Placement::kRandom);
+
+  auto directory = chirper::make_directory(graph);
+  auto zipf = std::make_shared<ZipfGenerator>(100, 0.95);
+  chirper::WorkloadMix mix;
+  mix.timeline_fraction = 0.5;
+  for (int c = 0; c < 4; ++c) {
+    system.add_client(
+        std::make_unique<chirper::ChirperDriver>(directory, mix, zipf));
+  }
+  system.run_until(seconds(10));
+  EXPECT_GT(system.metrics().series("completed").total(), 100.0);
+  EXPECT_GT(system.metrics().series("mpart").total(), 0.0);
+  EXPECT_GT(system.metrics().series("objects_exchanged").total(), 0.0);
+}
+
+TEST(ChirperIntegration, OptimizedPlacementCutsMultiPartitionRate) {
+  auto graph = workloads::generate_social_graph(400, 4, 5);
+  auto zipf = std::make_shared<ZipfGenerator>(400, 0.95);
+  chirper::WorkloadMix mix;  // 85/15
+
+  double mpart_rate[2];
+  int idx = 0;
+  for (auto placement :
+       {chirper::Placement::kRandom, chirper::Placement::kOptimized}) {
+    core::System system(chirper_config(core::ExecutionMode::kSSMR, 4),
+                        chirper::chirper_app_factory());
+    chirper::setup(system, graph, placement);
+    auto directory = chirper::make_directory(graph);
+    for (int c = 0; c < 6; ++c) {
+      system.add_client(
+          std::make_unique<chirper::ChirperDriver>(directory, mix, zipf));
+    }
+    system.run_until(seconds(10));
+    const double executed = system.metrics().series("executed").total();
+    const double mpart = system.metrics().series("mpart").total();
+    mpart_rate[idx++] = executed > 0 ? mpart / executed : 1.0;
+  }
+  EXPECT_LT(mpart_rate[1], mpart_rate[0]);
+}
+
+TEST(ChirperIntegration, CelebrityScenarioRuns) {
+  auto graph = workloads::generate_social_graph(200, 3, 5);
+  auto config = chirper_config(core::ExecutionMode::kDynaStar, 2);
+  config.repartition_hint_threshold = 5'000;
+  core::System system(config, chirper::chirper_app_factory());
+  chirper::setup(system, graph, chirper::Placement::kRandom);
+
+  auto directory = chirper::make_directory(graph);
+  auto zipf = std::make_shared<ZipfGenerator>(200, 0.95);
+  chirper::WorkloadMix mix;
+  mix.celebrity = 200;  // new user beyond the initial graph
+  mix.celebrity_start = seconds(5);
+  mix.follow_celebrity_prob = 0.05;
+  for (int c = 0; c < 4; ++c) {
+    system.add_client(
+        std::make_unique<chirper::ChirperDriver>(directory, mix, zipf));
+  }
+  system.add_client(std::make_unique<chirper::CelebrityDriver>(
+      directory, 200, seconds(5), milliseconds(50)));
+  system.run_until(seconds(20));
+
+  EXPECT_GT(system.metrics().series("completed").total(), 100.0);
+  // The celebrity must have accumulated followers via follow commands.
+  EXPECT_GT(directory->followers[200].size(), 0u);
+}
+
+}  // namespace
+}  // namespace dynastar

@@ -1,0 +1,254 @@
+// Unit tests for common utilities: rng/zipf/nurand, histogram, metrics,
+// and the linearizability checker itself.
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "common/linearizability.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+
+namespace dynastar {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(a.uniform(0, 1'000'000), b.uniform(0, 1'000'000));
+}
+
+TEST(Rng, ForkedStreamsDiffer) {
+  Rng parent(7);
+  Rng a = parent.fork();
+  Rng b = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform(0, 1'000'000) == b.uniform(0, 1'000'000)) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformBoundsInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform(2, 4);
+    EXPECT_GE(v, 2u);
+    EXPECT_LE(v, 4u);
+    saw_lo |= v == 2;
+    saw_hi |= v == 4;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Zipf, SkewsTowardLowRanks) {
+  ZipfGenerator zipf(1000, 0.95);
+  Rng rng(11);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100'000; ++i) counts[zipf.next(rng)]++;
+  // Rank 0 dominates; top 10 ranks get a large share.
+  EXPECT_GT(counts[0], counts[100] * 5);
+  int top10 = 0;
+  for (int i = 0; i < 10; ++i) top10 += counts[i];
+  EXPECT_GT(top10, 100'000 / 4);
+}
+
+TEST(Zipf, CoversTheTail) {
+  ZipfGenerator zipf(100, 0.95);
+  Rng rng(13);
+  std::vector<bool> seen(100, false);
+  for (int i = 0; i < 200'000; ++i) seen[zipf.next(rng)] = true;
+  int covered = 0;
+  for (bool s : seen) covered += s;
+  EXPECT_GT(covered, 90);
+}
+
+TEST(NuRand, StaysInRange) {
+  NuRand nurand(255, 1, 3000, 123);
+  Rng rng(17);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = nurand.next(rng);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 3000u);
+  }
+}
+
+TEST(Histogram, BasicStats) {
+  Histogram histogram;
+  for (int i = 1; i <= 100; ++i) histogram.record(milliseconds(i));
+  EXPECT_EQ(histogram.count(), 100u);
+  EXPECT_NEAR(to_millis(histogram.percentile(0.5)), 50.0, 3.0);
+  EXPECT_NEAR(to_millis(histogram.percentile(0.95)), 95.0, 4.0);
+  EXPECT_NEAR(to_millis(static_cast<SimTime>(histogram.mean())), 50.5, 2.0);
+  EXPECT_EQ(histogram.min(), milliseconds(1));
+}
+
+TEST(Histogram, PercentileOnEmpty) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.percentile(0.99), 0);
+  EXPECT_EQ(histogram.count(), 0u);
+}
+
+TEST(Histogram, MergeAndCdf) {
+  Histogram a, b;
+  for (int i = 0; i < 50; ++i) a.record(microseconds(10));
+  for (int i = 0; i < 50; ++i) b.record(milliseconds(10));
+  a.merge(b);
+  EXPECT_EQ(a.count(), 100u);
+  auto cdf = a.cdf();
+  ASSERT_GE(cdf.size(), 2u);
+  EXPECT_NEAR(cdf.front().fraction, 0.5, 0.01);
+  EXPECT_NEAR(cdf.back().fraction, 1.0, 1e-9);
+  // Monotone.
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].value, cdf[i].value);
+    EXPECT_LE(cdf[i - 1].fraction, cdf[i].fraction);
+  }
+}
+
+TEST(Histogram, LargeValuesKeepRelativeResolution) {
+  Histogram histogram;
+  histogram.record(seconds(100));
+  const double err =
+      std::abs(to_seconds(histogram.percentile(1.0)) - 100.0) / 100.0;
+  EXPECT_LT(err, 0.05);
+}
+
+TEST(TimeSeries, BucketsByTime) {
+  TimeSeries series(seconds(1));
+  series.add(milliseconds(500));
+  series.add(milliseconds(999));
+  series.add(seconds(2) + milliseconds(1));
+  EXPECT_EQ(series.at(0), 2.0);
+  EXPECT_EQ(series.at(1), 0.0);
+  EXPECT_EQ(series.at(2), 1.0);
+  EXPECT_EQ(series.at(99), 0.0);  // untouched buckets read as zero
+  EXPECT_EQ(series.total(), 3.0);
+}
+
+TEST(MetricsRegistry, NamedSeriesAndCounters) {
+  MetricsRegistry metrics;
+  metrics.series("a").add(0, 2.0);
+  metrics.add_counter("c", 3.0);
+  EXPECT_EQ(metrics.series("a").total(), 2.0);
+  EXPECT_EQ(metrics.counter("c"), 3.0);
+  EXPECT_EQ(metrics.counter("missing"), 0.0);
+  EXPECT_EQ(metrics.find_series("missing"), nullptr);
+}
+
+// --- Linearizability checker ---
+
+KvOperation put1(std::uint64_t key, std::uint64_t value, std::int64_t invoke,
+                 std::int64_t response,
+                 std::optional<std::uint64_t> observed = std::nullopt) {
+  KvOperation op;
+  op.is_put = true;
+  op.keys = {key};
+  op.value = value;
+  op.observed = {observed};
+  op.invoke_time = invoke;
+  op.response_time = response;
+  return op;
+}
+
+KvOperation get1(std::uint64_t key, std::optional<std::uint64_t> observed,
+                 std::int64_t invoke, std::int64_t response) {
+  KvOperation op;
+  op.keys = {key};
+  op.observed = {observed};
+  op.invoke_time = invoke;
+  op.response_time = response;
+  return op;
+}
+
+TEST(Linearizability, AcceptsSequentialHistory) {
+  std::vector<KvOperation> history{
+      put1(1, 10, 0, 1),
+      get1(1, 10, 2, 3),
+      put1(1, 20, 4, 5, 10),
+      get1(1, 20, 6, 7),
+  };
+  EXPECT_TRUE(check_kv_linearizable(history).linearizable);
+}
+
+TEST(Linearizability, RejectsStaleRead) {
+  std::vector<KvOperation> history{
+      put1(1, 10, 0, 1),
+      get1(1, std::nullopt, 2, 3),  // reads "absent" after a completed put
+  };
+  auto result = check_kv_linearizable(history);
+  EXPECT_FALSE(result.linearizable);
+  EXPECT_TRUE(result.stuck_operation.has_value());
+}
+
+TEST(Linearizability, AcceptsConcurrentOverlap) {
+  // Two overlapping puts (observations unconstrained); a later get may see
+  // either write.
+  KvOperation put_a;
+  put_a.is_put = true;
+  put_a.keys = {1};
+  put_a.value = 10;
+  put_a.invoke_time = 0;
+  put_a.response_time = 10;
+  KvOperation put_b = put_a;
+  put_b.value = 20;
+  put_b.invoke_time = 5;
+  put_b.response_time = 15;
+  std::vector<KvOperation> history{put_a, put_b, get1(1, 10, 20, 21)};
+  EXPECT_TRUE(check_kv_linearizable(history).linearizable);
+  history[2] = get1(1, 20, 20, 21);
+  EXPECT_TRUE(check_kv_linearizable(history).linearizable);
+  history[2] = get1(1, 99, 20, 21);  // neither write produced 99
+  EXPECT_FALSE(check_kv_linearizable(history).linearizable);
+}
+
+TEST(Linearizability, RejectsCycleAcrossKeys) {
+  // Multi-key op observes x's new value but y's old one while a concurrent
+  // op wrote both -> impossible atomically if writer completed first.
+  KvOperation writer;
+  writer.is_put = true;
+  writer.keys = {1, 2};
+  writer.value = 9;
+  writer.observed = {std::nullopt, std::nullopt};
+  writer.invoke_time = 0;
+  writer.response_time = 1;
+
+  KvOperation reader;
+  reader.keys = {1, 2};
+  reader.observed = {std::optional<std::uint64_t>(9), std::nullopt};
+  reader.invoke_time = 2;
+  reader.response_time = 3;
+
+  EXPECT_FALSE(check_kv_linearizable({writer, reader}).linearizable);
+}
+
+TEST(Linearizability, MultiKeyAtomicWriteAccepted) {
+  KvOperation writer;
+  writer.is_put = true;
+  writer.keys = {1, 2};
+  writer.value = 9;
+  writer.observed = {std::nullopt, std::nullopt};
+  writer.invoke_time = 0;
+  writer.response_time = 1;
+
+  KvOperation reader;
+  reader.keys = {1, 2};
+  reader.observed = {std::optional<std::uint64_t>(9),
+                     std::optional<std::uint64_t>(9)};
+  reader.invoke_time = 2;
+  reader.response_time = 3;
+
+  EXPECT_TRUE(check_kv_linearizable({writer, reader}).linearizable);
+}
+
+TEST(Linearizability, RealTimeOrderRespected) {
+  // get returns old value AFTER a non-overlapping put completed: invalid.
+  std::vector<KvOperation> history{
+      put1(1, 1, 0, 1),
+      put1(1, 2, 2, 3, 1),
+      get1(1, 1, 10, 11),
+  };
+  EXPECT_FALSE(check_kv_linearizable(history).linearizable);
+}
+
+}  // namespace
+}  // namespace dynastar

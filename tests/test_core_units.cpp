@@ -1,0 +1,111 @@
+// Unit tests for core building blocks that don't need the full stack:
+// ObjectStore, target choice, and protocol message invariants.
+#include <gtest/gtest.h>
+
+#include "core/object.h"
+#include "core/protocol.h"
+#include "core/server.h"
+#include "workloads/kv.h"
+
+namespace dynastar::core {
+namespace {
+
+using workloads::KvObject;
+
+TEST(ObjectStore, PutFindTake) {
+  ObjectStore store;
+  store.put(ObjectId{1}, VertexId{10}, std::make_shared<KvObject>(5));
+  ASSERT_TRUE(store.contains(ObjectId{1}));
+  auto* obj = dynamic_cast<KvObject*>(store.find(ObjectId{1}));
+  ASSERT_NE(obj, nullptr);
+  EXPECT_EQ(obj->value, 5u);
+  EXPECT_EQ(store.vertex_of(ObjectId{1}), VertexId{10});
+
+  auto taken = store.take(ObjectId{1});
+  EXPECT_NE(taken, nullptr);
+  EXPECT_FALSE(store.contains(ObjectId{1}));
+  EXPECT_EQ(store.take(ObjectId{1}), nullptr);
+}
+
+TEST(ObjectStore, VertexIndexTracksMembership) {
+  ObjectStore store;
+  store.put(ObjectId{1}, VertexId{7}, std::make_shared<KvObject>(1));
+  store.put(ObjectId{2}, VertexId{7}, std::make_shared<KvObject>(2));
+  store.put(ObjectId{3}, VertexId{8}, std::make_shared<KvObject>(3));
+  auto v7 = store.objects_of_vertex(VertexId{7});
+  EXPECT_EQ(v7.size(), 2u);
+  store.take(ObjectId{1});
+  EXPECT_EQ(store.objects_of_vertex(VertexId{7}).size(), 1u);
+  EXPECT_TRUE(store.objects_of_vertex(VertexId{99}).empty());
+}
+
+TEST(ObjectStore, PutRehomesVertex) {
+  ObjectStore store;
+  store.put(ObjectId{1}, VertexId{7}, std::make_shared<KvObject>(1));
+  store.put(ObjectId{1}, VertexId{8}, std::make_shared<KvObject>(2));
+  EXPECT_TRUE(store.objects_of_vertex(VertexId{7}).empty());
+  EXPECT_EQ(store.objects_of_vertex(VertexId{8}).size(), 1u);
+  EXPECT_EQ(store.vertex_of(ObjectId{1}), VertexId{8});
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(ChooseTarget, MostObjectsWins) {
+  std::vector<ObjectId> objects{ObjectId{1}, ObjectId{2}, ObjectId{3}};
+  std::vector<PartitionId> owners{PartitionId{0}, PartitionId{1},
+                                  PartitionId{1}};
+  EXPECT_EQ(choose_target(objects, owners), PartitionId{1});
+}
+
+TEST(ChooseTarget, TieBreaksToLowestPartition) {
+  std::vector<ObjectId> objects{ObjectId{1}, ObjectId{2}};
+  std::vector<PartitionId> owners{PartitionId{3}, PartitionId{1}};
+  EXPECT_EQ(choose_target(objects, owners), PartitionId{1});
+}
+
+TEST(ChooseTarget, SingleOwner) {
+  std::vector<ObjectId> objects{ObjectId{1}};
+  std::vector<PartitionId> owners{PartitionId{2}};
+  EXPECT_EQ(choose_target(objects, owners), PartitionId{2});
+}
+
+TEST(GroupMapping, OracleIsGroupZero) {
+  EXPECT_EQ(kOracleGroup, GroupId{0});
+  EXPECT_EQ(group_of(PartitionId{0}), GroupId{1});
+  EXPECT_EQ(partition_of(GroupId{3}), PartitionId{2});
+}
+
+TEST(Protocol, EnvelopeBytesCountPayloads) {
+  std::vector<ObjectEnvelope> envelopes;
+  envelopes.push_back({ObjectId{1}, VertexId{1},
+                       std::make_shared<const KvObject>(1)});
+  envelopes.push_back({ObjectId{2}, VertexId{2}, nullptr});  // absent object
+  const auto bytes = envelopes_bytes(envelopes);
+  EXPECT_GE(bytes, 24u * 2);
+  VarTransfer transfer(1, 1, PartitionId{0}, envelopes);
+  EXPECT_GE(transfer.size_bytes(), bytes);
+}
+
+TEST(Protocol, CommandSizeScalesWithOmega) {
+  auto payload = sim::make_message<workloads::KvOp>(
+      workloads::KvOp::Kind::kGet, 0);
+  Command small(1, ProcessId{0}, CommandType::kAccess, {ObjectId{1}},
+                {VertexId{1}}, payload);
+  std::vector<ObjectId> many_objects(100, ObjectId{1});
+  std::vector<VertexId> many_vertices(100, VertexId{1});
+  Command large(2, ProcessId{0}, CommandType::kAccess, many_objects,
+                many_vertices, payload);
+  EXPECT_GT(large.size_bytes(), small.size_bytes());
+}
+
+TEST(Ids, StrongIdsHashAndCompare) {
+  std::unordered_map<ObjectId, int> map;
+  map[ObjectId{1}] = 1;
+  map[ObjectId{2}] = 2;
+  EXPECT_EQ(map.at(ObjectId{1}), 1);
+  EXPECT_TRUE(ObjectId{1} < ObjectId{2});
+  EXPECT_TRUE(ObjectId{2} != ObjectId{1});
+  EXPECT_EQ(kNoPartition, PartitionId{UINT64_MAX});
+}
+
+}  // namespace
+}  // namespace dynastar::core

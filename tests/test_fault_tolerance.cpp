@@ -1,0 +1,130 @@
+// Fault tolerance of the full system: replicas and acceptors are fail-stop
+// (the paper deploys 2 replicas + 3 acceptors per partition; the system
+// must survive one replica and one acceptor failure per group).
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "workloads/kv.h"
+#include "workloads/kv_drivers.h"
+
+namespace dynastar {
+namespace {
+
+core::SystemConfig config_for(core::ExecutionMode mode) {
+  core::SystemConfig config;
+  config.mode = mode;
+  config.num_partitions = 2;
+  config.repartitioning_enabled = false;
+  config.repartition_hint_threshold = UINT64_MAX;
+  return config;
+}
+
+void preload(core::System& system, std::uint64_t keys) {
+  core::Assignment assignment;
+  workloads::KvObject zero(0);
+  for (std::uint64_t k = 0; k < keys; ++k) {
+    const PartitionId p{k % system.config().num_partitions};
+    assignment[core::VertexId{k}] = p;
+    system.preload_object(ObjectId{k}, core::VertexId{k}, p, zero);
+  }
+  system.preload_assignment(assignment);
+}
+
+double tail_throughput(core::System& system, std::size_t last_n) {
+  const auto& completed = system.metrics().series("completed");
+  double total = 0;
+  const std::size_t buckets = completed.num_buckets();
+  for (std::size_t b = buckets > last_n ? buckets - last_n : 0; b < buckets;
+       ++b)
+    total += completed.at(b);
+  return total;
+}
+
+TEST(FaultTolerance, PartitionSurvivesReplicaCrash) {
+  core::System system(config_for(core::ExecutionMode::kDynaStar),
+                      workloads::kv_app_factory());
+  preload(system, 16);
+  for (int c = 0; c < 6; ++c) {
+    system.add_client(
+        std::make_unique<workloads::RandomKvDriver>(16, 0.5, 0.3));
+  }
+  system.run_until(seconds(3));
+  const double before = system.metrics().series("completed").total();
+  EXPECT_GT(before, 100.0);
+
+  // Crash replica 0 (the bootstrap leader) of partition 0.
+  const ProcessId victim =
+      system.topology().group(core::group_of(PartitionId{0})).replicas[0];
+  system.world().crash(victim);
+
+  system.run_until(seconds(12));
+  EXPECT_GT(tail_throughput(system, 3), 50.0)
+      << "system did not resume after replica failover";
+}
+
+TEST(FaultTolerance, PartitionSurvivesAcceptorCrash) {
+  core::System system(config_for(core::ExecutionMode::kDynaStar),
+                      workloads::kv_app_factory());
+  preload(system, 16);
+  for (int c = 0; c < 6; ++c) {
+    system.add_client(
+        std::make_unique<workloads::RandomKvDriver>(16, 0.5, 0.3));
+  }
+  system.run_until(seconds(3));
+  const ProcessId victim =
+      system.topology().group(core::group_of(PartitionId{1})).acceptors[1];
+  system.world().crash(victim);
+  system.run_until(seconds(8));
+  EXPECT_GT(tail_throughput(system, 3), 100.0);
+}
+
+TEST(FaultTolerance, OracleSurvivesReplicaCrash) {
+  auto config = config_for(core::ExecutionMode::kDynaStar);
+  core::System system(config, workloads::kv_app_factory());
+  preload(system, 16);
+  // Drivers that create new vertices force ongoing oracle involvement.
+  for (int c = 0; c < 4; ++c) {
+    system.add_client(
+        std::make_unique<workloads::RandomKvDriver>(16, 0.5, 0.3));
+  }
+  system.run_until(seconds(2));
+  const ProcessId victim =
+      system.topology().group(core::kOracleGroup).replicas[0];
+  system.world().crash(victim);
+  system.run_until(seconds(4));
+
+  // Fresh clients (empty caches) must still resolve through the oracle.
+  std::vector<workloads::ScriptedKvDriver::Record> records;
+  std::vector<core::CommandSpec> script;
+  core::CommandSpec spec;
+  spec.objects.emplace_back(ObjectId{3}, core::VertexId{3});
+  spec.payload =
+      sim::make_message<workloads::KvOp>(workloads::KvOp::Kind::kGet, 0);
+  script.push_back(spec);
+  system.add_client(
+      std::make_unique<workloads::ScriptedKvDriver>(script, &records));
+  system.run_until(seconds(10));
+  ASSERT_EQ(records.size(), 1u) << "oracle did not answer after failover";
+  EXPECT_EQ(records[0].status, core::ReplyStatus::kOk);
+}
+
+TEST(FaultTolerance, CrashDuringCrossPartitionTrafficIsLive) {
+  core::System system(config_for(core::ExecutionMode::kDynaStar),
+                      workloads::kv_app_factory());
+  preload(system, 16);
+  for (int c = 0; c < 8; ++c) {
+    system.add_client(
+        std::make_unique<workloads::RandomKvDriver>(16, 0.5, 0.8));
+  }
+  system.run_until(milliseconds(2500));
+  // Crash one replica in EACH partition group mid-traffic.
+  system.world().crash(
+      system.topology().group(core::group_of(PartitionId{0})).replicas[1]);
+  system.world().crash(
+      system.topology().group(core::group_of(PartitionId{1})).replicas[0]);
+  system.run_until(seconds(15));
+  EXPECT_GT(tail_throughput(system, 3), 30.0);
+}
+
+}  // namespace
+}  // namespace dynastar

@@ -1,0 +1,160 @@
+// Full-stack linearizability: concurrent clients issue single- and
+// multi-key reads/writes against the complete system (atomic multicast,
+// Paxos, borrow/return, repartitioning plans mid-run), and the recorded
+// history must admit a legal sequential witness.
+//
+// This is the repository's strongest correctness property: it exercises the
+// cross-partition execution path and the relocation machinery at once.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/linearizability.h"
+#include "core/system.h"
+#include "workloads/kv.h"
+
+namespace dynastar {
+namespace {
+
+using core::CommandSpec;
+using core::VertexId;
+using workloads::KvOp;
+using workloads::KvReply;
+
+/// Issues random single/multi-key gets and puts, recording a KvOperation
+/// per completed command.
+class RecordingKvDriver final : public core::ClientDriver {
+ public:
+  RecordingKvDriver(std::uint64_t num_keys, int max_ops,
+                    std::vector<KvOperation>* history)
+      : num_keys_(num_keys), remaining_(max_ops), history_(history) {}
+
+  std::optional<CommandSpec> next(Rng& rng, SimTime /*now*/) override {
+    if (remaining_-- <= 0) return std::nullopt;
+    CommandSpec spec;
+    const bool multi = rng.chance(0.4);
+    const std::uint64_t span = multi ? 2 + rng.uniform(0, 1) : 1;
+    std::vector<std::uint64_t> keys;
+    while (keys.size() < span) {
+      const std::uint64_t key = rng.uniform(0, num_keys_ - 1);
+      if (std::find(keys.begin(), keys.end(), key) == keys.end())
+        keys.push_back(key);
+    }
+    for (std::uint64_t key : keys)
+      spec.objects.emplace_back(ObjectId{key}, VertexId{key});
+    const bool write = rng.chance(0.5);
+    spec.payload = sim::make_message<KvOp>(
+        write ? KvOp::Kind::kPut : KvOp::Kind::kGet,
+        rng.uniform(1, 1u << 30));
+    return spec;
+  }
+
+  void on_result(const CommandSpec& spec, core::ReplyStatus status,
+                 const sim::MessagePtr& payload, SimTime issued_at,
+                 SimTime completed_at) override {
+    if (status != core::ReplyStatus::kOk) return;
+    const auto* reply = dynamic_cast<const KvReply*>(payload.get());
+    const auto* op = dynamic_cast<const KvOp*>(spec.payload.get());
+    if (reply == nullptr || op == nullptr) return;
+    KvOperation record;
+    record.is_put = op->kind == KvOp::Kind::kPut;
+    record.value = op->value;
+    for (const auto& [obj, vertex] : spec.objects)
+      record.keys.push_back(obj.value());
+    record.observed = reply->values;
+    record.invoke_time = issued_at;
+    record.response_time = completed_at;
+    history_->push_back(std::move(record));
+  }
+
+ private:
+  std::uint64_t num_keys_;
+  int remaining_;
+  std::vector<KvOperation>* history_;
+};
+
+struct LinParam {
+  core::ExecutionMode mode;
+  bool repartition_mid_run;
+  std::uint64_t seed;
+};
+
+class StackLinearizability : public ::testing::TestWithParam<LinParam> {};
+
+TEST_P(StackLinearizability, HistoryIsLinearizable) {
+  const auto param = GetParam();
+  core::SystemConfig config;
+  config.mode = param.mode;
+  config.num_partitions = 3;
+  config.seed = param.seed;
+  config.repartitioning_enabled =
+      param.mode == core::ExecutionMode::kDynaStar;
+  config.repartition_hint_threshold = UINT64_MAX;
+  // Preload objects with nonzero values so "absent" never aliases zero.
+  core::System system(config, workloads::kv_app_factory());
+  constexpr std::uint64_t kKeys = 10;
+  core::Assignment assignment;
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    const PartitionId p{k % 3};
+    assignment[VertexId{k}] = p;
+    system.preload_object(ObjectId{k}, VertexId{k}, p,
+                          workloads::KvObject(1000 + k));
+  }
+  system.preload_assignment(assignment);
+
+  std::vector<KvOperation> history;
+  for (int c = 0; c < 4; ++c) {
+    system.add_client(
+        std::make_unique<RecordingKvDriver>(kKeys, 60, &history));
+  }
+
+  if (param.repartition_mid_run &&
+      param.mode == core::ExecutionMode::kDynaStar) {
+    system.run_until(milliseconds(300));
+    system.oracle(0).request_repartition();
+    system.oracle(1).request_repartition();
+    system.run_until(milliseconds(900));
+    system.oracle(0).request_repartition();
+    system.oracle(1).request_repartition();
+  }
+  system.run_until(seconds(20));
+
+  ASSERT_GT(history.size(), 100u);
+  // Account for preloaded values: seed the history with instantaneous
+  // initial puts before time zero.
+  std::vector<KvOperation> full;
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    KvOperation init;
+    init.is_put = true;
+    init.keys = {k};
+    init.value = 1000 + k;
+    init.observed = {};  // unconstrained observation
+    init.invoke_time = -2;
+    init.response_time = -1;
+    full.push_back(init);
+  }
+  full.insert(full.end(), history.begin(), history.end());
+
+  const auto result = check_kv_linearizable(full);
+  EXPECT_TRUE(result.linearizable)
+      << "non-linearizable history; stuck op index "
+      << (result.stuck_operation ? static_cast<long>(*result.stuck_operation)
+                                 : -1)
+      << " mode " << static_cast<int>(param.mode) << " seed " << param.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, StackLinearizability,
+    ::testing::Values(
+        LinParam{core::ExecutionMode::kDynaStar, false, 1},
+        LinParam{core::ExecutionMode::kDynaStar, false, 2},
+        LinParam{core::ExecutionMode::kDynaStar, true, 3},
+        LinParam{core::ExecutionMode::kDynaStar, true, 4},
+        LinParam{core::ExecutionMode::kSSMR, false, 5},
+        LinParam{core::ExecutionMode::kSSMR, false, 6},
+        LinParam{core::ExecutionMode::kDSSMR, false, 7},
+        LinParam{core::ExecutionMode::kDSSMR, false, 8}));
+
+}  // namespace
+}  // namespace dynastar

@@ -1,0 +1,203 @@
+// ReplicaCore unit tests against a mock Env: leader bootstrap, phase-1
+// value adoption, batching, decision dissemination, and step-down.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "paxos/replica.h"
+
+namespace dynastar::paxos {
+namespace {
+
+class MockEnv final : public sim::Env {
+ public:
+  explicit MockEnv(ProcessId self) : self_(self) {}
+  [[nodiscard]] ProcessId self() const override { return self_; }
+  [[nodiscard]] SimTime now() const override { return now_; }
+  void send_message(ProcessId to, sim::MessagePtr msg) override {
+    sent.emplace_back(to, std::move(msg));
+  }
+  void start_timer(SimTime delay, std::function<void()> fn) override {
+    timers.emplace_back(now_ + delay, std::move(fn));
+  }
+  void consume_cpu(SimTime) override {}
+  Rng& random() override { return rng_; }
+
+  /// Fires every timer due at or before `t` (single pass).
+  void advance_to(SimTime t) {
+    now_ = t;
+    auto due = std::move(timers);
+    timers.clear();
+    for (auto& [when, fn] : due) {
+      if (when <= t)
+        fn();
+      else
+        timers.emplace_back(when, std::move(fn));
+    }
+  }
+
+  template <typename T>
+  std::vector<const T*> all_of() const {
+    std::vector<const T*> found;
+    for (const auto& [to, msg] : sent)
+      if (auto* m = dynamic_cast<const T*>(msg.get())) found.push_back(m);
+    return found;
+  }
+
+  std::vector<std::pair<ProcessId, sim::MessagePtr>> sent;
+  std::vector<std::pair<SimTime, std::function<void()>>> timers;
+  SimTime now_ = 0;
+
+ private:
+  ProcessId self_;
+  Rng rng_{1};
+};
+
+struct Payload final : sim::Message {
+  explicit Payload(std::uint64_t v) : value(v) {}
+  const char* type_name() const override { return "test.Payload"; }
+  std::uint64_t value;
+};
+
+Topology two_replica_topology() {
+  Topology topology;
+  GroupDef def;
+  def.id = GroupId{0};
+  def.replicas = {ProcessId{0}, ProcessId{1}};
+  def.acceptors = {ProcessId{2}, ProcessId{3}, ProcessId{4}};
+  topology.add_group(def);
+  return topology;
+}
+
+class ReplicaUnit : public ::testing::Test {
+ protected:
+  ReplicaUnit()
+      : topology_(two_replica_topology()),
+        env_(ProcessId{0}),
+        core_(env_, topology_, GroupId{0}) {
+    core_.set_deliver([this](std::uint64_t, const sim::MessagePtr& value) {
+      if (auto* payload = dynamic_cast<const Payload*>(value.get()))
+        delivered_.push_back(payload->value);
+    });
+  }
+
+  /// Answers the outstanding Prepare with promises from a quorum.
+  void grant_promises(Ballot ballot,
+                      std::vector<AcceptedEntry> accepted = {}) {
+    core_.handle(ProcessId{2},
+                 sim::make_message<Promise>(GroupId{0}, ballot, accepted));
+    core_.handle(ProcessId{3},
+                 sim::make_message<Promise>(GroupId{0}, ballot,
+                                            std::vector<AcceptedEntry>{}));
+  }
+
+  /// Acks the Accept for `slot` from a quorum of acceptors.
+  void grant_accepts(Ballot ballot, Slot slot) {
+    core_.handle(ProcessId{2}, sim::make_message<Accepted>(GroupId{0}, ballot, slot));
+    core_.handle(ProcessId{3}, sim::make_message<Accepted>(GroupId{0}, ballot, slot));
+  }
+
+  Topology topology_;
+  MockEnv env_;
+  ReplicaCore core_;
+  std::vector<std::uint64_t> delivered_;
+};
+
+TEST_F(ReplicaUnit, BootstrapsPhaseOneAtBallotZero) {
+  core_.start();
+  auto prepares = env_.all_of<Prepare>();
+  ASSERT_EQ(prepares.size(), 3u);  // one per acceptor
+  EXPECT_EQ(prepares[0]->ballot, 0u);
+  EXPECT_FALSE(core_.is_leader());
+  grant_promises(0);
+  EXPECT_TRUE(core_.is_leader());
+}
+
+TEST_F(ReplicaUnit, BatchesSubmissionsIntoOneSlot) {
+  core_.start();
+  grant_promises(0);
+  core_.submit(sim::make_message<Payload>(1));
+  core_.submit(sim::make_message<Payload>(2));
+  core_.submit(sim::make_message<Payload>(3));
+  EXPECT_TRUE(env_.all_of<Accept>().empty());  // still inside the window
+  env_.advance_to(microseconds(200));          // batch flush timer
+  auto accepts = env_.all_of<Accept>();
+  ASSERT_EQ(accepts.size(), 3u);  // one slot to three acceptors
+  EXPECT_EQ(accepts[0]->slot, accepts[1]->slot);
+  const auto* batch = dynamic_cast<const Batch*>(accepts[0]->value.get());
+  ASSERT_NE(batch, nullptr);
+  EXPECT_EQ(batch->values.size(), 3u);
+}
+
+TEST_F(ReplicaUnit, DeliversAfterQuorumAndDisseminates) {
+  core_.start();
+  grant_promises(0);
+  core_.submit(sim::make_message<Payload>(7));
+  env_.advance_to(microseconds(200));
+  grant_accepts(0, 0);
+  EXPECT_EQ(delivered_, (std::vector<std::uint64_t>{7}));
+  auto decisions = env_.all_of<Decision>();
+  ASSERT_EQ(decisions.size(), 1u);  // to the one other replica
+}
+
+TEST_F(ReplicaUnit, AdoptsRecoveredValuesInPhaseOne) {
+  core_.start();
+  // Acceptor 2 reports an accepted value at slot 0 from an older ballot.
+  std::vector<AcceptedEntry> accepted{
+      {0, 0, sim::make_message<Payload>(42)}};
+  grant_promises(0, accepted);
+  // The new leader must re-propose 42 at slot 0, not skip it.
+  auto accepts = env_.all_of<Accept>();
+  ASSERT_FALSE(accepts.empty());
+  EXPECT_EQ(accepts[0]->slot, 0u);
+  const auto* payload = dynamic_cast<const Payload*>(accepts[0]->value.get());
+  ASSERT_NE(payload, nullptr);
+  EXPECT_EQ(payload->value, 42u);
+  grant_accepts(0, 0);
+  EXPECT_EQ(delivered_, (std::vector<std::uint64_t>{42}));
+}
+
+TEST_F(ReplicaUnit, StepsDownOnHigherBallotNack) {
+  core_.start();
+  grant_promises(0);
+  ASSERT_TRUE(core_.is_leader());
+  core_.handle(ProcessId{2}, sim::make_message<Nack>(GroupId{0}, 0, 5));
+  EXPECT_FALSE(core_.is_leader());
+  EXPECT_EQ(core_.ballot(), 5u);
+  // Leader hint follows the new ballot's owner (5 % 2 == replica 1).
+  EXPECT_EQ(core_.leader_hint(), ProcessId{1});
+}
+
+TEST_F(ReplicaUnit, NonLeaderForwardsSubmissions) {
+  MockEnv env(ProcessId{1});
+  ReplicaCore follower(env, topology_, GroupId{0});
+  follower.start();  // index 1: follower, arms election timer only
+  follower.submit(sim::make_message<Payload>(9));
+  // Forwarded to the presumed leader (ballot 0's owner, replica 0).
+  ASSERT_EQ(env.sent.size(), 1u);
+  EXPECT_EQ(env.sent[0].first, ProcessId{0});
+  EXPECT_NE(dynamic_cast<const ProposeReq*>(env.sent[0].second.get()), nullptr);
+}
+
+TEST_F(ReplicaUnit, DuplicateDecisionsApplyOnce) {
+  core_.start();
+  grant_promises(0);
+  auto value = sim::make_message<Payload>(3);
+  core_.handle(ProcessId{1}, sim::make_message<Decision>(GroupId{0}, 0, value));
+  core_.handle(ProcessId{1}, sim::make_message<Decision>(GroupId{0}, 0, value));
+  EXPECT_EQ(delivered_, (std::vector<std::uint64_t>{3}));
+}
+
+TEST_F(ReplicaUnit, GapsHoldDeliveryUntilFilled) {
+  core_.start();
+  grant_promises(0);
+  core_.handle(ProcessId{1}, sim::make_message<Decision>(
+                                 GroupId{0}, 1, sim::make_message<Payload>(2)));
+  EXPECT_TRUE(delivered_.empty());  // slot 0 missing
+  core_.handle(ProcessId{1}, sim::make_message<Decision>(
+                                 GroupId{0}, 0, sim::make_message<Payload>(1)));
+  EXPECT_EQ(delivered_, (std::vector<std::uint64_t>{1, 2}));
+}
+
+}  // namespace
+}  // namespace dynastar::paxos

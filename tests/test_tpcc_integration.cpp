@@ -1,0 +1,105 @@
+// TPC-C over the full stack: sanity of transaction logic, cross-warehouse
+// commands, and repartitioning from a random initial placement.
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "workloads/tpcc.h"
+
+namespace dynastar {
+namespace {
+
+namespace tpcc = workloads::tpcc;
+
+core::SystemConfig tpcc_config(core::ExecutionMode mode,
+                               std::uint32_t partitions) {
+  core::SystemConfig config;
+  config.mode = mode;
+  config.num_partitions = partitions;
+  config.repartitioning_enabled = mode == core::ExecutionMode::kDynaStar;
+  config.repartition_hint_threshold = 1'000'000'000;  // not in these tests
+  return config;
+}
+
+tpcc::Scale small_scale() {
+  tpcc::Scale scale;
+  scale.customers_per_district = 20;
+  scale.items = 200;
+  return scale;
+}
+
+TEST(TpccIntegration, TransactionsCompleteOnOptimalPlacement) {
+  const auto scale = small_scale();
+  core::System system(tpcc_config(core::ExecutionMode::kDynaStar, 2),
+                      tpcc::tpcc_app_factory(scale));
+  tpcc::setup(system, scale, /*warehouses=*/2,
+              tpcc::Placement::kWarehousePerPartition);
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    system.add_client(std::make_unique<tpcc::TpccDriver>(
+        scale, 2, /*home_w=*/c % 2 + 1, /*home_d=*/c / 2 % 10 + 1));
+  }
+  system.run_until(seconds(10));
+  const double completed = system.metrics().series("completed").total();
+  EXPECT_GT(completed, 200.0);
+  // Some remote NewOrder/Payment traffic must exist with 2 warehouses.
+  EXPECT_GT(system.metrics().series("mpart").total(), 0.0);
+}
+
+TEST(TpccIntegration, RandomPlacementStillCompletes) {
+  const auto scale = small_scale();
+  core::System system(tpcc_config(core::ExecutionMode::kDynaStar, 4),
+                      tpcc::tpcc_app_factory(scale));
+  tpcc::setup(system, scale, /*warehouses=*/4, tpcc::Placement::kRandom);
+  for (std::uint32_t c = 0; c < 8; ++c) {
+    system.add_client(std::make_unique<tpcc::TpccDriver>(
+        scale, 4, c % 4 + 1, c / 4 % 10 + 1));
+  }
+  system.run_until(seconds(10));
+  EXPECT_GT(system.metrics().series("completed").total(), 50.0);
+  // Random placement scatters districts: most commands are multi-partition.
+  const double executed = system.metrics().series("executed").total();
+  const double mpart = system.metrics().series("mpart").total();
+  EXPECT_GT(mpart / executed, 0.3);
+}
+
+TEST(TpccIntegration, RepartitioningImprovesLocality) {
+  const auto scale = small_scale();
+  auto config = tpcc_config(core::ExecutionMode::kDynaStar, 2);
+  config.repartition_hint_threshold = 2'000;  // trigger quickly
+  core::System system(config, tpcc::tpcc_app_factory(scale));
+  tpcc::setup(system, scale, /*warehouses=*/2, tpcc::Placement::kRandom);
+  for (std::uint32_t c = 0; c < 6; ++c) {
+    system.add_client(std::make_unique<tpcc::TpccDriver>(
+        scale, 2, c % 2 + 1, c / 2 % 10 + 1));
+  }
+  system.run_until(seconds(40));
+  EXPECT_GE(system.metrics().series("oracle.plans_applied").total(), 1.0);
+
+  // After the plan, the multi-partition fraction must drop well below the
+  // random-placement level (only inherent remote TPC-C traffic remains).
+  const auto& executed = system.metrics().series("executed");
+  const auto& mpart = system.metrics().series("mpart");
+  double late_exec = 0, late_mpart = 0;
+  const std::size_t buckets = executed.num_buckets();
+  for (std::size_t b = buckets - 10; b < buckets; ++b) {
+    late_exec += executed.at(b);
+    late_mpart += mpart.at(b);
+  }
+  ASSERT_GT(late_exec, 0.0);
+  EXPECT_LT(late_mpart / late_exec, 0.25);
+}
+
+TEST(TpccIntegration, SsmrBaselineCompletes) {
+  const auto scale = small_scale();
+  core::System system(tpcc_config(core::ExecutionMode::kSSMR, 2),
+                      tpcc::tpcc_app_factory(scale));
+  tpcc::setup(system, scale, 2, tpcc::Placement::kWarehousePerPartition);
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    system.add_client(
+        std::make_unique<tpcc::TpccDriver>(scale, 2, c % 2 + 1, 1));
+  }
+  system.run_until(seconds(10));
+  EXPECT_GT(system.metrics().series("completed").total(), 200.0);
+}
+
+}  // namespace
+}  // namespace dynastar

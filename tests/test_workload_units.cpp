@@ -1,0 +1,290 @@
+// Unit tests for the workload applications' deterministic logic, executed
+// directly against an ObjectStore (no distributed stack involved).
+#include <gtest/gtest.h>
+
+#include "core/object.h"
+#include "workloads/chirper.h"
+#include "workloads/social_graph.h"
+#include "workloads/tpcc.h"
+
+namespace dynastar::workloads {
+namespace {
+
+namespace tp = tpcc;
+namespace ch = chirper;
+
+core::CommandPtr make_cmd(std::vector<std::pair<ObjectId, core::VertexId>> objs,
+                          sim::MessagePtr payload) {
+  std::vector<ObjectId> ids;
+  std::vector<core::VertexId> vertices;
+  for (auto& [o, v] : objs) {
+    ids.push_back(o);
+    vertices.push_back(v);
+  }
+  return std::make_shared<const core::Command>(
+      1, ProcessId{0}, core::CommandType::kAccess, std::move(ids),
+      std::move(vertices), std::move(payload));
+}
+
+class TpccAppTest : public ::testing::Test {
+ protected:
+  TpccAppTest() : app_(scale_) {
+    store_.put(tp::oid(tp::Table::kWarehouse, 1, 0, 0), tp::warehouse_vertex(1),
+               std::make_shared<tp::WarehouseRow>());
+    store_.put(tp::oid(tp::Table::kDistrict, 1, 1, 0), tp::district_vertex(1, 1),
+               std::make_shared<tp::DistrictRow>());
+    store_.put(tp::oid(tp::Table::kHistory, 1, 1, 0), tp::district_vertex(1, 1),
+               std::make_shared<tp::HistoryRow>());
+    for (std::uint32_t c = 1; c <= 3; ++c) {
+      store_.put(tp::oid(tp::Table::kCustomer, 1, 1, c),
+                 tp::district_vertex(1, 1), std::make_shared<tp::CustomerRow>());
+    }
+    for (std::uint32_t i = 1; i <= 10; ++i) {
+      store_.put(tp::oid(tp::Table::kStock, 1, 0, i), tp::warehouse_vertex(1),
+                 std::make_shared<tp::StockRow>());
+    }
+  }
+
+  const tp::TpccReply* run_new_order(std::uint32_t c,
+                                     std::vector<tp::OrderLine> lines) {
+    auto args = std::make_shared<tp::NewOrderArgs>();
+    args->w = 1;
+    args->d = 1;
+    args->c = c;
+    args->lines = std::move(lines);
+    auto cmd = make_cmd({{tp::oid(tp::Table::kWarehouse, 1, 0, 0),
+                          tp::warehouse_vertex(1)}},
+                        std::shared_ptr<const sim::Message>(args));
+    last_ = app_.execute(*cmd, store_).reply;
+    return dynamic_cast<const tp::TpccReply*>(last_.get());
+  }
+
+  tp::Scale scale_;
+  tp::TpccApp app_;
+  core::ObjectStore store_;
+  sim::MessagePtr last_;
+};
+
+TEST_F(TpccAppTest, NewOrderAssignsIncreasingOrderIds) {
+  auto* r1 = run_new_order(1, {{3, 1, 5, 0}});
+  auto* r2 = run_new_order(2, {{4, 1, 2, 0}});
+  ASSERT_NE(r1, nullptr);
+  EXPECT_EQ(r1->o_id, 1u);
+  EXPECT_EQ(r2->o_id, 2u);
+  // Order rows exist under the district vertex.
+  EXPECT_TRUE(store_.contains(tp::oid(tp::Table::kOrder, 1, 1, 1)));
+  EXPECT_TRUE(store_.contains(tp::oid(tp::Table::kOrder, 1, 1, 2)));
+  EXPECT_EQ(store_.vertex_of(tp::oid(tp::Table::kOrder, 1, 1, 1)),
+            tp::district_vertex(1, 1));
+}
+
+TEST_F(TpccAppTest, NewOrderUpdatesStock) {
+  run_new_order(1, {{5, 1, 7, 0}});
+  auto* stock = dynamic_cast<tp::StockRow*>(
+      store_.find(tp::oid(tp::Table::kStock, 1, 0, 5)));
+  ASSERT_NE(stock, nullptr);
+  EXPECT_EQ(stock->quantity, 43u);  // 50 - 7
+  EXPECT_EQ(stock->ytd, 7u);
+  EXPECT_EQ(stock->order_cnt, 1u);
+  EXPECT_EQ(stock->remote_cnt, 0u);
+}
+
+TEST_F(TpccAppTest, StockRefillsBelowThreshold) {
+  for (int i = 0; i < 5; ++i) run_new_order(1, {{5, 1, 9, 0}});
+  auto* stock = dynamic_cast<tp::StockRow*>(
+      store_.find(tp::oid(tp::Table::kStock, 1, 0, 5)));
+  // Quantity must never go negative; the spec's +91 refill kicks in.
+  EXPECT_GT(stock->quantity, 0u);
+  EXPECT_EQ(stock->ytd, 45u);
+}
+
+TEST_F(TpccAppTest, PaymentMovesMoney) {
+  auto args = std::make_shared<tp::PaymentArgs>();
+  args->w = 1;
+  args->d = 1;
+  args->c_w = 1;
+  args->c_d = 1;
+  args->c = 2;
+  args->amount = 100.0;
+  auto cmd = make_cmd({{tp::oid(tp::Table::kCustomer, 1, 1, 2),
+                        tp::district_vertex(1, 1)}},
+                      std::shared_ptr<const sim::Message>(args));
+  auto result = app_.execute(*cmd, store_);
+  auto* reply = dynamic_cast<const tp::TpccReply*>(result.reply.get());
+  ASSERT_NE(reply, nullptr);
+  EXPECT_TRUE(reply->ok);
+  EXPECT_NEAR(reply->balance, -110.0, 1e-9);  // initial -10 minus 100
+  auto* warehouse = dynamic_cast<tp::WarehouseRow*>(
+      store_.find(tp::oid(tp::Table::kWarehouse, 1, 0, 0)));
+  EXPECT_NEAR(warehouse->ytd, 100.0, 1e-9);
+  auto* history = dynamic_cast<tp::HistoryRow*>(
+      store_.find(tp::oid(tp::Table::kHistory, 1, 1, 0)));
+  EXPECT_EQ(history->entries, 1u);
+}
+
+TEST_F(TpccAppTest, DeliveryProcessesOldestUndelivered) {
+  run_new_order(1, {{3, 1, 5, 0}});
+  run_new_order(2, {{4, 1, 2, 0}});
+  auto args = std::make_shared<tp::DeliveryArgs>();
+  args->w = 1;
+  args->d = 1;
+  args->carrier = 7;
+  auto cmd = make_cmd({{tp::oid(tp::Table::kDistrict, 1, 1, 0),
+                        tp::district_vertex(1, 1)}},
+                      std::shared_ptr<const sim::Message>(args));
+  auto result = app_.execute(*cmd, store_);
+  auto* reply = dynamic_cast<const tp::TpccReply*>(result.reply.get());
+  ASSERT_NE(reply, nullptr);
+  EXPECT_EQ(reply->o_id, 1u);  // oldest first
+  auto* order = dynamic_cast<tp::OrderRow*>(
+      store_.find(tp::oid(tp::Table::kOrder, 1, 1, 1)));
+  EXPECT_EQ(order->carrier, 7u);
+  // Customer 1's balance got credited.
+  auto* customer = dynamic_cast<tp::CustomerRow*>(
+      store_.find(tp::oid(tp::Table::kCustomer, 1, 1, 1)));
+  EXPECT_GT(customer->balance, -10.0);
+  EXPECT_EQ(customer->delivery_cnt, 1u);
+
+  // Second delivery processes order 2.
+  auto result2 = app_.execute(*cmd, store_);
+  auto* reply2 = dynamic_cast<const tp::TpccReply*>(result2.reply.get());
+  EXPECT_EQ(reply2->o_id, 2u);
+}
+
+TEST_F(TpccAppTest, StockScanReportsRecentItems) {
+  run_new_order(1, {{3, 1, 5, 0}, {7, 1, 1, 0}});
+  auto args = std::make_shared<tp::StockScanArgs>();
+  args->w = 1;
+  args->d = 1;
+  auto cmd = make_cmd({{tp::oid(tp::Table::kDistrict, 1, 1, 0),
+                        tp::district_vertex(1, 1)}},
+                      std::shared_ptr<const sim::Message>(args));
+  auto result = app_.execute(*cmd, store_);
+  auto* reply = dynamic_cast<const tp::TpccReply*>(result.reply.get());
+  ASSERT_NE(reply, nullptr);
+  EXPECT_EQ(reply->items, (std::vector<std::uint32_t>{3, 7}));
+}
+
+TEST_F(TpccAppTest, MissingRowsRejectGracefully) {
+  auto args = std::make_shared<tp::PaymentArgs>();
+  args->w = 9;  // nonexistent warehouse
+  args->d = 1;
+  args->c_w = 9;
+  args->c_d = 1;
+  args->c = 1;
+  auto cmd = make_cmd({{tp::oid(tp::Table::kCustomer, 9, 1, 1),
+                        tp::district_vertex(9, 1)}},
+                      std::shared_ptr<const sim::Message>(args));
+  auto result = app_.execute(*cmd, store_);
+  auto* reply = dynamic_cast<const tp::TpccReply*>(result.reply.get());
+  ASSERT_NE(reply, nullptr);
+  EXPECT_FALSE(reply->ok);
+}
+
+// --- Chirper ---
+
+TEST(ChirperApp, PostAppendsToFollowerTimelinesOnly) {
+  ch::ChirperApp app;
+  core::ObjectStore store;
+  for (std::uint32_t u = 0; u < 3; ++u)
+    store.put(ch::user_object(u), ch::user_vertex(u),
+              std::make_shared<ch::UserObject>());
+  auto op = std::make_shared<ch::ChirperOp>();
+  op->kind = ch::ChirperOp::Kind::kPost;
+  op->author = 0;
+  op->post_ref = 0xfeed;
+  auto cmd = make_cmd({{ch::user_object(0), ch::user_vertex(0)},
+                       {ch::user_object(1), ch::user_vertex(1)},
+                       {ch::user_object(2), ch::user_vertex(2)}},
+                      std::shared_ptr<const sim::Message>(op));
+  app.execute(*cmd, store);
+
+  auto* author = dynamic_cast<ch::UserObject*>(store.find(ch::user_object(0)));
+  EXPECT_EQ(author->posts, 1u);
+  EXPECT_TRUE(author->timeline.empty());
+  for (std::uint32_t u = 1; u < 3; ++u) {
+    auto* follower =
+        dynamic_cast<ch::UserObject*>(store.find(ch::user_object(u)));
+    ASSERT_EQ(follower->timeline.size(), 1u);
+    EXPECT_EQ(follower->timeline[0], 0xfeedu);
+  }
+}
+
+TEST(ChirperApp, TimelineIsCapped) {
+  ch::UserObject user;
+  for (std::uint64_t i = 0; i < 50; ++i) user.append(i);
+  EXPECT_EQ(user.timeline.size(), ch::UserObject::kTimelineCap);
+  EXPECT_EQ(user.timeline.back(), 49u);
+  EXPECT_EQ(user.timeline.front(), 50 - ch::UserObject::kTimelineCap);
+}
+
+TEST(ChirperApp, FollowAdjustsCounters) {
+  ch::ChirperApp app;
+  core::ObjectStore store;
+  store.put(ch::user_object(1), ch::user_vertex(1),
+            std::make_shared<ch::UserObject>());
+  store.put(ch::user_object(2), ch::user_vertex(2),
+            std::make_shared<ch::UserObject>());
+  auto op = std::make_shared<ch::ChirperOp>();
+  op->kind = ch::ChirperOp::Kind::kFollow;
+  auto cmd = make_cmd({{ch::user_object(1), ch::user_vertex(1)},
+                       {ch::user_object(2), ch::user_vertex(2)}},
+                      std::shared_ptr<const sim::Message>(op));
+  app.execute(*cmd, store);
+  auto* follower = dynamic_cast<ch::UserObject*>(store.find(ch::user_object(1)));
+  auto* followee = dynamic_cast<ch::UserObject*>(store.find(ch::user_object(2)));
+  EXPECT_EQ(follower->following_count, 1u);
+  EXPECT_EQ(followee->followers_count, 1u);
+
+  auto unop = std::make_shared<ch::ChirperOp>();
+  unop->kind = ch::ChirperOp::Kind::kUnfollow;
+  auto uncmd = make_cmd({{ch::user_object(1), ch::user_vertex(1)},
+                         {ch::user_object(2), ch::user_vertex(2)}},
+                        std::shared_ptr<const sim::Message>(unop));
+  app.execute(*uncmd, store);
+  EXPECT_EQ(follower->following_count, 0u);
+  EXPECT_EQ(followee->followers_count, 0u);
+}
+
+// --- Social graph generator ---
+
+TEST(SocialGraph, SizesAndSymmetry) {
+  auto graph = generate_social_graph(1000, 4, 7);
+  EXPECT_EQ(graph.num_users(), 1000u);
+  // ~4 follows per user (first few users have fewer options).
+  EXPECT_GT(graph.num_edges(), 3500u);
+  EXPECT_LT(graph.num_edges(), 4100u);
+  // followers/following are mirror images.
+  std::size_t follower_sum = 0, following_sum = 0;
+  for (const auto& f : graph.followers) follower_sum += f.size();
+  for (const auto& f : graph.following) following_sum += f.size();
+  EXPECT_EQ(follower_sum, following_sum);
+}
+
+TEST(SocialGraph, HeavyTailedFollowers) {
+  auto graph = generate_social_graph(5000, 4, 7);
+  const auto max_followers = graph.max_followers();
+  const double avg = static_cast<double>(graph.num_edges()) /
+                     static_cast<double>(graph.num_users());
+  EXPECT_GT(max_followers, avg * 20) << "no celebrities in the graph";
+}
+
+TEST(SocialGraph, DeterministicGivenSeed) {
+  auto a = generate_social_graph(500, 3, 11);
+  auto b = generate_social_graph(500, 3, 11);
+  EXPECT_EQ(a.followers, b.followers);
+}
+
+TEST(SocialGraph, NoSelfFollowsOrDuplicates) {
+  auto graph = generate_social_graph(800, 5, 3);
+  for (std::uint32_t u = 0; u < 800; ++u) {
+    auto following = graph.following[u];
+    std::sort(following.begin(), following.end());
+    EXPECT_EQ(std::unique(following.begin(), following.end()), following.end());
+    EXPECT_EQ(std::find(following.begin(), following.end(), u),
+              following.end());
+  }
+}
+
+}  // namespace
+}  // namespace dynastar::workloads

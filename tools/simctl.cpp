@@ -1,0 +1,223 @@
+// simctl: command-line driver for the DynaStar simulator.
+//
+// Runs one configuration of {workload, execution mode, partitions, clients,
+// duration, placement} and prints either a human summary or CSV time series
+// (for plotting the paper's figures from custom sweeps).
+//
+// Examples:
+//   simctl --workload=chirper --mode=dynastar --partitions=4 --duration=30
+//   simctl --workload=tpcc --mode=ssmr --partitions=8 --clients=96
+//          --placement=optimized --csv=series.csv
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "baselines/presets.h"
+#include "core/system.h"
+#include "workloads/chirper.h"
+#include "workloads/kv.h"
+#include "workloads/kv_drivers.h"
+#include "workloads/smallbank.h"
+#include "workloads/social_graph.h"
+#include "workloads/tpcc.h"
+
+using namespace dynastar;
+
+namespace {
+
+struct Options {
+  std::string workload = "chirper";   // kv | tpcc | chirper | smallbank
+  std::string mode = "dynastar";      // dynastar | ssmr | dssmr
+  std::string placement = "random";   // random | optimized
+  std::uint32_t partitions = 4;
+  std::uint32_t clients = 0;          // 0 = 12 per partition
+  std::uint32_t duration = 20;        // simulated seconds
+  std::uint64_t seed = 1;
+  std::uint32_t users = 4000;         // chirper graph size
+  std::uint64_t keys = 1024;          // kv keyspace
+  double timeline_fraction = 0.85;    // chirper mix
+  std::uint64_t repartition_threshold = 60'000;
+  std::string csv;                    // write per-second series here
+};
+
+void usage() {
+  std::puts(
+      "usage: simctl [--workload=kv|tpcc|chirper|smallbank]\n"
+      "              [--mode=dynastar|ssmr|dssmr]\n"
+      "              [--placement=random|optimized] [--partitions=N]\n"
+      "              [--clients=N] [--duration=SECONDS] [--seed=N]\n"
+      "              [--users=N] [--keys=N] [--timeline=F]\n"
+      "              [--threshold=N] [--csv=FILE]");
+}
+
+bool parse(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--workload=")) options->workload = v;
+    else if (const char* v = value("--mode=")) options->mode = v;
+    else if (const char* v = value("--placement=")) options->placement = v;
+    else if (const char* v = value("--partitions=")) options->partitions = std::atoi(v);
+    else if (const char* v = value("--clients=")) options->clients = std::atoi(v);
+    else if (const char* v = value("--duration=")) options->duration = std::atoi(v);
+    else if (const char* v = value("--seed=")) options->seed = std::atoll(v);
+    else if (const char* v = value("--users=")) options->users = std::atoi(v);
+    else if (const char* v = value("--keys=")) options->keys = std::atoll(v);
+    else if (const char* v = value("--timeline=")) options->timeline_fraction = std::atof(v);
+    else if (const char* v = value("--threshold=")) options->repartition_threshold = std::atoll(v);
+    else if (const char* v = value("--csv=")) options->csv = v;
+    else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+core::SystemConfig make_config(const Options& options) {
+  core::SystemConfig config;
+  if (options.mode == "dynastar") {
+    config = baselines::dynastar_config(options.partitions, options.seed);
+    config.repartition_hint_threshold = options.repartition_threshold;
+  } else if (options.mode == "ssmr") {
+    config = baselines::ssmr_config(options.partitions, options.seed);
+  } else if (options.mode == "dssmr") {
+    config = baselines::dssmr_config(options.partitions, options.seed);
+  } else {
+    std::fprintf(stderr, "unknown mode %s\n", options.mode.c_str());
+    std::exit(2);
+  }
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse(argc, argv, &options)) {
+    usage();
+    return 2;
+  }
+  const std::uint32_t clients =
+      options.clients != 0 ? options.clients : options.partitions * 12;
+  auto config = make_config(options);
+
+  std::unique_ptr<core::System> system;
+  if (options.workload == "kv") {
+    system = std::make_unique<core::System>(config, workloads::kv_app_factory());
+    core::Assignment assignment;
+    workloads::KvObject zero(0);
+    Rng rng(options.seed);
+    for (std::uint64_t k = 0; k < options.keys; ++k) {
+      const PartitionId p{options.placement == "optimized"
+                              ? k % options.partitions
+                              : rng.uniform(0, options.partitions - 1)};
+      assignment[core::VertexId{k}] = p;
+      system->preload_object(ObjectId{k}, core::VertexId{k}, p, zero);
+    }
+    system->preload_assignment(assignment);
+    for (std::uint32_t c = 0; c < clients; ++c) {
+      system->add_client(std::make_unique<workloads::RandomKvDriver>(
+          options.keys, 0.5, 0.2));
+    }
+  } else if (options.workload == "tpcc") {
+    workloads::tpcc::Scale scale;
+    system = std::make_unique<core::System>(
+        config, workloads::tpcc::tpcc_app_factory(scale));
+    workloads::tpcc::setup(
+        *system, scale, options.partitions,
+        options.placement == "optimized"
+            ? workloads::tpcc::Placement::kWarehousePerPartition
+            : workloads::tpcc::Placement::kRandom,
+        options.seed);
+    for (std::uint32_t c = 0; c < clients; ++c) {
+      system->add_client(std::make_unique<workloads::tpcc::TpccDriver>(
+          scale, options.partitions, c % options.partitions + 1,
+          c / options.partitions % 10 + 1));
+    }
+  } else if (options.workload == "chirper") {
+    auto graph = workloads::generate_social_graph(options.users, 4, options.seed);
+    system = std::make_unique<core::System>(
+        config, workloads::chirper::chirper_app_factory());
+    workloads::chirper::setup(*system, graph,
+                              options.placement == "optimized"
+                                  ? workloads::chirper::Placement::kOptimized
+                                  : workloads::chirper::Placement::kRandom,
+                              options.seed);
+    auto directory = workloads::chirper::make_directory(graph);
+    auto zipf = std::make_shared<ZipfGenerator>(options.users, 0.95);
+    workloads::chirper::WorkloadMix mix;
+    mix.timeline_fraction = options.timeline_fraction;
+    for (std::uint32_t c = 0; c < clients; ++c) {
+      system->add_client(std::make_unique<workloads::chirper::ChirperDriver>(
+          directory, mix, zipf));
+    }
+  } else if (options.workload == "smallbank") {
+    system = std::make_unique<core::System>(
+        config, workloads::smallbank::smallbank_app_factory());
+    workloads::smallbank::setup(
+        *system, static_cast<std::uint32_t>(options.keys));
+    for (std::uint32_t c = 0; c < clients; ++c) {
+      system->add_client(std::make_unique<workloads::smallbank::SmallBankDriver>(
+          static_cast<std::uint32_t>(options.keys)));
+    }
+  } else {
+    std::fprintf(stderr, "unknown workload %s\n", options.workload.c_str());
+    usage();
+    return 2;
+  }
+
+  system->run_until(seconds(options.duration));
+
+  auto& metrics = system->metrics();
+  const auto& completed = metrics.series("completed");
+  const auto& mpart = metrics.series("mpart");
+  const auto& executed = metrics.series("executed");
+  const auto& exchanged = metrics.series("objects_exchanged");
+  const auto* latency = metrics.find_histogram("latency");
+
+  std::printf("workload=%s mode=%s partitions=%u clients=%u duration=%us seed=%llu\n",
+              options.workload.c_str(), options.mode.c_str(),
+              options.partitions, clients, options.duration,
+              static_cast<unsigned long long>(options.seed));
+  std::printf("completed commands : %.0f (%.0f/s)\n", completed.total(),
+              completed.total() / options.duration);
+  const double exec_total = executed.total();
+  std::printf("multi-partition    : %.1f%%\n",
+              exec_total > 0 ? 100.0 * mpart.total() / exec_total : 0.0);
+  std::printf("objects exchanged  : %.0f\n", exchanged.total());
+  std::printf("plans applied      : %.0f\n",
+              metrics.series("oracle.plans_applied").total());
+  std::printf("client retries     : %.0f\n",
+              metrics.series("client.retries").total());
+  if (latency != nullptr) {
+    std::printf("latency avg/p95/p99: %.2f / %.2f / %.2f ms\n",
+                to_millis(static_cast<SimTime>(latency->mean())),
+                to_millis(latency->percentile(0.95)),
+                to_millis(latency->percentile(0.99)));
+  }
+
+  if (!options.csv.empty()) {
+    FILE* file = std::fopen(options.csv.c_str(), "w");
+    if (file == nullptr) {
+      std::perror("fopen");
+      return 1;
+    }
+    std::fprintf(file,
+                 "t,completed,mpart,objects_exchanged,oracle_queries,retries\n");
+    const auto& queries = metrics.series("oracle.queries");
+    const auto& retries = metrics.series("client.retries");
+    for (std::uint32_t t = 0; t < options.duration; ++t) {
+      std::fprintf(file, "%u,%.0f,%.0f,%.0f,%.0f,%.0f\n", t, completed.at(t),
+                   mpart.at(t), exchanged.at(t), queries.at(t), retries.at(t));
+    }
+    std::fclose(file);
+    std::printf("per-second series written to %s\n", options.csv.c_str());
+  }
+  return 0;
+}
