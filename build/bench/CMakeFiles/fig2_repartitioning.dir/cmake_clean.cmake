@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_repartitioning.dir/fig2_repartitioning.cpp.o"
+  "CMakeFiles/fig2_repartitioning.dir/fig2_repartitioning.cpp.o.d"
+  "fig2_repartitioning"
+  "fig2_repartitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_repartitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

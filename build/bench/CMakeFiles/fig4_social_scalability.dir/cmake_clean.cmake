@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_social_scalability.dir/fig4_social_scalability.cpp.o"
+  "CMakeFiles/fig4_social_scalability.dir/fig4_social_scalability.cpp.o.d"
+  "fig4_social_scalability"
+  "fig4_social_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_social_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_dynamic_workload.dir/fig6_dynamic_workload.cpp.o"
+  "CMakeFiles/fig6_dynamic_workload.dir/fig6_dynamic_workload.cpp.o.d"
+  "fig6_dynamic_workload"
+  "fig6_dynamic_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_dynamic_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

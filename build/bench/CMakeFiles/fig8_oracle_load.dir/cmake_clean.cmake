@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_oracle_load.dir/fig8_oracle_load.cpp.o"
+  "CMakeFiles/fig8_oracle_load.dir/fig8_oracle_load.cpp.o.d"
+  "fig8_oracle_load"
+  "fig8_oracle_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_oracle_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_partition_load.dir/table1_partition_load.cpp.o"
+  "CMakeFiles/table1_partition_load.dir/table1_partition_load.cpp.o.d"
+  "table1_partition_load"
+  "table1_partition_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_partition_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

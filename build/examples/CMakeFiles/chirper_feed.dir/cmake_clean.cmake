@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chirper_feed.dir/chirper_feed.cpp.o"
+  "CMakeFiles/chirper_feed.dir/chirper_feed.cpp.o.d"
+  "chirper_feed"
+  "chirper_feed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chirper_feed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

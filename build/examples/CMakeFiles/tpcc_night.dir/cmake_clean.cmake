@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcc_night.dir/tpcc_night.cpp.o"
+  "CMakeFiles/tpcc_night.dir/tpcc_night.cpp.o.d"
+  "tpcc_night"
+  "tpcc_night.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcc_night.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tpcc_night.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynastar_baselines.dir/presets.cpp.o"
+  "CMakeFiles/dynastar_baselines.dir/presets.cpp.o.d"
+  "libdynastar_baselines.a"
+  "libdynastar_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynastar_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

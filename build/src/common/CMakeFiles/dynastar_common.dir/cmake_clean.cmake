@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynastar_common.dir/histogram.cpp.o"
+  "CMakeFiles/dynastar_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/dynastar_common.dir/linearizability.cpp.o"
+  "CMakeFiles/dynastar_common.dir/linearizability.cpp.o.d"
+  "CMakeFiles/dynastar_common.dir/logging.cpp.o"
+  "CMakeFiles/dynastar_common.dir/logging.cpp.o.d"
+  "CMakeFiles/dynastar_common.dir/metrics.cpp.o"
+  "CMakeFiles/dynastar_common.dir/metrics.cpp.o.d"
+  "CMakeFiles/dynastar_common.dir/rng.cpp.o"
+  "CMakeFiles/dynastar_common.dir/rng.cpp.o.d"
+  "libdynastar_common.a"
+  "libdynastar_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynastar_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

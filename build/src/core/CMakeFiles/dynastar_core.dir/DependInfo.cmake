@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/client.cpp" "src/core/CMakeFiles/dynastar_core.dir/client.cpp.o" "gcc" "src/core/CMakeFiles/dynastar_core.dir/client.cpp.o.d"
+  "/root/repo/src/core/oracle.cpp" "src/core/CMakeFiles/dynastar_core.dir/oracle.cpp.o" "gcc" "src/core/CMakeFiles/dynastar_core.dir/oracle.cpp.o.d"
+  "/root/repo/src/core/server.cpp" "src/core/CMakeFiles/dynastar_core.dir/server.cpp.o" "gcc" "src/core/CMakeFiles/dynastar_core.dir/server.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/core/CMakeFiles/dynastar_core.dir/system.cpp.o" "gcc" "src/core/CMakeFiles/dynastar_core.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/multicast/CMakeFiles/dynastar_multicast.dir/DependInfo.cmake"
+  "/root/repo/build/src/partitioning/CMakeFiles/dynastar_partitioning.dir/DependInfo.cmake"
+  "/root/repo/build/src/paxos/CMakeFiles/dynastar_paxos.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dynastar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dynastar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynastar_core.dir/client.cpp.o"
+  "CMakeFiles/dynastar_core.dir/client.cpp.o.d"
+  "CMakeFiles/dynastar_core.dir/oracle.cpp.o"
+  "CMakeFiles/dynastar_core.dir/oracle.cpp.o.d"
+  "CMakeFiles/dynastar_core.dir/server.cpp.o"
+  "CMakeFiles/dynastar_core.dir/server.cpp.o.d"
+  "CMakeFiles/dynastar_core.dir/system.cpp.o"
+  "CMakeFiles/dynastar_core.dir/system.cpp.o.d"
+  "libdynastar_core.a"
+  "libdynastar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynastar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynastar_multicast.dir/member.cpp.o"
+  "CMakeFiles/dynastar_multicast.dir/member.cpp.o.d"
+  "libdynastar_multicast.a"
+  "libdynastar_multicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynastar_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

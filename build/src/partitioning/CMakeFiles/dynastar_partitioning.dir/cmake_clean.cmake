@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynastar_partitioning.dir/graph.cpp.o"
+  "CMakeFiles/dynastar_partitioning.dir/graph.cpp.o.d"
+  "CMakeFiles/dynastar_partitioning.dir/partitioner.cpp.o"
+  "CMakeFiles/dynastar_partitioning.dir/partitioner.cpp.o.d"
+  "libdynastar_partitioning.a"
+  "libdynastar_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynastar_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdynastar_partitioning.a"
+)

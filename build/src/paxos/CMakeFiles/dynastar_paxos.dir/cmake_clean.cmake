@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynastar_paxos.dir/acceptor.cpp.o"
+  "CMakeFiles/dynastar_paxos.dir/acceptor.cpp.o.d"
+  "CMakeFiles/dynastar_paxos.dir/replica.cpp.o"
+  "CMakeFiles/dynastar_paxos.dir/replica.cpp.o.d"
+  "libdynastar_paxos.a"
+  "libdynastar_paxos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynastar_paxos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynastar_sim.dir/network.cpp.o"
+  "CMakeFiles/dynastar_sim.dir/network.cpp.o.d"
+  "CMakeFiles/dynastar_sim.dir/process.cpp.o"
+  "CMakeFiles/dynastar_sim.dir/process.cpp.o.d"
+  "CMakeFiles/dynastar_sim.dir/simulator.cpp.o"
+  "CMakeFiles/dynastar_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/dynastar_sim.dir/world.cpp.o"
+  "CMakeFiles/dynastar_sim.dir/world.cpp.o.d"
+  "libdynastar_sim.a"
+  "libdynastar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynastar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynastar_workloads.dir/chirper.cpp.o"
+  "CMakeFiles/dynastar_workloads.dir/chirper.cpp.o.d"
+  "CMakeFiles/dynastar_workloads.dir/smallbank.cpp.o"
+  "CMakeFiles/dynastar_workloads.dir/smallbank.cpp.o.d"
+  "CMakeFiles/dynastar_workloads.dir/social_graph.cpp.o"
+  "CMakeFiles/dynastar_workloads.dir/social_graph.cpp.o.d"
+  "CMakeFiles/dynastar_workloads.dir/tpcc.cpp.o"
+  "CMakeFiles/dynastar_workloads.dir/tpcc.cpp.o.d"
+  "libdynastar_workloads.a"
+  "libdynastar_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynastar_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

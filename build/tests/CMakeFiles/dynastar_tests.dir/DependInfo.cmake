@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_acceptor_unit.cpp" "tests/CMakeFiles/dynastar_tests.dir/test_acceptor_unit.cpp.o" "gcc" "tests/CMakeFiles/dynastar_tests.dir/test_acceptor_unit.cpp.o.d"
+  "/root/repo/tests/test_chirper_integration.cpp" "tests/CMakeFiles/dynastar_tests.dir/test_chirper_integration.cpp.o" "gcc" "tests/CMakeFiles/dynastar_tests.dir/test_chirper_integration.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/dynastar_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/dynastar_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_core_units.cpp" "tests/CMakeFiles/dynastar_tests.dir/test_core_units.cpp.o" "gcc" "tests/CMakeFiles/dynastar_tests.dir/test_core_units.cpp.o.d"
+  "/root/repo/tests/test_determinism.cpp" "tests/CMakeFiles/dynastar_tests.dir/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/dynastar_tests.dir/test_determinism.cpp.o.d"
+  "/root/repo/tests/test_fault_tolerance.cpp" "tests/CMakeFiles/dynastar_tests.dir/test_fault_tolerance.cpp.o" "gcc" "tests/CMakeFiles/dynastar_tests.dir/test_fault_tolerance.cpp.o.d"
+  "/root/repo/tests/test_kv_integration.cpp" "tests/CMakeFiles/dynastar_tests.dir/test_kv_integration.cpp.o" "gcc" "tests/CMakeFiles/dynastar_tests.dir/test_kv_integration.cpp.o.d"
+  "/root/repo/tests/test_linearizability_stack.cpp" "tests/CMakeFiles/dynastar_tests.dir/test_linearizability_stack.cpp.o" "gcc" "tests/CMakeFiles/dynastar_tests.dir/test_linearizability_stack.cpp.o.d"
+  "/root/repo/tests/test_multicast.cpp" "tests/CMakeFiles/dynastar_tests.dir/test_multicast.cpp.o" "gcc" "tests/CMakeFiles/dynastar_tests.dir/test_multicast.cpp.o.d"
+  "/root/repo/tests/test_network_partition.cpp" "tests/CMakeFiles/dynastar_tests.dir/test_network_partition.cpp.o" "gcc" "tests/CMakeFiles/dynastar_tests.dir/test_network_partition.cpp.o.d"
+  "/root/repo/tests/test_partitioner.cpp" "tests/CMakeFiles/dynastar_tests.dir/test_partitioner.cpp.o" "gcc" "tests/CMakeFiles/dynastar_tests.dir/test_partitioner.cpp.o.d"
+  "/root/repo/tests/test_paxos.cpp" "tests/CMakeFiles/dynastar_tests.dir/test_paxos.cpp.o" "gcc" "tests/CMakeFiles/dynastar_tests.dir/test_paxos.cpp.o.d"
+  "/root/repo/tests/test_repartitioning.cpp" "tests/CMakeFiles/dynastar_tests.dir/test_repartitioning.cpp.o" "gcc" "tests/CMakeFiles/dynastar_tests.dir/test_repartitioning.cpp.o.d"
+  "/root/repo/tests/test_replica_unit.cpp" "tests/CMakeFiles/dynastar_tests.dir/test_replica_unit.cpp.o" "gcc" "tests/CMakeFiles/dynastar_tests.dir/test_replica_unit.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/dynastar_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/dynastar_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_smallbank.cpp" "tests/CMakeFiles/dynastar_tests.dir/test_smallbank.cpp.o" "gcc" "tests/CMakeFiles/dynastar_tests.dir/test_smallbank.cpp.o.d"
+  "/root/repo/tests/test_tpcc_integration.cpp" "tests/CMakeFiles/dynastar_tests.dir/test_tpcc_integration.cpp.o" "gcc" "tests/CMakeFiles/dynastar_tests.dir/test_tpcc_integration.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/dynastar_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/dynastar_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_workload_units.cpp" "tests/CMakeFiles/dynastar_tests.dir/test_workload_units.cpp.o" "gcc" "tests/CMakeFiles/dynastar_tests.dir/test_workload_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/dynastar_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dynastar_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dynastar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/multicast/CMakeFiles/dynastar_multicast.dir/DependInfo.cmake"
+  "/root/repo/build/src/paxos/CMakeFiles/dynastar_paxos.dir/DependInfo.cmake"
+  "/root/repo/build/src/partitioning/CMakeFiles/dynastar_partitioning.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dynastar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dynastar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
