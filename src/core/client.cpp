@@ -1,6 +1,7 @@
 #include "core/client.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/server.h"  // choose_target, group_of
 
@@ -66,6 +67,7 @@ void ClientCore::route(bool force_oracle) {
     ++oracle_queries_;
     sender_.amcast({kOracleGroup}, sim::make_message<OracleRequest>(
                                        out.cmd, out.attempt));
+    arm_command_timer();
     return;
   }
 
@@ -83,9 +85,58 @@ void ClientCore::route(bool force_oracle) {
                  sim::make_message<ExecCommand>(out.cmd, std::move(dests),
                                                 std::move(owners), target,
                                                 cache_epoch_, out.attempt));
+  arm_command_timer();
+}
+
+void ClientCore::arm_command_timer() {
+  if (config_.client_timeout_base <= 0) return;  // timeouts disabled
+  const Outstanding& out = *outstanding_;
+  // Exponential backoff with jitter, capped:
+  // min(cap, base * multiplier^(attempt-1)) + U[0, jitter].
+  double scaled = static_cast<double>(config_.client_timeout_base) *
+                  std::pow(config_.client_timeout_multiplier,
+                           static_cast<double>(out.attempt - 1));
+  SimTime delay = config_.client_timeout_cap;
+  if (scaled < static_cast<double>(config_.client_timeout_cap))
+    delay = static_cast<SimTime>(scaled);
+  if (config_.client_timeout_jitter > 0)
+    delay += static_cast<SimTime>(env_.random().uniform(
+        0, static_cast<std::uint64_t>(config_.client_timeout_jitter)));
+  const std::uint64_t cmd_id = out.cmd->cmd_id;
+  const std::uint32_t attempt = out.attempt;
+  env_.start_timer(delay, [this, cmd_id, attempt] {
+    on_command_timeout(cmd_id, attempt);
+  });
+}
+
+void ClientCore::on_command_timeout(std::uint64_t cmd_id,
+                                    std::uint32_t attempt) {
+  // The timer belongs to one specific (command, attempt); anything else —
+  // completion, a kRetry-driven re-route — already superseded it.
+  if (!outstanding_.has_value() || outstanding_->cmd->cmd_id != cmd_id ||
+      outstanding_->attempt != attempt) {
+    return;
+  }
+  ++timeouts_;
+  if (metrics_) metrics_->series("client.timeouts").add(env_.now(), 1.0);
+  if (config_.client_max_attempts != 0 &&
+      outstanding_->attempt >= config_.client_max_attempts) {
+    complete(ReplyStatus::kTimeout, nullptr);
+    return;
+  }
+  ++retransmits_;
+  if (metrics_) metrics_->series("client.retransmits").add(env_.now(), 1.0);
+  // First re-drive any multicast send a destination group never received —
+  // a FIFO-ordered group cannot admit this client's *new* sends behind a
+  // lost one — then re-resolve through the oracle under a fresh attempt.
+  sender_.retransmit_unacked();
+  ++outstanding_->attempt;
+  cache_.clear();
+  route(/*force_oracle=*/true);
 }
 
 bool ClientCore::handle(ProcessId /*from*/, const sim::MessagePtr& msg) {
+  if (sender_.handle(msg)) return true;
   if (auto* prophecy = dynamic_cast<const Prophecy*>(msg.get())) {
     on_prophecy(*prophecy);
     return true;

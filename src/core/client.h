@@ -70,6 +70,8 @@ class ClientCore {
   [[nodiscard]] std::uint64_t completed() const { return completed_; }
   [[nodiscard]] std::uint64_t retries() const { return retries_; }
   [[nodiscard]] std::uint64_t oracle_queries() const { return oracle_queries_; }
+  [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+  [[nodiscard]] std::uint64_t retransmits() const { return retransmits_; }
 
  private:
   struct Outstanding {
@@ -83,6 +85,8 @@ class ClientCore {
 
   void issue_next();
   void route(bool force_oracle);
+  void arm_command_timer();
+  void on_command_timeout(std::uint64_t cmd_id, std::uint32_t attempt);
   void on_prophecy(const Prophecy& msg);
   void on_reply(const CommandReply& msg);
   void complete(ReplyStatus status, const sim::MessagePtr& payload);
@@ -103,6 +107,8 @@ class ClientCore {
   std::uint64_t completed_ = 0;
   std::uint64_t retries_ = 0;
   std::uint64_t oracle_queries_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t retransmits_ = 0;
 };
 
 }  // namespace dynastar::core

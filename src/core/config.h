@@ -57,6 +57,16 @@ struct SystemConfig {
   /// full, a random resident entry is evicted.
   std::size_t client_cache_capacity = 0;
 
+  // --- Client command timeouts / retransmission ---
+  /// Timeout armed per outstanding command attempt; grows exponentially:
+  /// min(cap, base * multiplier^(attempt-1)) + U[0, jitter].
+  SimTime client_timeout_base = milliseconds(500);
+  double client_timeout_multiplier = 2.0;
+  SimTime client_timeout_jitter = milliseconds(50);
+  SimTime client_timeout_cap = seconds(4);
+  /// Attempts before the command completes with kTimeout (0 = retry forever).
+  std::uint32_t client_max_attempts = 10;
+
   // --- Oracle plan computation model ---
   /// Simulated METIS runtime: base + per (V+E) element cost.
   SimTime plan_compute_base = milliseconds(50);

@@ -25,6 +25,7 @@ class ServerNode final : public sim::Process {
   }
 
   void on_start() override { core_.start(); }
+  void on_recover() override { core_.on_recover(); }
   void on_message(ProcessId from, const sim::MessagePtr& msg) override {
     core_.handle(from, msg);
   }
@@ -45,6 +46,7 @@ class OracleNode final : public sim::Process {
   }
 
   void on_start() override { core_.start(); }
+  void on_recover() override { core_.on_recover(); }
   void on_message(ProcessId from, const sim::MessagePtr& msg) override {
     core_.handle(from, msg);
   }

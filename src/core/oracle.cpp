@@ -33,7 +33,27 @@ OracleCore::OracleCore(sim::Env& env, const paxos::Topology& topology,
       [this](const multicast::McastData& data) { on_adeliver(data); });
 }
 
-void OracleCore::start() { member_.start(); }
+void OracleCore::start() {
+  member_.start();
+  arm_plan_repair_timer();
+}
+
+void OracleCore::on_recover() {
+  member_.on_recover();
+  // A plan-computation timer from the previous incarnation never fires;
+  // clear the latch so future hint deliveries can trigger a plan again.
+  computing_ = false;
+  arm_plan_repair_timer();
+}
+
+void OracleCore::arm_plan_repair_timer() {
+  // PlanMsg multicasts go out via the replica-local plan_sender_; re-drive
+  // any that a destination group never acknowledged.
+  env_.start_timer(milliseconds(100), [this] {
+    plan_sender_.retransmit_unacked();
+    arm_plan_repair_timer();
+  });
+}
 
 void OracleCore::preload_assignment(AssignmentPtr assignment, Epoch epoch) {
   map_ = *assignment;
@@ -46,7 +66,10 @@ void OracleCore::preload_vertex(VertexId v, std::int64_t weight) {
 }
 
 bool OracleCore::handle(ProcessId from, const sim::MessagePtr& msg) {
-  return member_.handle(from, msg);
+  if (member_.handle(from, msg)) return true;
+  // McastAcks for this replica's own PlanMsg sends (or late duplicates of
+  // acks the member already pruned).
+  return plan_sender_.handle(msg);
 }
 
 PartitionId OracleCore::lookup(VertexId v) const {
@@ -98,13 +121,14 @@ void OracleCore::on_request(const OracleRequest& request) {
       target = PartitionId{create_round_robin_++ % config_.num_partitions};
       pending_creates_.emplace(vertex, target);
     }
-    member_.amcast_as_group(
-        oracle_uid(/*purpose=*/1, ++relays_emitted_),
-        {kOracleGroup, group_of(target)},
-        sim::make_message<ExecCommand>(request.cmd,
-                                       std::vector<PartitionId>{target},
-                                       std::vector<PartitionId>{target}, target,
-                                       epoch_, request.attempt));
+    // Retransmitted creates resolve to the already-placed vertex, so the
+    // same target is addressed again and its reply cache answers.
+    auto exec = std::make_shared<const ExecCommand>(
+        request.cmd, std::vector<PartitionId>{target},
+        std::vector<PartitionId>{target}, target, epoch_, request.attempt);
+    relay_cache_[cmd.client.value()] = exec;
+    member_.amcast_as_group(oracle_uid(/*purpose=*/1, ++relays_emitted_),
+                            {kOracleGroup, group_of(target)}, exec);
     send_prophecy(request, ReplyStatus::kOk, target, {{vertex, target}});
     return;
   }
@@ -116,6 +140,29 @@ void OracleCore::on_request(const OracleRequest& request) {
   for (VertexId v : cmd.vertices) {
     const PartitionId p = lookup(v);
     if (p == kNoPartition) {
+      // A vertex can be un-resolvable because an earlier attempt of this
+      // very command already executed its delete. Re-relay with the original
+      // addressing (under the fresh attempt) so the target's reply cache
+      // answers; the prophecy carries no locations — the pinned addressing
+      // must not seed the client's cache.
+      auto cached = relay_cache_.find(cmd.client.value());
+      if (cached != relay_cache_.end() &&
+          cached->second->cmd->cmd_id == cmd.cmd_id) {
+        const ExecCommand& prev = *cached->second;
+        if (record_metrics_ && metrics_)
+          metrics_->add_counter("oracle.reply_cache_hits");
+        std::vector<GroupId> groups;
+        groups.reserve(prev.dests.size() + 1);
+        for (PartitionId d : prev.dests) groups.push_back(group_of(d));
+        if (cmd.type == CommandType::kDelete) groups.push_back(kOracleGroup);
+        member_.amcast_as_group(
+            oracle_uid(/*purpose=*/1, ++relays_emitted_), std::move(groups),
+            std::make_shared<const ExecCommand>(prev.cmd, prev.dests,
+                                                prev.owners, prev.target,
+                                                prev.epoch, request.attempt));
+        send_prophecy(request, ReplyStatus::kOk, prev.target, {});
+        return;
+      }
       send_prophecy(request, ReplyStatus::kNok, kNoPartition, {});
       return;
     }
@@ -132,11 +179,12 @@ void OracleCore::on_request(const OracleRequest& request) {
   for (PartitionId p : dests) groups.push_back(group_of(p));
   if (cmd.type == CommandType::kDelete) groups.push_back(kOracleGroup);
 
-  member_.amcast_as_group(
-      oracle_uid(/*purpose=*/1, ++relays_emitted_), std::move(groups),
-      sim::make_message<ExecCommand>(request.cmd, std::move(dests),
-                                     std::move(owners), target, epoch_,
-                                     request.attempt));
+  auto exec = std::make_shared<const ExecCommand>(request.cmd, std::move(dests),
+                                                  std::move(owners), target,
+                                                  epoch_, request.attempt);
+  relay_cache_[cmd.client.value()] = exec;
+  member_.amcast_as_group(oracle_uid(/*purpose=*/1, ++relays_emitted_),
+                          std::move(groups), exec);
   send_prophecy(request, ReplyStatus::kOk, target, std::move(locations));
 }
 

@@ -38,6 +38,10 @@ class OracleCore {
              bool record_metrics);
 
   void start();
+
+  /// Re-arms protocol timers after a crash/recover cycle.
+  void on_recover();
+
   bool handle(ProcessId from, const sim::MessagePtr& msg);
 
   // --- pre-run state loading ---
@@ -64,6 +68,7 @@ class OracleCore {
   void on_location_update(const LocationUpdate& update);
   void on_plan(const PlanMsg& plan);
   void maybe_trigger_repartition();
+  void arm_plan_repair_timer();
   void finish_repartition(Epoch candidate,
                           std::shared_ptr<partitioning::WorkloadGraph::Compact>
                               snapshot);
@@ -87,6 +92,13 @@ class OracleCore {
 
   /// Creates relayed but whose Task-2 delivery has not landed yet.
   std::unordered_map<VertexId, PartitionId> pending_creates_;
+
+  /// Last command relayed per client. A retransmitted request whose vertices
+  /// no longer resolve (the original attempt already executed a delete) is
+  /// re-relayed with the original addressing so the target's reply cache can
+  /// answer it, instead of bouncing kNok at the client.
+  std::unordered_map<std::uint64_t, std::shared_ptr<const ExecCommand>>
+      relay_cache_;
 
   std::uint64_t changes_ = 0;         // hint deltas since last plan
   bool computing_ = false;            // a plan is being computed

@@ -49,12 +49,18 @@ PartitionServerCore::PartitionServerCore(
       app_(std::move(app)),
       metrics_(metrics),
       record_metrics_(record_metrics),
-      member_(env, topology, group_of(partition), config.paxos) {
+      member_(env, topology, group_of(partition), config.paxos),
+      reliable_(env) {
   member_.set_deliver(
       [this](const multicast::McastData& data) { on_adeliver(data); });
 }
 
 void PartitionServerCore::start() { member_.start(); }
+
+void PartitionServerCore::on_recover() {
+  member_.on_recover();
+  reliable_.on_recover();
+}
 
 bool PartitionServerCore::is_primary_replica() const {
   return topology_.group(group_of(partition_)).replicas.front() == env_.self();
@@ -73,12 +79,25 @@ void PartitionServerCore::preload_assignment(AssignmentPtr assignment,
 
 bool PartitionServerCore::handle(ProcessId from, const sim::MessagePtr& msg) {
   if (member_.handle(from, msg)) return true;
+  sim::MessagePtr inner;
+  if (reliable_.handle(from, msg, &inner)) {
+    if (inner) dispatch_direct(from, inner);
+    return true;
+  }
+  // A McastAck for an entry the member already pruned (late duplicate).
+  if (dynamic_cast<const multicast::McastAck*>(msg.get()) != nullptr)
+    return true;
+  return dispatch_direct(from, msg);
+}
+
+bool PartitionServerCore::dispatch_direct(ProcessId /*from*/,
+                                          const sim::MessagePtr& msg) {
   if (auto* m = dynamic_cast<const VarTransfer*>(msg.get())) {
     on_var_transfer(*m);
     return true;
   }
-  if (auto* m = dynamic_cast<const VarReturn*>(msg.get())) {
-    on_var_return(*m);
+  if (auto m = std::dynamic_pointer_cast<const VarReturn>(msg)) {
+    on_var_return(m);
     return true;
   }
   if (auto* m = dynamic_cast<const ObjectHandoff*>(msg.get())) {
@@ -99,7 +118,7 @@ bool PartitionServerCore::handle(ProcessId from, const sim::MessagePtr& msg) {
 void PartitionServerCore::send_to_partition(PartitionId p,
                                             sim::MessagePtr msg) {
   for (ProcessId replica : topology_.group(group_of(p)).replicas)
-    env_.send_message(replica, msg);
+    reliable_.send(replica, msg);
 }
 
 // ---------------------------------------------------------------------------
@@ -129,6 +148,10 @@ void PartitionServerCore::pump() {
       continue;
     }
     ExecCommandPtr ec = item.exec;
+    if (serve_cached_duplicate(*ec)) {
+      queue_.pop_front();
+      continue;
+    }
     if (ec->cmd->type == CommandType::kCreate) {
       execute_create(*ec);
       queue_.pop_front();
@@ -189,6 +212,58 @@ void PartitionServerCore::pump() {
     sent_transfers_.erase(key);
     queue_.pop_front();
   }
+}
+
+void PartitionServerCore::remember_reply(const ExecCommand& ec,
+                                         ReplyStatus status,
+                                         const sim::MessagePtr& payload) {
+  auto& entry = reply_cache_[ec.cmd->client.value()];
+  if (entry.cmd_id > ec.cmd->cmd_id) return;  // never regress
+  entry = CachedReply{ec.cmd->cmd_id, status, payload};
+}
+
+bool PartitionServerCore::serve_cached_duplicate(const ExecCommand& ec) {
+  // At-most-once: a retransmitted command whose earlier attempt already
+  // executed here must not execute again. cmd_ids are monotone per client,
+  // so cached >= delivered means the delivered command (or a successor)
+  // already produced its authoritative reply.
+  auto it = reply_cache_.find(ec.cmd->client.value());
+  if (it == reply_cache_.end() || it->second.cmd_id < ec.cmd->cmd_id)
+    return false;
+  if (it->second.cmd_id == ec.cmd->cmd_id) {
+    env_.send_message(ec.cmd->client, sim::make_message<CommandReply>(
+                                          ec.cmd->cmd_id, ec.attempt,
+                                          it->second.status,
+                                          it->second.payload));
+    if (record_metrics_ && metrics_)
+      metrics_->add_counter("server.reply_cache_hits");
+  }
+  // cached > delivered: the client already moved past this command (it can
+  // only have timed out), so executing it now would violate session order —
+  // suppress it silently. Either way, clean up this attempt's coordination
+  // state like reject() does, so peers that shipped variables for the
+  // duplicate attempt get them bounced home.
+  const CmdKey key{ec.cmd->cmd_id, ec.attempt};
+  if (config_.mode == ExecutionMode::kSSMR) {
+    transfers_.erase(key);
+    ssmr_sent_.erase(key);
+    return true;
+  }
+  if (ec.dests.size() > 1 && ec.target == partition_) {
+    auto& sources = resolved_[key];
+    auto tstate = transfers_.find(key);
+    if (tstate != transfers_.end()) {
+      for (auto& [source, envelopes] : tstate->second.received) {
+        sources.insert(source);
+        send_to_partition(source,
+                          sim::make_message<VarReturn>(ec.cmd->cmd_id,
+                                                       ec.attempt, partition_,
+                                                       envelopes));
+      }
+      transfers_.erase(tstate);
+    }
+  }
+  return true;
 }
 
 PartitionServerCore::Classification PartitionServerCore::classify(
@@ -338,10 +413,12 @@ void PartitionServerCore::execute_target(const ExecCommand& ec) {
   ExecResult result = app_->execute(*ec.cmd, store_);
   env_.consume_cpu(result.cpu_cost);
 
+  sim::MessagePtr reply_payload = std::move(result.reply);
+  remember_reply(ec, ReplyStatus::kOk, reply_payload);
   env_.send_message(
       ec.cmd->client,
       sim::make_message<CommandReply>(ec.cmd->cmd_id, ec.attempt, ReplyStatus::kOk,
-                                      std::move(result.reply)));
+                                      std::move(reply_payload)));
 
   if (multi) {
     if (config_.mode == ExecutionMode::kDynaStar) {
@@ -399,6 +476,7 @@ void PartitionServerCore::execute_create(const ExecCommand& ec) {
   const ObjectId id = ec.cmd->objects.front();
   const VertexId vertex = ec.cmd->vertices.front();
   if (store_.contains(id)) {
+    remember_reply(ec, ReplyStatus::kNok, nullptr);
     env_.send_message(ec.cmd->client,
                       sim::make_message<CommandReply>(
                           ec.cmd->cmd_id, ec.attempt, ReplyStatus::kNok, nullptr));
@@ -406,6 +484,7 @@ void PartitionServerCore::execute_create(const ExecCommand& ec) {
   }
   store_.put(id, vertex, app_->make_object(*ec.cmd));
   map_[vertex] = partition_;
+  remember_reply(ec, ReplyStatus::kOk, nullptr);
   env_.send_message(ec.cmd->client,
                     sim::make_message<CommandReply>(ec.cmd->cmd_id, ec.attempt,
                                                     ReplyStatus::kOk, nullptr));
@@ -421,6 +500,7 @@ void PartitionServerCore::execute_delete(const ExecCommand& ec) {
   const VertexId vertex = ec.cmd->vertices.front();
   for (ObjectId id : store_.objects_of_vertex(vertex)) store_.take(id);
   map_.erase(vertex);
+  remember_reply(ec, ReplyStatus::kOk, nullptr);
   env_.send_message(ec.cmd->client,
                     sim::make_message<CommandReply>(ec.cmd->cmd_id, ec.attempt,
                                                     ReplyStatus::kOk, nullptr));
@@ -477,6 +557,13 @@ void PartitionServerCore::execute_non_target(const ExecCommand& ec) {
     send_to_partition(ec.target,
                       sim::make_message<VarTransfer>(ec.cmd->cmd_id, ec.attempt,
                                                      partition_, std::move(mine)));
+    // A peer replica's transfer may already have driven the target; if its
+    // (abort) return beat us here, consume it now.
+    if (auto early = early_returns_.find(key); early != early_returns_.end()) {
+      auto held = early->second;
+      early_returns_.erase(early);
+      on_var_return(held);
+    }
     return;  // permanent move: nothing comes back unless the move aborts
   }
 
@@ -488,6 +575,13 @@ void PartitionServerCore::execute_non_target(const ExecCommand& ec) {
   send_to_partition(ec.target,
                     sim::make_message<VarTransfer>(ec.cmd->cmd_id, ec.attempt,
                                                    partition_, std::move(mine)));
+  // A peer replica's transfer may already have driven the target; if its
+  // return beat us here, consume it now so we don't block on it forever.
+  if (auto early = early_returns_.find(key); early != early_returns_.end()) {
+    auto held = early->second;
+    early_returns_.erase(early);
+    on_var_return(held);
+  }
 }
 
 void PartitionServerCore::execute_ssmr(const ExecCommand& ec) {
@@ -503,10 +597,12 @@ void PartitionServerCore::execute_ssmr(const ExecCommand& ec) {
 
   ExecResult result = app_->execute(*ec.cmd, store_);
   env_.consume_cpu(result.cpu_cost);
+  sim::MessagePtr reply_payload = std::move(result.reply);
+  remember_reply(ec, ReplyStatus::kOk, reply_payload);
   env_.send_message(
       ec.cmd->client,
       sim::make_message<CommandReply>(ec.cmd->cmd_id, ec.attempt, ReplyStatus::kOk,
-                                      std::move(result.reply)));
+                                      std::move(reply_payload)));
 
   if (multi) {
     // Drop the copies of remote vertices; keep only our own updated state.
@@ -689,14 +785,21 @@ void PartitionServerCore::on_var_transfer(const VarTransfer& msg) {
   }
 }
 
-void PartitionServerCore::on_var_return(const VarReturn& msg) {
+void PartitionServerCore::on_var_return(
+    const std::shared_ptr<const VarReturn>& msg_ptr) {
+  const VarReturn& msg = *msg_ptr;
   const CmdKey key{msg.cmd_id, msg.attempt};
-  if (!returns_seen_.insert(key).second) return;  // other replica's copy
+  if (returns_seen_.contains(key)) return;  // other replica's copy
 
   if (config_.mode == ExecutionMode::kDSSMR) {
     // A return only happens when the move aborted: restore objects and map.
     auto move = dssmr_moves_.find(key);
-    if (move == dssmr_moves_.end()) return;
+    if (move == dssmr_moves_.end()) {
+      early_returns_[key] = msg_ptr;  // outran our own lend; hold it
+      return;
+    }
+    returns_seen_.insert(key);
+    early_returns_.erase(key);
     insert_envelopes(msg.objects);
     for (const auto& [vertex, previous] : move->second.previous_owner) {
       if (previous == kNoPartition)
@@ -713,7 +816,12 @@ void PartitionServerCore::on_var_return(const VarReturn& msg) {
   }
 
   auto it = lends_.find(key);
-  if (it == lends_.end()) return;  // nothing lent (e.g., we were the target)
+  if (it == lends_.end()) {
+    early_returns_[key] = msg_ptr;  // outran our own lend; hold it
+    return;
+  }
+  returns_seen_.insert(key);
+  early_returns_.erase(key);
   insert_envelopes(msg.objects);
   for (VertexId v : it->second.vertices) {
     auto cnt = lent_vertex_count_.find(v);

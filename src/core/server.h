@@ -27,6 +27,7 @@
 #include "multicast/member.h"
 #include "paxos/topology.h"
 #include "sim/env.h"
+#include "sim/reliable.h"
 
 namespace dynastar::core {
 
@@ -49,6 +50,9 @@ class PartitionServerCore {
                       MetricsRegistry* metrics, bool record_metrics);
 
   void start();
+
+  /// Re-arms protocol timers after a crash/recover cycle.
+  void on_recover();
 
   /// Handles multicast/paxos traffic and the direct coordination messages.
   bool handle(ProcessId from, const sim::MessagePtr& msg);
@@ -79,6 +83,10 @@ class PartitionServerCore {
   // Delivery / queue pump.
   void on_adeliver(const multicast::McastData& data);
   void pump();
+  bool dispatch_direct(ProcessId from, const sim::MessagePtr& msg);
+  bool serve_cached_duplicate(const ExecCommand& ec);
+  void remember_reply(const ExecCommand& ec, ReplyStatus status,
+                      const sim::MessagePtr& payload);
   Classification classify(const ExecCommand& ec);
   bool objects_available(const ExecCommand& ec, bool claimed_mine_only);
   bool transfers_ready_for_ssmr(const ExecCommand& ec);
@@ -92,7 +100,7 @@ class PartitionServerCore {
 
   // Direct message handlers.
   void on_var_transfer(const VarTransfer& msg);
-  void on_var_return(const VarReturn& msg);
+  void on_var_return(const std::shared_ptr<const VarReturn>& msg);
   void on_handoff(const ObjectHandoff& msg);
   void on_fetch(const FetchVertex& msg);
   void on_abort(const AbortNotice& msg);
@@ -117,6 +125,21 @@ class PartitionServerCore {
   bool record_metrics_;
 
   multicast::MemberCore member_;
+  /// Ack+retransmit channel for the direct (non-multicast) coordination
+  /// messages; a lost VarTransfer/VarReturn/ObjectHandoff would otherwise
+  /// block a partition's queue head forever.
+  sim::ReliableLink reliable_;
+
+  // At-most-once execution: the latest authoritative (kOk/kNok) reply per
+  // client. One entry per client — the closed-loop client has at most one
+  // outstanding command, and per-client cmd_ids increase monotonically, so
+  // the latest reply is the only one a retransmission can still ask for.
+  struct CachedReply {
+    std::uint64_t cmd_id = 0;
+    ReplyStatus status = ReplyStatus::kOk;
+    sim::MessagePtr payload;
+  };
+  std::unordered_map<std::uint64_t, CachedReply> reply_cache_;
 
   ObjectStore store_;
   Assignment map_;
@@ -147,6 +170,10 @@ class PartitionServerCore {
   std::unordered_set<ObjectId> lent_objects_;
   std::unordered_map<VertexId, int> lent_vertex_count_;
   std::set<CmdKey> returns_seen_;
+  // A return can outrun this replica's own processing of the command: the
+  // peer source replica's transfer drives the target, whose return lands
+  // here before we lent anything. Hold it until the lend record exists.
+  std::map<CmdKey, std::shared_ptr<const VarReturn>> early_returns_;
   std::set<CmdKey> sent_transfers_;  // non-target: vars already shipped
   std::set<CmdKey> ssmr_sent_;
   // Target-side: commands already executed or rejected, with the sources

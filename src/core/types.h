@@ -58,8 +58,9 @@ using CommandPtr = std::shared_ptr<const Command>;
 /// Outcome status carried in replies to the client.
 enum class ReplyStatus : std::uint8_t {
   kOk,
-  kRetry,  // stale addressing/epoch: re-resolve via the oracle
-  kNok,    // oracle rejected the command (e.g., unknown variable)
+  kRetry,    // stale addressing/epoch: re-resolve via the oracle
+  kNok,      // oracle rejected the command (e.g., unknown variable)
+  kTimeout,  // client-side: retransmission attempts exhausted
 };
 
 /// Plan epochs: each partitioning plan gets a monotonically increasing id;

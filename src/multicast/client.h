@@ -1,11 +1,17 @@
 // Client-side a-mcast helper for processes that are not group members
 // (application clients). Assigns uids and per-group FIFO sequence numbers
 // and transmits to every replica of each destination group.
+//
+// Sends are retained until every destination group acknowledges receipt
+// (McastAck); the owner decides when to retransmit unacked sends — the
+// DynaStar client does so from its command-timeout path, which bounds
+// retransmission traffic by the client's own backoff schedule.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "multicast/messages.h"
@@ -30,20 +36,54 @@ class McastClient {
     auto data = std::make_shared<const McastData>(
         uid, env_.self().value(), env_.self(), std::move(groups),
         std::move(seqs), std::move(payload));
-    auto msg = sim::make_message<McastSend>(data);
-    for (GroupId dest : data->groups) {
+    auto& entry = outbox_[uid];
+    entry.data = data;
+    entry.unacked.insert(data->groups.begin(), data->groups.end());
+    transmit(entry);
+    return uid;
+  }
+
+  /// Consumes McastAcks addressed to this sender; returns false for any
+  /// other message type.
+  bool handle(const sim::MessagePtr& msg) {
+    const auto* ack = dynamic_cast<const McastAck*>(msg.get());
+    if (ack == nullptr) return false;
+    auto it = outbox_.find(ack->uid);
+    if (it != outbox_.end()) {
+      it->second.unacked.erase(ack->group);
+      if (it->second.unacked.empty()) outbox_.erase(it);
+    }
+    return true;
+  }
+
+  /// Retransmits every send that still has unacked destination groups, in
+  /// uid (i.e. submission) order.
+  void retransmit_unacked() {
+    for (auto& [uid, entry] : outbox_) transmit(entry);
+  }
+
+  [[nodiscard]] std::size_t unacked() const { return outbox_.size(); }
+
+ private:
+  struct OutEntry {
+    McastDataPtr data;
+    std::set<GroupId> unacked;
+  };
+
+  void transmit(const OutEntry& entry) {
+    auto msg = sim::make_message<McastSend>(entry.data);
+    for (GroupId dest : entry.unacked) {
       for (ProcessId replica : topology_.group(dest).replicas) {
         env_.send_message(replica, msg);
       }
     }
-    return uid;
   }
 
- private:
   sim::Env& env_;
   const paxos::Topology& topology_;
   std::uint64_t next_uid_ = 0;
   std::map<GroupId, std::uint64_t> seq_per_group_;
+  std::map<Uid, OutEntry> outbox_;  // sends awaiting group acks
 };
 
 }  // namespace dynastar::multicast

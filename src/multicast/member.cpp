@@ -34,19 +34,34 @@ void MemberCore::start() {
   arm_repair_timer();
 }
 
+void MemberCore::on_recover() {
+  replica_.on_recover();
+  arm_repair_timer();
+}
+
 void MemberCore::arm_repair_timer() {
-  // Periodic leader-side repair: lost McastSends / TsProposals / Finals are
-  // re-driven; every path is idempotent (log-side and receiver-side dedupe),
-  // so duplicates are harmless.
+  // Periodic repair: lost McastSends / TsProposals / Finals / group-sender
+  // transmissions are re-driven; every path is idempotent (log-side and
+  // receiver-side dedupe), so duplicates are harmless. Unstarted entries are
+  // re-submitted by EVERY replica (a follower's submit is forwarded to the
+  // leader), not just the leader — the send may have reached only followers.
   env_.start_timer(kRepairInterval, [this] {
+    const SimTime now = env_.now();
+    for (auto& [uid, entry] : unstarted_) {
+      if (now - entry.since < kRepairInterval) continue;
+      entry.since = now;
+      replica_.submit(sim::make_message<StartEntry>(entry.data));
+    }
     if (replica_.is_leader()) {
-      for (const auto& [uid, data] : unstarted_)
-        replica_.submit(sim::make_message<StartEntry>(data));
       for (auto& [uid, pending] : pending_) {
         if (pending.data->groups.size() > 1 && !pending.final_ts.has_value()) {
           broadcast_ts_proposal(pending);
           maybe_submit_final(uid);
         }
+      }
+      for (auto& entry : outbox_) {
+        if (!entry.unacked.empty() && now - entry.last_tx >= kRepairInterval)
+          transmit(entry);
       }
     }
     arm_repair_timer();
@@ -56,8 +71,11 @@ void MemberCore::arm_repair_timer() {
 bool MemberCore::handle(ProcessId from, const sim::MessagePtr& msg) {
   if (replica_.handle(from, msg)) return true;
   if (auto* send = dynamic_cast<const McastSend*>(msg.get())) {
-    on_send(*send);
+    on_send(from, *send);
     return true;
+  }
+  if (auto* ack = dynamic_cast<const McastAck*>(msg.get())) {
+    return on_ack(*ack);
   }
   if (auto* prop = dynamic_cast<const TsProposal*>(msg.get())) {
     on_ts_proposal(*prop);
@@ -66,21 +84,49 @@ bool MemberCore::handle(ProcessId from, const sim::MessagePtr& msg) {
   return false;
 }
 
-void MemberCore::on_send(const McastSend& msg) {
+void MemberCore::on_send(ProcessId from, const McastSend& msg) {
   const Uid uid = msg.data->uid;
   const auto& groups = msg.data->groups;
   if (std::find(groups.begin(), groups.end(), group_) == groups.end()) return;
+  // Ack receipt even for duplicates — the sender's previous ack may have
+  // been lost, and it keeps retransmitting until one arrives.
+  env_.send_message(from, sim::make_message<McastAck>(uid, group_));
   if (seen_.contains(uid) || unstarted_.contains(uid)) return;
-  unstarted_[uid] = msg.data;
+  unstarted_[uid] = Unstarted{msg.data, env_.now()};
   if (replica_.is_leader())
     replica_.submit(sim::make_message<StartEntry>(msg.data));
+}
+
+bool MemberCore::on_ack(const McastAck& msg) {
+  for (auto it = outbox_.begin(); it != outbox_.end(); ++it) {
+    if (it->data->uid != msg.uid) continue;
+    it->unacked.erase(msg.group);
+    if (it->unacked.empty()) outbox_.erase(it);
+    return true;
+  }
+  // Not one of ours: either already fully acked (late duplicate) or aimed at
+  // a co-located McastClient. Let the caller route it.
+  return false;
 }
 
 void MemberCore::on_ts_proposal(const TsProposal& msg) {
   auto it = pending_.find(msg.uid);
   if (it == pending_.end()) {
-    if (!seen_.contains(msg.uid))
+    auto seen = seen_.find(msg.uid);
+    if (seen == seen_.end()) {
       early_proposals_[msg.uid][msg.from_group] = msg.ts;
+    } else if (!msg.reply && msg.from_group != group_) {
+      // Already ordered here — possibly already delivered, in which case the
+      // repair timer no longer re-drives our proposal. The sender may be
+      // polling because its copy of it was lost; answer with the remembered
+      // timestamp so the peer group can finalize. Replies are marked so two
+      // already-delivered groups never answer each other in a loop.
+      for (ProcessId replica : topology_.group(msg.from_group).replicas) {
+        env_.send_message(replica,
+                          sim::make_message<TsProposal>(
+                              msg.uid, group_, seen->second, /*reply=*/true));
+      }
+    }
     return;
   }
   auto [pos, inserted] =
@@ -116,11 +162,11 @@ void MemberCore::process_start(const McastDataPtr& data) {
   McastDataPtr current = data;
   while (true) {
     // Admit `current`: assign the group-local timestamp.
-    seen_.insert(current->uid);
     unstarted_.erase(current->uid);
     Pending pending;
     pending.data = current;
     pending.local_ts = ++clock_;
+    seen_.emplace(current->uid, pending.local_ts);
     pending.proposals.emplace(group_, pending.local_ts);
     if (auto early = early_proposals_.find(current->uid);
         early != early_proposals_.end()) {
@@ -205,15 +251,18 @@ void MemberCore::try_deliver() {
 void MemberCore::on_gain_leadership() {
   // A previous leader may have died between ordering and coordinating; make
   // every in-flight step happen again (receivers deduplicate).
-  for (const auto& [uid, data] : unstarted_)
-    replica_.submit(sim::make_message<StartEntry>(data));
+  for (auto& [uid, entry] : unstarted_) {
+    entry.since = env_.now();
+    replica_.submit(sim::make_message<StartEntry>(entry.data));
+  }
   for (auto& [uid, pending] : pending_) {
     if (pending.data->groups.size() > 1 && !pending.final_ts.has_value()) {
       broadcast_ts_proposal(pending);
       maybe_submit_final(uid);
     }
   }
-  for (const auto& data : outbox_) transmit(data);
+  for (auto& entry : outbox_)
+    if (!entry.unacked.empty()) transmit(entry);
 }
 
 void MemberCore::amcast_as_group(Uid uid, std::vector<GroupId> groups,
@@ -226,13 +275,17 @@ void MemberCore::amcast_as_group(Uid uid, std::vector<GroupId> groups,
   auto data = std::make_shared<const McastData>(
       uid, group_sender_key(group_), env_.self(), std::move(groups),
       std::move(seqs), std::move(payload));
-  outbox_.push_back(data);
-  if (replica_.is_leader()) transmit(data);
+  OutEntry entry;
+  entry.data = data;
+  entry.unacked.insert(data->groups.begin(), data->groups.end());
+  outbox_.push_back(std::move(entry));
+  if (replica_.is_leader()) transmit(outbox_.back());
 }
 
-void MemberCore::transmit(const McastDataPtr& data) {
-  auto msg = sim::make_message<McastSend>(data);
-  for (GroupId dest : data->groups) {
+void MemberCore::transmit(OutEntry& entry) {
+  entry.last_tx = env_.now();
+  auto msg = sim::make_message<McastSend>(entry.data);
+  for (GroupId dest : entry.unacked) {
     for (ProcessId replica : topology_.group(dest).replicas) {
       env_.send_message(replica, msg);
     }

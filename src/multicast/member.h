@@ -11,6 +11,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -35,8 +36,15 @@ class MemberCore {
 
   void start();
 
+  /// Re-arms timers after a crash/recover cycle (the previous incarnation's
+  /// timers never fire). Retained protocol state is repaired by the normal
+  /// retransmission paths.
+  void on_recover();
+
   /// Handles Paxos and multicast messages; returns false for anything else
-  /// (application messages the caller should dispatch itself).
+  /// (application messages the caller should dispatch itself). A McastAck
+  /// for a multicast this member did not emit also returns false so the
+  /// caller can route it to a co-located McastClient.
   bool handle(ProcessId from, const sim::MessagePtr& msg);
 
   /// Deterministic group-sender a-mcast: every replica of this group calls
@@ -59,16 +67,23 @@ class MemberCore {
     std::optional<Timestamp> final_ts;
   };
 
+  struct OutEntry {
+    McastDataPtr data;
+    std::set<GroupId> unacked;  // destination groups not yet heard from
+    SimTime last_tx = 0;
+  };
+
   void on_log_entry(const sim::MessagePtr& value);
   void process_start(const McastDataPtr& data);
   void process_final(Uid uid, Timestamp ts);
-  void on_send(const McastSend& msg);
+  void on_send(ProcessId from, const McastSend& msg);
+  bool on_ack(const McastAck& msg);
   void on_ts_proposal(const TsProposal& msg);
   void maybe_submit_final(Uid uid);
   void broadcast_ts_proposal(const Pending& pending);
   void try_deliver();
   void on_gain_leadership();
-  void transmit(const McastDataPtr& data);
+  void transmit(OutEntry& entry);
   void arm_repair_timer();
 
   sim::Env& env_;
@@ -79,7 +94,12 @@ class MemberCore {
 
   Timestamp clock_ = 0;
   std::unordered_map<Uid, Pending> pending_;
-  std::unordered_set<Uid> seen_;  // started or delivered: dedupe for Start
+  // Started or delivered uids (dedupe for Start), each with the group-local
+  // timestamp assigned at admission. The timestamp outlives the pending_
+  // entry on purpose: after this group delivers, a peer group whose copy of
+  // our proposal was lost still repair-polls with its own proposal, and we
+  // must be able to answer (see on_ts_proposal) or that group wedges.
+  std::unordered_map<Uid, Timestamp> seen_;
   std::uint64_t delivered_count_ = 0;
 
   // Timestamp proposals that arrived before the Start entry was processed.
@@ -94,15 +114,19 @@ class MemberCore {
   };
   std::unordered_map<std::uint64_t, SenderChannel> channels_;
 
-  // McastSends received but not yet seen as Start entries; the leader
-  // submits them, every replica retains them until started so a new leader
-  // can re-submit.
-  std::map<Uid, McastDataPtr> unstarted_;
+  // McastSends received but not yet seen as Start entries; every replica
+  // retains (and periodically re-submits) them until started, so a send that
+  // reached only a follower — or whose leader died — still gets ordered.
+  struct Unstarted {
+    McastDataPtr data;
+    SimTime since = 0;  // last submission attempt (age-gates resubmits)
+  };
+  std::map<Uid, Unstarted> unstarted_;
 
-  // Group-sender outbox: multicasts this group emitted (deterministically)
-  // that a new leader must re-transmit. Bounded by pruning on Start feedback
-  // from destination groups is unnecessary in simulation; kept whole.
-  std::vector<McastDataPtr> outbox_;
+  // Group-sender outbox: multicasts this group emitted (deterministically).
+  // The leader retransmits entries to destination groups that have not acked
+  // yet; fully-acked entries are pruned.
+  std::vector<OutEntry> outbox_;
 
   // Deterministic per-destination-group fifo sequence counters for
   // amcast_as_group (replicated state: identical at all replicas).

@@ -72,14 +72,30 @@ struct McastSend final : sim::Message {
   McastDataPtr data;
 };
 
+/// Receiver replica -> transmitting process: "group `group` has received
+/// multicast `uid`". Positive acknowledgement driving sender-side
+/// retransmission — without it, a McastSend lost on every link to a
+/// destination group would leave that group's FIFO channel waiting forever.
+struct McastAck final : sim::Message {
+  McastAck(Uid u, GroupId g) : uid(u), group(g) {}
+  const char* type_name() const override { return "mcast.Ack"; }
+  Uid uid;
+  GroupId group;
+};
+
 /// Leader of one destination group -> replicas of the other destination
-/// groups: "my group ordered `uid` at local timestamp `ts`".
+/// groups: "my group ordered `uid` at local timestamp `ts`". `reply` marks
+/// an answer to another group's (re-)broadcast from a group that already
+/// ordered the message; replies must never trigger counter-replies, or two
+/// groups that both delivered would answer each other forever.
 struct TsProposal final : sim::Message {
-  TsProposal(Uid u, GroupId g, Timestamp t) : uid(u), from_group(g), ts(t) {}
+  TsProposal(Uid u, GroupId g, Timestamp t, bool r = false)
+      : uid(u), from_group(g), ts(t), reply(r) {}
   const char* type_name() const override { return "mcast.TsProposal"; }
   Uid uid;
   GroupId from_group;
   Timestamp ts;
+  bool reply;
 };
 
 /// Log entry: the group ordered this multicast (assigns the local timestamp

@@ -8,8 +8,10 @@
 namespace dynastar::paxos {
 
 namespace {
-/// Applied log entries retained for serving CatchupReq.
-constexpr Slot kCatchupWindow = 4096;
+/// Applied log entries retained for serving CatchupReq. Sized so a replica
+/// that was crashed for a full chaos-injector downtime window can still
+/// catch up from a peer's log instead of wedging.
+constexpr Slot kCatchupWindow = 16384;
 }  // namespace
 
 ReplicaCore::ReplicaCore(sim::Env& env, const Topology& topology, GroupId group,
@@ -56,20 +58,47 @@ void ReplicaCore::submit(sim::MessagePtr value) {
     }
     return;
   }
-  // Forward to whoever owns the current ballot; if an election is running we
-  // stash and retry shortly.
-  if (state_ == State::kFollower) {
+  // Forward to whoever owns the current ballot; if an election is running —
+  // or the hint points at ourselves (possible right after recovering from a
+  // crash while owning the ballot), which would loop the forward back here —
+  // we stash and retry shortly.
+  if (state_ == State::kFollower && leader_hint() != env_.self()) {
     env_.send_message(leader_hint(), sim::make_message<ProposeReq>(std::move(value)));
   } else {
     stashed_.push_back(std::move(value));
-    env_.start_timer(config_.phase1_timeout, [this] {
-      while (!stashed_.empty()) {
-        auto v = std::move(stashed_.front());
-        stashed_.pop_front();
-        submit(std::move(v));
-      }
-    });
+    arm_stash_retry();
   }
+}
+
+void ReplicaCore::arm_stash_retry() {
+  if (stash_retry_armed_) return;
+  stash_retry_armed_ = true;
+  env_.start_timer(config_.phase1_timeout, [this] {
+    stash_retry_armed_ = false;
+    // Drain into a local batch first: submit() may legitimately re-stash a
+    // value (leadership still unresolved), and popping from the same deque
+    // we push to would spin forever.
+    std::deque<sim::MessagePtr> pending;
+    pending.swap(stashed_);
+    for (auto& v : pending) submit(std::move(v));
+    if (!stashed_.empty()) arm_stash_retry();
+  });
+}
+
+void ReplicaCore::on_recover() {
+  // The previous incarnation's timers are gone; clear every "timer armed"
+  // latch and restart liveness from follower (or re-contest leadership via
+  // the normal election path if we still own the highest ballot we saw).
+  catchup_pending_ = false;
+  flush_scheduled_ = false;
+  stash_retry_armed_ = false;
+  if (state_ != State::kFollower) {
+    step_down(ballot_);
+  } else {
+    last_leader_contact_ = env_.now();
+    arm_election_timer();
+  }
+  if (!stashed_.empty()) arm_stash_retry();
 }
 
 bool ReplicaCore::handle(ProcessId from, const sim::MessagePtr& msg) {

@@ -52,6 +52,11 @@ class ReplicaCore {
   /// Starts timers; leader bootstrap for replica index 0.
   void start();
 
+  /// Re-establishes liveness after a crash/recover cycle: the previous
+  /// incarnation's timers never fire, so elections/batching/catchup must be
+  /// re-armed. Durable protocol state (ballot, log) is retained.
+  void on_recover();
+
   /// Submits a value for total ordering within this group. May be called by
   /// the co-located upper layer at any time.
   void submit(sim::MessagePtr value);
@@ -86,6 +91,7 @@ class ReplicaCore {
   void try_deliver();
   void arm_election_timer();
   void arm_heartbeat_timer();
+  void arm_stash_retry();
   void maybe_request_catchup(Slot leader_next);
   [[nodiscard]] Ballot next_owned_ballot(Ballot at_least) const;
   [[nodiscard]] std::size_t my_index() const { return my_index_; }
@@ -128,6 +134,7 @@ class ReplicaCore {
 
   // Values awaiting a known leader (buffered during elections).
   std::deque<sim::MessagePtr> stashed_;
+  bool stash_retry_armed_ = false;
 };
 
 }  // namespace dynastar::paxos

@@ -1,0 +1,141 @@
+#include "sim/chaos.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dynastar::sim {
+
+void ChaosInjector::arm() {
+  schedule_crashes();
+  schedule_link_cuts();
+  schedule_network_windows();
+}
+
+SimTime ChaosInjector::random_time_in_horizon(SimTime latest_margin) {
+  const SimTime span = std::max<SimTime>(1, config_.horizon - latest_margin);
+  return config_.start +
+         static_cast<SimTime>(rng_.uniform(0, static_cast<std::uint64_t>(span)));
+}
+
+void ChaosInjector::record(SimTime at, std::string what) {
+  std::ostringstream line;
+  line << "t=" << to_millis(at) << "ms " << what;
+  log_.push_back(line.str());
+  ++injected_;
+  world_.metrics().add_counter("chaos.events");
+}
+
+void ChaosInjector::schedule_crashes() {
+  if (config_.crash_groups.empty() || config_.crash_events == 0) return;
+  // Per-group "next free time": a group's windows never overlap, so at most
+  // one member of any replica group is down at once.
+  std::vector<SimTime> free_at(config_.crash_groups.size(), config_.start);
+  for (std::size_t e = 0; e < config_.crash_events; ++e) {
+    const std::size_t g = static_cast<std::size_t>(
+        rng_.uniform(0, config_.crash_groups.size() - 1));
+    const auto& members = config_.crash_groups[g];
+    if (members.empty()) continue;
+    const ProcessId victim =
+        members[static_cast<std::size_t>(rng_.uniform(0, members.size() - 1))];
+    const SimTime downtime = static_cast<SimTime>(
+        rng_.uniform(static_cast<std::uint64_t>(config_.min_downtime),
+                     static_cast<std::uint64_t>(config_.max_downtime)));
+    SimTime at = random_time_in_horizon(config_.max_downtime);
+    at = std::max(at, free_at[g]);
+    free_at[g] = at + downtime + milliseconds(100);
+
+    world_.sim().schedule_at(at, [this, victim, at] {
+      std::ostringstream what;
+      what << "crash p" << victim;
+      record(at, what.str());
+      world_.crash(victim);
+    });
+    const SimTime up_at = at + downtime;
+    world_.sim().schedule_at(up_at, [this, victim, up_at] {
+      std::ostringstream what;
+      what << "recover p" << victim;
+      record(up_at, what.str());
+      world_.recover(victim);
+    });
+  }
+}
+
+void ChaosInjector::schedule_link_cuts() {
+  if (config_.link_pool.size() < 2 || config_.link_cut_events == 0) return;
+  for (std::size_t e = 0; e < config_.link_cut_events; ++e) {
+    const std::size_t a = static_cast<std::size_t>(
+        rng_.uniform(0, config_.link_pool.size() - 1));
+    std::size_t b = static_cast<std::size_t>(
+        rng_.uniform(0, config_.link_pool.size() - 2));
+    if (b >= a) ++b;
+    const ProcessId from = config_.link_pool[a];
+    const ProcessId to = config_.link_pool[b];
+    const SimTime duration = static_cast<SimTime>(
+        rng_.uniform(static_cast<std::uint64_t>(milliseconds(50)),
+                     static_cast<std::uint64_t>(config_.max_cut)));
+    const SimTime at = random_time_in_horizon(config_.max_cut);
+
+    world_.sim().schedule_at(at, [this, from, to, at] {
+      std::ostringstream what;
+      what << "cut link p" << from << "->p" << to;
+      record(at, what.str());
+      world_.network().block_link(from, to);
+    });
+    const SimTime heal_at = at + duration;
+    world_.sim().schedule_at(heal_at, [this, from, to, heal_at] {
+      std::ostringstream what;
+      what << "heal link p" << from << "->p" << to;
+      record(heal_at, what.str());
+      world_.network().unblock_link(from, to);
+    });
+  }
+}
+
+void ChaosInjector::schedule_network_windows() {
+  // Windows of one kind may overlap, so restores are refcounted: the first
+  // window to open captures the steady-state value, and only the last window
+  // to close restores it. Per-window save/restore would leave the burst value
+  // permanently installed when windows overlap without nesting.
+  for (std::size_t e = 0; e < config_.drop_burst_events; ++e) {
+    const SimTime duration = static_cast<SimTime>(
+        rng_.uniform(static_cast<std::uint64_t>(milliseconds(50)),
+                     static_cast<std::uint64_t>(config_.max_window)));
+    const SimTime at = random_time_in_horizon(config_.max_window);
+    const double burst = config_.burst_drop_probability;
+    world_.sim().schedule_at(at, [this, at, burst] {
+      std::ostringstream what;
+      what << "drop burst p=" << burst;
+      record(at, what.str());
+      if (drop_windows_++ == 0)
+        steady_drop_ = world_.network().config().drop_probability;
+      world_.network().config().drop_probability = burst;
+    });
+    world_.sim().schedule_at(at + duration, [this, at, duration] {
+      record(at + duration, "drop burst end");
+      if (--drop_windows_ == 0)
+        world_.network().config().drop_probability = steady_drop_;
+    });
+  }
+  for (std::size_t e = 0; e < config_.latency_spike_events; ++e) {
+    const SimTime duration = static_cast<SimTime>(
+        rng_.uniform(static_cast<std::uint64_t>(milliseconds(50)),
+                     static_cast<std::uint64_t>(config_.max_window)));
+    const SimTime at = random_time_in_horizon(config_.max_window);
+    const SimTime spike = config_.spike_latency;
+    world_.sim().schedule_at(at, [this, at, spike] {
+      std::ostringstream what;
+      what << "latency spike " << to_millis(spike) << "ms";
+      record(at, what.str());
+      if (latency_windows_++ == 0)
+        steady_latency_ = world_.network().config().base_latency;
+      world_.network().config().base_latency = spike;
+    });
+    world_.sim().schedule_at(at + duration, [this, at, duration] {
+      record(at + duration, "latency spike end");
+      if (--latency_windows_ == 0)
+        world_.network().config().base_latency = steady_latency_;
+    });
+  }
+}
+
+}  // namespace dynastar::sim

@@ -1,0 +1,83 @@
+// ChaosInjector: a seeded, deterministic nemesis.
+//
+// Given a ChaosConfig, the injector pre-computes a schedule of fault events
+// (process crash + delayed recover, directed link cuts/heals, transient
+// latency-spike and drop-burst windows) from its own Rng stream and arms them
+// on the world's simulator before the run starts. Because the schedule is a
+// pure function of the config, two runs with the same seed inject the exact
+// same faults at the exact same instants — chaos tests stay bit-reproducible.
+//
+// Inspired by Jepsen-style nemesis testing: the injector never touches
+// protocol state, only the environment (World::crash/recover, link blocking,
+// NetworkConfig windows).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "sim/world.h"
+
+namespace dynastar::sim {
+
+struct ChaosConfig {
+  std::uint64_t seed = 42;
+  /// Faults are injected in [start, start + horizon); recoveries/heals may
+  /// land slightly after the horizon but are always scheduled.
+  SimTime start = seconds(1);
+  SimTime horizon = seconds(8);
+
+  /// Crash targets, grouped by replica group: at most one process per group
+  /// is down at a time, so every Paxos group keeps a live majority path once
+  /// its peers are reachable.
+  std::vector<std::vector<ProcessId>> crash_groups;
+  std::size_t crash_events = 2;
+  SimTime min_downtime = milliseconds(300);
+  SimTime max_downtime = milliseconds(900);
+
+  /// Pool of processes between which directed links may be cut and healed.
+  std::vector<ProcessId> link_pool;
+  std::size_t link_cut_events = 0;
+  SimTime max_cut = milliseconds(500);
+
+  /// Transient windows that temporarily rewrite NetworkConfig.
+  std::size_t drop_burst_events = 0;
+  double burst_drop_probability = 0.2;
+  std::size_t latency_spike_events = 0;
+  SimTime spike_latency = milliseconds(2);
+  SimTime max_window = milliseconds(400);
+};
+
+class ChaosInjector {
+ public:
+  ChaosInjector(World& world, ChaosConfig config)
+      : world_(world), config_(std::move(config)), rng_(config_.seed) {}
+
+  /// Generates the whole fault program and schedules it on the simulator.
+  /// Call once, before World::run_until.
+  void arm();
+
+  [[nodiscard]] std::size_t events_injected() const { return injected_; }
+  [[nodiscard]] const std::vector<std::string>& log() const { return log_; }
+
+ private:
+  void schedule_crashes();
+  void schedule_link_cuts();
+  void schedule_network_windows();
+  SimTime random_time_in_horizon(SimTime latest_margin);
+  void record(SimTime at, std::string what);
+
+  World& world_;
+  ChaosConfig config_;
+  Rng rng_;
+  std::size_t injected_ = 0;
+  std::vector<std::string> log_;
+  // Refcounts for overlapping network-config windows (see .cpp).
+  int drop_windows_ = 0;
+  int latency_windows_ = 0;
+  double steady_drop_ = 0.0;
+  SimTime steady_latency_ = 0;
+};
+
+}  // namespace dynastar::sim

@@ -3,8 +3,8 @@
 namespace dynastar::sim {
 
 namespace {
-std::uint64_t link_key(ProcessId from, ProcessId to) {
-  return (from.value() << 32) | (to.value() & 0xffffffffULL);
+Network::LinkKey link_key(ProcessId from, ProcessId to) {
+  return Network::LinkKey{from.value(), to.value()};
 }
 }  // namespace
 

@@ -59,6 +59,25 @@ class Network {
 
   NetworkConfig& config() { return config_; }
 
+  /// A directed link, identified by the full 64-bit endpoint ids. (An earlier
+  /// revision packed both ids into one 64-bit word, which silently collided
+  /// for process ids >= 2^32.)
+  struct LinkKey {
+    std::uint64_t from;
+    std::uint64_t to;
+    bool operator==(const LinkKey&) const = default;
+  };
+  struct LinkKeyHash {
+    std::size_t operator()(const LinkKey& key) const {
+      // splitmix64-style mix of both halves; order-sensitive so (a, b) and
+      // (b, a) hash independently.
+      std::uint64_t x = key.from * 0x9e3779b97f4a7c15ULL ^ key.to;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      return static_cast<std::size_t>(x ^ (x >> 31));
+    }
+  };
+
  private:
   [[nodiscard]] SimTime sample_latency(std::size_t payload_bytes);
 
@@ -66,7 +85,7 @@ class Network {
   NetworkConfig config_;
   Rng rng_;
   Deliver deliver_;
-  std::unordered_set<std::uint64_t> blocked_;  // packed (from << 32 | to)
+  std::unordered_set<LinkKey, LinkKeyHash> blocked_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_dropped_ = 0;
   std::uint64_t bytes_sent_ = 0;

@@ -1,0 +1,69 @@
+#include "sim/reliable.h"
+
+namespace dynastar::sim {
+
+namespace {
+// Retransmission cadence and budget. The interval is well above one network
+// round-trip (hundreds of microseconds), so in a loss-free run a message is
+// acked long before the first retry fires. ~5 simulated seconds of retries
+// outlives every crash window the chaos injector schedules.
+constexpr SimTime kRetryInterval = milliseconds(100);
+constexpr std::uint32_t kMaxTries = 50;
+}  // namespace
+
+void ReliableLink::send(ProcessId to, MessagePtr msg) {
+  const std::uint64_t token =
+      (env_.self().value() << 20) ^ ++next_token_;
+  auto wrapped = make_message<ReliableMsg>(token, std::move(msg));
+  pending_[token] = Pending{to, wrapped, env_.now(), 1};
+  env_.send_message(to, wrapped);
+  maybe_arm();
+}
+
+bool ReliableLink::handle(ProcessId from, const MessagePtr& msg,
+                          MessagePtr* inner) {
+  if (inner != nullptr) *inner = nullptr;
+  if (const auto* ack = dynamic_cast<const ReliableAck*>(msg.get())) {
+    pending_.erase(ack->token);
+    return true;
+  }
+  if (const auto* wrapped = dynamic_cast<const ReliableMsg*>(msg.get())) {
+    env_.send_message(from, make_message<ReliableAck>(wrapped->token));
+    if (inner != nullptr) *inner = wrapped->inner;
+    return true;
+  }
+  return false;
+}
+
+void ReliableLink::on_recover() {
+  armed_ = false;
+  maybe_arm();
+}
+
+void ReliableLink::maybe_arm() {
+  if (armed_ || pending_.empty()) return;
+  armed_ = true;
+  env_.start_timer(kRetryInterval, [this] { on_timer(); });
+}
+
+void ReliableLink::on_timer() {
+  armed_ = false;
+  const SimTime now = env_.now();
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    auto& p = it->second;
+    if (now - p.last_tx >= kRetryInterval) {
+      if (p.tries >= kMaxTries) {
+        // Peer presumed permanently dead; drop rather than retry forever.
+        it = pending_.erase(it);
+        continue;
+      }
+      ++p.tries;
+      p.last_tx = now;
+      env_.send_message(p.to, p.wrapped);
+    }
+    ++it;
+  }
+  maybe_arm();
+}
+
+}  // namespace dynastar::sim

@@ -1,0 +1,79 @@
+// ReliableLink: ack + retransmit for point-to-point protocol messages.
+//
+// The simulated network may drop messages; most protocol layers already
+// repair their own traffic (Paxos retries phase 2, the multicast repair
+// timer re-drives coordination), but the direct server-to-server messages
+// (variable transfers/returns, plan handoffs, abort notices) have no
+// retransmission path of their own — a single lost transfer would block a
+// partition's queue head forever. ReliableLink wraps such messages with a
+// per-sender token, acks on receipt, and retransmits unacked messages until
+// they are acked or a retry budget runs out (the peer is presumed dead; its
+// replica group peer holds a copy of every such message anyway).
+//
+// Receivers must be idempotent under duplicates: a retransmission whose ack
+// was lost is delivered twice. All wrapped DynaStar messages already dedupe
+// at the protocol level.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/ids.h"
+#include "sim/env.h"
+#include "sim/message.h"
+
+namespace dynastar::sim {
+
+/// Wrapper carrying the retransmission token.
+struct ReliableMsg final : Message {
+  ReliableMsg(std::uint64_t t, MessagePtr m) : token(t), inner(std::move(m)) {}
+  const char* type_name() const override { return "sim.Reliable"; }
+  std::size_t size_bytes() const override {
+    return 8 + (inner ? inner->size_bytes() : 0);
+  }
+  std::uint64_t token;
+  MessagePtr inner;
+};
+
+struct ReliableAck final : Message {
+  explicit ReliableAck(std::uint64_t t) : token(t) {}
+  const char* type_name() const override { return "sim.ReliableAck"; }
+  std::uint64_t token;
+};
+
+class ReliableLink {
+ public:
+  explicit ReliableLink(Env& env) : env_(env) {}
+
+  /// Sends `msg` to `to`, retransmitting until acked (or retries exhaust).
+  void send(ProcessId to, MessagePtr msg);
+
+  /// Consumes ReliableMsg/ReliableAck. For a ReliableMsg, acks the sender
+  /// and surfaces the payload via `*inner` for the caller to dispatch.
+  /// Returns false (and leaves `*inner` null) for any other message type.
+  bool handle(ProcessId from, const MessagePtr& msg, MessagePtr* inner);
+
+  /// Re-arms the retransmission timer after a crash/recover cycle (timers of
+  /// the previous incarnation never fire; pending sends are retained).
+  void on_recover();
+
+  [[nodiscard]] std::size_t unacked() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    ProcessId to{0};
+    MessagePtr wrapped;
+    SimTime last_tx = 0;
+    std::uint32_t tries = 0;
+  };
+
+  void maybe_arm();
+  void on_timer();
+
+  Env& env_;
+  std::map<std::uint64_t, Pending> pending_;  // token -> in-flight send
+  std::uint64_t next_token_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace dynastar::sim

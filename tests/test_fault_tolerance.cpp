@@ -1,44 +1,20 @@
 // Fault tolerance of the full system: replicas and acceptors are fail-stop
 // (the paper deploys 2 replicas + 3 acceptors per partition; the system
-// must survive one replica and one acceptor failure per group).
+// must survive one replica and one acceptor failure per group), and crashed
+// replicas may later recover and rejoin their group.
 #include <gtest/gtest.h>
 
 #include "core/system.h"
+#include "tests/test_util.h"
 #include "workloads/kv.h"
 #include "workloads/kv_drivers.h"
 
 namespace dynastar {
 namespace {
 
-core::SystemConfig config_for(core::ExecutionMode mode) {
-  core::SystemConfig config;
-  config.mode = mode;
-  config.num_partitions = 2;
-  config.repartitioning_enabled = false;
-  config.repartition_hint_threshold = UINT64_MAX;
-  return config;
-}
-
-void preload(core::System& system, std::uint64_t keys) {
-  core::Assignment assignment;
-  workloads::KvObject zero(0);
-  for (std::uint64_t k = 0; k < keys; ++k) {
-    const PartitionId p{k % system.config().num_partitions};
-    assignment[core::VertexId{k}] = p;
-    system.preload_object(ObjectId{k}, core::VertexId{k}, p, zero);
-  }
-  system.preload_assignment(assignment);
-}
-
-double tail_throughput(core::System& system, std::size_t last_n) {
-  const auto& completed = system.metrics().series("completed");
-  double total = 0;
-  const std::size_t buckets = completed.num_buckets();
-  for (std::size_t b = buckets > last_n ? buckets - last_n : 0; b < buckets;
-       ++b)
-    total += completed.at(b);
-  return total;
-}
+using testutil::config_for;
+using testutil::preload;
+using testutil::tail_throughput;
 
 TEST(FaultTolerance, PartitionSurvivesReplicaCrash) {
   core::System system(config_for(core::ExecutionMode::kDynaStar),
@@ -123,6 +99,63 @@ TEST(FaultTolerance, CrashDuringCrossPartitionTrafficIsLive) {
   system.world().crash(
       system.topology().group(core::group_of(PartitionId{1})).replicas[0]);
   system.run_until(seconds(15));
+  EXPECT_GT(tail_throughput(system, 3), 30.0);
+}
+
+TEST(FaultTolerance, PartitionReplicaRecoversAndRejoins) {
+  core::System system(config_for(core::ExecutionMode::kDynaStar),
+                      workloads::kv_app_factory());
+  preload(system, 16);
+  for (int c = 0; c < 6; ++c) {
+    system.add_client(
+        std::make_unique<workloads::RandomKvDriver>(16, 0.5, 0.3));
+  }
+  system.run_until(seconds(3));
+  EXPECT_GT(system.metrics().series("completed").total(), 100.0);
+
+  // Crash the bootstrap leader of partition 0, let the follower take over,
+  // then bring the crashed replica back. It must rejoin as follower without
+  // destabilising the group (no dueling-leader livelock).
+  const ProcessId victim =
+      system.topology().group(core::group_of(PartitionId{0})).replicas[0];
+  system.world().crash(victim);
+  system.run_until(seconds(9));
+  system.world().recover(victim);
+  system.run_until(seconds(16));
+  EXPECT_GT(tail_throughput(system, 3), 50.0)
+      << "throughput did not hold after the crashed replica rejoined";
+}
+
+TEST(FaultTolerance, OracleReplicaRecoversAndRejoins) {
+  core::System system(config_for(core::ExecutionMode::kDynaStar),
+                      workloads::kv_app_factory());
+  preload(system, 16);
+  for (int c = 0; c < 4; ++c) {
+    system.add_client(
+        std::make_unique<workloads::RandomKvDriver>(16, 0.5, 0.3));
+  }
+  system.run_until(seconds(2));
+  const ProcessId victim =
+      system.topology().group(core::kOracleGroup).replicas[0];
+  system.world().crash(victim);
+  system.run_until(seconds(6));
+  system.world().recover(victim);
+  system.run_until(seconds(10));
+
+  // Fresh clients (empty caches) must resolve through the oracle after the
+  // recovered replica has rejoined its group.
+  std::vector<workloads::ScriptedKvDriver::Record> records;
+  std::vector<core::CommandSpec> script;
+  core::CommandSpec spec;
+  spec.objects.emplace_back(ObjectId{5}, core::VertexId{5});
+  spec.payload =
+      sim::make_message<workloads::KvOp>(workloads::KvOp::Kind::kGet, 0);
+  script.push_back(spec);
+  system.add_client(
+      std::make_unique<workloads::ScriptedKvDriver>(script, &records));
+  system.run_until(seconds(16));
+  ASSERT_EQ(records.size(), 1u) << "oracle did not answer after recovery";
+  EXPECT_EQ(records[0].status, core::ReplyStatus::kOk);
   EXPECT_GT(tail_throughput(system, 3), 30.0);
 }
 

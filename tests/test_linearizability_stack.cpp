@@ -12,67 +12,14 @@
 
 #include "common/linearizability.h"
 #include "core/system.h"
+#include "tests/test_util.h"
 #include "workloads/kv.h"
 
 namespace dynastar {
 namespace {
 
-using core::CommandSpec;
 using core::VertexId;
-using workloads::KvOp;
-using workloads::KvReply;
-
-/// Issues random single/multi-key gets and puts, recording a KvOperation
-/// per completed command.
-class RecordingKvDriver final : public core::ClientDriver {
- public:
-  RecordingKvDriver(std::uint64_t num_keys, int max_ops,
-                    std::vector<KvOperation>* history)
-      : num_keys_(num_keys), remaining_(max_ops), history_(history) {}
-
-  std::optional<CommandSpec> next(Rng& rng, SimTime /*now*/) override {
-    if (remaining_-- <= 0) return std::nullopt;
-    CommandSpec spec;
-    const bool multi = rng.chance(0.4);
-    const std::uint64_t span = multi ? 2 + rng.uniform(0, 1) : 1;
-    std::vector<std::uint64_t> keys;
-    while (keys.size() < span) {
-      const std::uint64_t key = rng.uniform(0, num_keys_ - 1);
-      if (std::find(keys.begin(), keys.end(), key) == keys.end())
-        keys.push_back(key);
-    }
-    for (std::uint64_t key : keys)
-      spec.objects.emplace_back(ObjectId{key}, VertexId{key});
-    const bool write = rng.chance(0.5);
-    spec.payload = sim::make_message<KvOp>(
-        write ? KvOp::Kind::kPut : KvOp::Kind::kGet,
-        rng.uniform(1, 1u << 30));
-    return spec;
-  }
-
-  void on_result(const CommandSpec& spec, core::ReplyStatus status,
-                 const sim::MessagePtr& payload, SimTime issued_at,
-                 SimTime completed_at) override {
-    if (status != core::ReplyStatus::kOk) return;
-    const auto* reply = dynamic_cast<const KvReply*>(payload.get());
-    const auto* op = dynamic_cast<const KvOp*>(spec.payload.get());
-    if (reply == nullptr || op == nullptr) return;
-    KvOperation record;
-    record.is_put = op->kind == KvOp::Kind::kPut;
-    record.value = op->value;
-    for (const auto& [obj, vertex] : spec.objects)
-      record.keys.push_back(obj.value());
-    record.observed = reply->values;
-    record.invoke_time = issued_at;
-    record.response_time = completed_at;
-    history_->push_back(std::move(record));
-  }
-
- private:
-  std::uint64_t num_keys_;
-  int remaining_;
-  std::vector<KvOperation>* history_;
-};
+using testutil::RecordingKvDriver;
 
 struct LinParam {
   core::ExecutionMode mode;
@@ -123,18 +70,7 @@ TEST_P(StackLinearizability, HistoryIsLinearizable) {
   ASSERT_GT(history.size(), 100u);
   // Account for preloaded values: seed the history with instantaneous
   // initial puts before time zero.
-  std::vector<KvOperation> full;
-  for (std::uint64_t k = 0; k < kKeys; ++k) {
-    KvOperation init;
-    init.is_put = true;
-    init.keys = {k};
-    init.value = 1000 + k;
-    init.observed = {};  // unconstrained observation
-    init.invoke_time = -2;
-    init.response_time = -1;
-    full.push_back(init);
-  }
-  full.insert(full.end(), history.begin(), history.end());
+  const auto full = testutil::with_initial_puts(history, kKeys, 1000);
 
   const auto result = check_kv_linearizable(full);
   EXPECT_TRUE(result.linearizable)

@@ -5,6 +5,7 @@
 #include "core/system.h"
 #include "paxos/nodes.h"
 #include "paxos/replica.h"
+#include "tests/test_util.h"
 #include "workloads/kv.h"
 #include "workloads/kv_drivers.h"
 
@@ -83,18 +84,9 @@ TEST(NetworkPartition, IsolatedPaxosLeaderIsSuperseded) {
 }
 
 TEST(NetworkPartition, MinorityAcceptorIsolationIsHarmless) {
-  core::SystemConfig config;
-  config.num_partitions = 2;
-  config.repartition_hint_threshold = UINT64_MAX;
-  core::System system(config, workloads::kv_app_factory());
-  core::Assignment assignment;
-  workloads::KvObject zero(0);
-  for (std::uint64_t k = 0; k < 16; ++k) {
-    const PartitionId p{k % 2};
-    assignment[core::VertexId{k}] = p;
-    system.preload_object(ObjectId{k}, core::VertexId{k}, p, zero);
-  }
-  system.preload_assignment(assignment);
+  core::System system(testutil::config_for(core::ExecutionMode::kDynaStar),
+                      workloads::kv_app_factory());
+  testutil::preload(system, 16);
   for (int c = 0; c < 4; ++c) {
     system.add_client(
         std::make_unique<workloads::RandomKvDriver>(16, 0.5, 0.3));

@@ -133,6 +133,31 @@ TEST(Network, BlockedLinksDrop) {
   world.network().unblock_all();
 }
 
+TEST(Network, BlockedLinkKeysDoNotCollide) {
+  // Regression: the blocked set used to key links as (from << 32) | to,
+  // so a from id with bits above 2^32 aliased an unrelated low link
+  // (e.g. {2^32 + 1} -> {0} collided with {1} -> {0}). Blocking the
+  // high-id link must not affect the low-id one.
+  World world({}, 1);
+  auto& echo = world.spawn<EchoProcess>();          // id 0
+  world.spawn<SenderProcess>(echo.id(), 4);         // id 1
+  world.network().block_link(ProcessId{(1ull << 32) + 1}, echo.id());
+  world.run_until(seconds(1));
+  EXPECT_EQ(echo.received, 4)
+      << "blocking an unrelated high-id link dropped low-id traffic";
+  world.network().unblock_all();
+}
+
+TEST(Network, BlockedLinksAreDirectional) {
+  World world({}, 1);
+  auto& echo = world.spawn<EchoProcess>();
+  auto& sender = world.spawn<SenderProcess>(echo.id(), 4);
+  world.network().block_link(echo.id(), sender.id());  // reverse direction
+  world.run_until(seconds(1));
+  EXPECT_EQ(echo.received, 4);
+  world.network().unblock_all();
+}
+
 TEST(Process, CrashedProcessReceivesNothing) {
   World world({}, 1);
   auto& echo = world.spawn<EchoProcess>();

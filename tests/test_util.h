@@ -1,0 +1,150 @@
+// Shared helpers for the system-level tests: canonical small-system config,
+// KV preloading, tail-throughput measurement, and a history-recording driver
+// for linearizability checks.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/linearizability.h"
+#include "core/system.h"
+#include "workloads/kv.h"
+
+namespace dynastar::testutil {
+
+/// Small fixed-partition config with repartitioning disabled — the baseline
+/// for fault/chaos tests where plan churn would obscure the property under
+/// test.
+inline core::SystemConfig config_for(core::ExecutionMode mode,
+                                     std::uint32_t num_partitions = 2) {
+  core::SystemConfig config;
+  config.mode = mode;
+  config.num_partitions = num_partitions;
+  config.repartitioning_enabled = false;
+  config.repartition_hint_threshold = UINT64_MAX;
+  return config;
+}
+
+/// Preloads `keys` zero-valued KV objects round-robin across partitions.
+inline void preload(core::System& system, std::uint64_t keys,
+                    std::uint64_t initial_value = 0) {
+  core::Assignment assignment;
+  workloads::KvObject object(initial_value);
+  for (std::uint64_t k = 0; k < keys; ++k) {
+    const PartitionId p{k % system.config().num_partitions};
+    assignment[core::VertexId{k}] = p;
+    system.preload_object(ObjectId{k}, core::VertexId{k}, p, object);
+  }
+  system.preload_assignment(assignment);
+}
+
+/// Sum of the `completed` series over the last `last_n` one-second buckets.
+inline double tail_throughput(core::System& system, std::size_t last_n) {
+  const auto& completed = system.metrics().series("completed");
+  double total = 0;
+  const std::size_t buckets = completed.num_buckets();
+  for (std::size_t b = buckets > last_n ? buckets - last_n : 0; b < buckets;
+       ++b)
+    total += completed.at(b);
+  return total;
+}
+
+/// Per-status completion counts across a run (shared by several drivers).
+struct StatusTally {
+  std::uint64_t completions = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t other = 0;
+};
+
+/// Issues random single/multi-key gets and puts, recording a KvOperation
+/// per completed command. Feed the result to check_kv_linearizable.
+class RecordingKvDriver final : public core::ClientDriver {
+ public:
+  RecordingKvDriver(std::uint64_t num_keys, int max_ops,
+                    std::vector<KvOperation>* history,
+                    StatusTally* tally = nullptr)
+      : num_keys_(num_keys),
+        remaining_(max_ops),
+        history_(history),
+        tally_(tally) {}
+
+  std::optional<core::CommandSpec> next(Rng& rng, SimTime /*now*/) override {
+    if (remaining_-- <= 0) return std::nullopt;
+    core::CommandSpec spec;
+    const bool multi = rng.chance(0.4);
+    const std::uint64_t span = multi ? 2 + rng.uniform(0, 1) : 1;
+    std::vector<std::uint64_t> keys;
+    while (keys.size() < span) {
+      const std::uint64_t key = rng.uniform(0, num_keys_ - 1);
+      if (std::find(keys.begin(), keys.end(), key) == keys.end())
+        keys.push_back(key);
+    }
+    for (std::uint64_t key : keys)
+      spec.objects.emplace_back(ObjectId{key}, core::VertexId{key});
+    const bool write = rng.chance(0.5);
+    spec.payload = sim::make_message<workloads::KvOp>(
+        write ? workloads::KvOp::Kind::kPut : workloads::KvOp::Kind::kGet,
+        rng.uniform(1, 1u << 30));
+    return spec;
+  }
+
+  void on_result(const core::CommandSpec& spec, core::ReplyStatus status,
+                 const sim::MessagePtr& payload, SimTime issued_at,
+                 SimTime completed_at) override {
+    if (tally_ != nullptr) {
+      ++tally_->completions;
+      if (status == core::ReplyStatus::kOk)
+        ++tally_->ok;
+      else if (status == core::ReplyStatus::kTimeout)
+        ++tally_->timeouts;
+      else
+        ++tally_->other;
+    }
+    if (status != core::ReplyStatus::kOk) return;
+    const auto* reply = dynamic_cast<const workloads::KvReply*>(payload.get());
+    const auto* op = dynamic_cast<const workloads::KvOp*>(spec.payload.get());
+    if (reply == nullptr || op == nullptr) return;
+    KvOperation record;
+    record.is_put = op->kind == workloads::KvOp::Kind::kPut;
+    record.value = op->value;
+    for (const auto& [obj, vertex] : spec.objects)
+      record.keys.push_back(obj.value());
+    record.observed = reply->values;
+    record.invoke_time = issued_at;
+    record.response_time = completed_at;
+    history_->push_back(std::move(record));
+  }
+
+ private:
+  std::uint64_t num_keys_;
+  int remaining_;
+  std::vector<KvOperation>* history_;
+  StatusTally* tally_;
+};
+
+/// Seeds a recorded history with instantaneous before-time-zero puts for
+/// the preloaded values, so "absent" never aliases a legal read.
+inline std::vector<KvOperation> with_initial_puts(
+    const std::vector<KvOperation>& history, std::uint64_t keys,
+    std::uint64_t base_value) {
+  std::vector<KvOperation> full;
+  full.reserve(history.size() + keys);
+  for (std::uint64_t k = 0; k < keys; ++k) {
+    KvOperation init;
+    init.is_put = true;
+    init.keys = {k};
+    init.value = base_value + k;
+    init.observed = {};  // unconstrained observation
+    init.invoke_time = -2;
+    init.response_time = -1;
+    full.push_back(init);
+  }
+  full.insert(full.end(), history.begin(), history.end());
+  return full;
+}
+
+}  // namespace dynastar::testutil

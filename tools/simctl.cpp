@@ -16,6 +16,7 @@
 
 #include "baselines/presets.h"
 #include "core/system.h"
+#include "sim/chaos.h"
 #include "workloads/chirper.h"
 #include "workloads/kv.h"
 #include "workloads/kv_drivers.h"
@@ -40,6 +41,8 @@ struct Options {
   double timeline_fraction = 0.85;    // chirper mix
   std::uint64_t repartition_threshold = 60'000;
   std::string csv;                    // write per-second series here
+  bool chaos = false;                 // arm the nemesis
+  std::uint64_t chaos_seed = 42;
 };
 
 void usage() {
@@ -49,7 +52,7 @@ void usage() {
       "              [--placement=random|optimized] [--partitions=N]\n"
       "              [--clients=N] [--duration=SECONDS] [--seed=N]\n"
       "              [--users=N] [--keys=N] [--timeline=F]\n"
-      "              [--threshold=N] [--csv=FILE]");
+      "              [--threshold=N] [--csv=FILE] [--chaos=SEED]");
 }
 
 bool parse(int argc, char** argv, Options* options) {
@@ -71,6 +74,10 @@ bool parse(int argc, char** argv, Options* options) {
     else if (const char* v = value("--timeline=")) options->timeline_fraction = std::atof(v);
     else if (const char* v = value("--threshold=")) options->repartition_threshold = std::atoll(v);
     else if (const char* v = value("--csv=")) options->csv = v;
+    else if (const char* v = value("--chaos=")) {
+      options->chaos = true;
+      options->chaos_seed = std::atoll(v);
+    }
     else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -172,6 +179,33 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  std::unique_ptr<sim::ChaosInjector> injector;
+  if (options.chaos) {
+    // Default nemesis over the deployed topology: crash/recover replicas
+    // (at most one per group at a time) plus drop bursts and latency
+    // spikes across the middle of the run.
+    sim::ChaosConfig chaos;
+    chaos.seed = options.chaos_seed;
+    chaos.start = seconds(1);
+    chaos.horizon = options.duration > 3 ? seconds(options.duration - 2)
+                                         : seconds(1);
+    chaos.crash_groups.push_back(
+        system->topology().group(core::kOracleGroup).replicas);
+    for (std::uint32_t p = 0; p < options.partitions; ++p) {
+      const auto& replicas =
+          system->topology().group(core::group_of(PartitionId{p})).replicas;
+      chaos.crash_groups.push_back(replicas);
+      chaos.link_pool.insert(chaos.link_pool.end(), replicas.begin(),
+                             replicas.end());
+    }
+    chaos.crash_events = 2 + options.partitions;
+    chaos.link_cut_events = 2;
+    chaos.drop_burst_events = 2;
+    chaos.latency_spike_events = 2;
+    injector = std::make_unique<sim::ChaosInjector>(system->world(), chaos);
+    injector->arm();
+  }
+
   system->run_until(seconds(options.duration));
 
   auto& metrics = system->metrics();
@@ -195,6 +229,17 @@ int main(int argc, char** argv) {
               metrics.series("oracle.plans_applied").total());
   std::printf("client retries     : %.0f\n",
               metrics.series("client.retries").total());
+  std::printf("client timeouts    : %.0f (retransmits %.0f)\n",
+              metrics.series("client.timeouts").total(),
+              metrics.series("client.retransmits").total());
+  std::printf("reply cache hits   : server %.0f, oracle %.0f\n",
+              metrics.counter("server.reply_cache_hits"),
+              metrics.counter("oracle.reply_cache_hits"));
+  if (injector != nullptr) {
+    std::printf("chaos events       : %.0f\n", metrics.counter("chaos.events"));
+    for (const auto& line : injector->log())
+      std::printf("  chaos: %s\n", line.c_str());
+  }
   if (latency != nullptr) {
     std::printf("latency avg/p95/p99: %.2f / %.2f / %.2f ms\n",
                 to_millis(static_cast<SimTime>(latency->mean())),
