@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metric_names.h"
 #include "common/metrics.h"
 #include "core/system.h"
 
@@ -73,15 +74,15 @@ inline Measured measure(core::System& system, std::size_t warmup_s,
                         std::size_t measure_s) {
   system.run_until(seconds(static_cast<std::int64_t>(warmup_s + measure_s)));
   Measured m;
-  const auto& completed = system.metrics().series("completed");
+  const auto& completed = system.metrics().series(metric::kCompleted);
   m.throughput = window_rate(completed, warmup_s, warmup_s + measure_s);
   m.peak = window_peak(completed, warmup_s, warmup_s + measure_s);
-  if (const auto* latency = system.metrics().find_histogram("latency")) {
+  if (const auto* latency = system.metrics().find_histogram(metric::kLatency)) {
     m.latency_avg_ms = to_millis(static_cast<SimTime>(latency->mean()));
     m.latency_p95_ms = to_millis(latency->percentile(0.95));
   }
-  const auto& executed = system.metrics().series("executed");
-  const auto& mpart = system.metrics().series("mpart");
+  const auto& executed = system.metrics().series(metric::kExecuted);
+  const auto& mpart = system.metrics().series(metric::kMultiPartition);
   const double exec_total = window_total(executed, warmup_s, warmup_s + measure_s);
   if (exec_total > 0)
     m.mpart_fraction =

@@ -6,6 +6,7 @@
 
 #include "baselines/presets.h"
 #include "bench/bench_common.h"
+#include "core/scenario.h"
 #include "workloads/chirper.h"
 #include "workloads/social_graph.h"
 
@@ -35,9 +36,6 @@ inline ChirperSetup make_chirper(core::SystemConfig config,
   ChirperSetup setup;
   setup.graph = workloads::generate_social_graph(
       params.users, params.edges_per_user, params.seed);
-  setup.system = std::make_unique<core::System>(
-      config, chirper::chirper_app_factory());
-  chirper::setup(*setup.system, setup.graph, placement, params.seed);
   setup.directory = chirper::make_directory(setup.graph);
   setup.zipf = std::make_shared<ZipfGenerator>(params.users, 0.95);
 
@@ -46,10 +44,19 @@ inline ChirperSetup make_chirper(core::SystemConfig config,
   const std::uint32_t clients =
       config.num_partitions * params.clients_per_partition +
       extra_clients_total;
-  for (std::uint32_t c = 0; c < clients; ++c) {
-    setup.system->add_client(std::make_unique<chirper::ChirperDriver>(
-        setup.directory, mix, setup.zipf));
-  }
+  setup.system =
+      core::ScenarioBuilder()
+          .config(std::move(config))
+          .app(chirper::chirper_app_factory())
+          .preload([&](core::System& system) {
+            chirper::setup(system, setup.graph, placement, params.seed);
+          })
+          .clients(clients,
+                   [&](std::size_t) {
+                     return std::make_unique<chirper::ChirperDriver>(
+                         setup.directory, mix, setup.zipf);
+                   })
+          .build();
   return setup;
 }
 

@@ -4,7 +4,9 @@
 // the figures are built on.
 #include <benchmark/benchmark.h>
 
-#include "core/system.h"
+#include "common/metric_names.h"
+#include "common/report.h"
+#include "core/scenario.h"
 #include "multicast/client.h"
 #include "partitioning/partitioner.h"
 #include "sim/process.h"
@@ -29,55 +31,60 @@ void BM_SimulatorEventLoop(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorEventLoop);
 
+/// Shared full-stack KV scenario: `multi_fraction` of commands touch a
+/// second key, which lands cross-partition when `partitions` > 1. Tracing
+/// is armed so the bench can report where command time went.
+core::ScenarioBuilder kv_scenario(std::uint32_t partitions,
+                                  double multi_fraction) {
+  return core::ScenarioBuilder()
+      .partitions(partitions)
+      .tune([](core::SystemConfig& c) {
+        c.repartition_hint_threshold = UINT64_MAX;
+      })
+      .app(workloads::kv_app_factory())
+      .preload_kv(16, workloads::KvObject())
+      .clients(4,
+               [multi_fraction](std::size_t) {
+                 return std::make_unique<workloads::RandomKvDriver>(
+                     16, 0.5, multi_fraction);
+               })
+      .trace();
+}
+
+/// Publishes the last run's per-phase latency means as bench counters.
+void report_phases(benchmark::State& state, const PhaseBreakdown& breakdown) {
+  for (const auto& phase : breakdown.phases)
+    state.counters["us_" + phase.name] = phase.mean_ns() / 1e3;
+  state.counters["us_e2e"] = breakdown.e2e_mean_ns() / 1e3;
+}
+
 /// Full-stack KV commands per simulated run, single partition (pure Paxos
 /// ordering path, no cross-partition traffic).
 void BM_SinglePartitionCommands(benchmark::State& state) {
+  PhaseBreakdown breakdown;
   for (auto _ : state) {
-    core::SystemConfig config;
-    config.num_partitions = 1;
-    config.repartition_hint_threshold = UINT64_MAX;
-    core::System system(config, workloads::kv_app_factory());
-    core::Assignment assignment;
-    workloads::KvObject zero;
-    for (std::uint64_t k = 0; k < 16; ++k) {
-      assignment[core::VertexId{k}] = PartitionId{0};
-      system.preload_object(ObjectId{k}, core::VertexId{k}, PartitionId{0},
-                            zero);
-    }
-    system.preload_assignment(assignment);
-    for (int c = 0; c < 4; ++c) {
-      system.add_client(
-          std::make_unique<workloads::RandomKvDriver>(16, 0.5, 0.0));
-    }
-    system.run_until(seconds(1));
-    benchmark::DoNotOptimize(system.metrics().series("completed").total());
+    auto system = kv_scenario(1, 0.0).build();
+    system->run_until(seconds(1));
+    benchmark::DoNotOptimize(
+        system->metrics().series(metric::kCompleted).total());
+    breakdown = compute_phase_breakdown(system->world().trace());
   }
+  report_phases(state, breakdown);
 }
 BENCHMARK(BM_SinglePartitionCommands)->Unit(benchmark::kMillisecond);
 
 /// Same load but 50% of commands span two partitions: measures the borrow /
 /// return overhead of the multicast + transfer machinery.
 void BM_CrossPartitionCommands(benchmark::State& state) {
+  PhaseBreakdown breakdown;
   for (auto _ : state) {
-    core::SystemConfig config;
-    config.num_partitions = 2;
-    config.repartition_hint_threshold = UINT64_MAX;
-    core::System system(config, workloads::kv_app_factory());
-    core::Assignment assignment;
-    workloads::KvObject zero;
-    for (std::uint64_t k = 0; k < 16; ++k) {
-      assignment[core::VertexId{k}] = PartitionId{k % 2};
-      system.preload_object(ObjectId{k}, core::VertexId{k}, PartitionId{k % 2},
-                            zero);
-    }
-    system.preload_assignment(assignment);
-    for (int c = 0; c < 4; ++c) {
-      system.add_client(
-          std::make_unique<workloads::RandomKvDriver>(16, 0.5, 0.5));
-    }
-    system.run_until(seconds(1));
-    benchmark::DoNotOptimize(system.metrics().series("completed").total());
+    auto system = kv_scenario(2, 0.5).build();
+    system->run_until(seconds(1));
+    benchmark::DoNotOptimize(
+        system->metrics().series(metric::kCompleted).total());
+    breakdown = compute_phase_breakdown(system->world().trace());
   }
+  report_phases(state, breakdown);
 }
 BENCHMARK(BM_CrossPartitionCommands)->Unit(benchmark::kMillisecond);
 

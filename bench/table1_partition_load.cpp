@@ -9,6 +9,7 @@
 #include <string>
 
 #include "bench/chirper_common.h"
+#include "common/metric_names.h"
 
 using namespace dynastar;
 
@@ -29,14 +30,20 @@ int main() {
               "M-part commands per sec", "Exchanged objects per sec");
   auto& metrics = setup.system->metrics();
   for (std::uint32_t p = 0; p < partitions; ++p) {
-    const std::string prefix = "partition." + std::to_string(p) + ".";
-    const double tput = bench::window_rate(metrics.series(prefix + "executed"),
-                                           warmup, warmup + measure);
-    const double mpart = bench::window_rate(metrics.series(prefix + "mpart"),
-                                            warmup, warmup + measure);
-    const double exchanged =
-        bench::window_rate(metrics.series(prefix + "objects_exchanged"),
-                           warmup, warmup + measure);
+    // Primary-replica labeled series, e.g. server.executed{partition=2,replica=0}.
+    const std::string part = std::to_string(p);
+    const double tput = bench::window_rate(
+        metrics.series(metric::kServerExecuted,
+                       {{"partition", part}, {"replica", "0"}}),
+        warmup, warmup + measure);
+    const double mpart = bench::window_rate(
+        metrics.series(metric::kServerMultiPartition,
+                       {{"partition", part}, {"replica", "0"}}),
+        warmup, warmup + measure);
+    const double exchanged = bench::window_rate(
+        metrics.series(metric::kServerObjectsExchanged,
+                       {{"partition", part}, {"replica", "0"}}),
+        warmup, warmup + measure);
     std::printf("%9u %12.0f %24.0f %26.0f\n", p + 1, tput, mpart, exchanged);
   }
   std::printf(

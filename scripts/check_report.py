@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Validate a simctl --report=FILE RunReport JSON document.
+
+Checks the structural contract documented in docs/OBSERVABILITY.md:
+  * all top-level sections are present with the right JSON types;
+  * the six lifecycle phases appear in order with sane values;
+  * when the e2e latency came from the trace, the per-phase means sum to
+    the end-to-end mean within 5% (they telescope, so in practice the
+    difference is double rounding only);
+  * the headline series exist and command counts are consistent.
+
+Usage: check_report.py REPORT.json [--min-commands N]
+Exit code 0 on success, 1 with a message per violation otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+EXPECTED_SECTIONS = {
+    "meta": dict,
+    "phases": list,
+    "e2e": dict,
+    "series": dict,
+    "histograms": dict,
+    "counters": dict,
+    "repartitions": list,
+    "chaos": list,
+}
+
+EXPECTED_PHASES = ["retry", "resolve", "order", "coordinate", "execute", "reply"]
+
+META_KEYS = ["workload", "mode", "seed", "duration_s", "partitions",
+             "clients", "trace_enabled", "trace_events"]
+
+
+def check(report, min_commands):
+    errors = []
+
+    def err(msg):
+        errors.append(msg)
+
+    for key, kind in EXPECTED_SECTIONS.items():
+        if key not in report:
+            err(f"missing top-level section {key!r}")
+        elif not isinstance(report[key], kind):
+            err(f"section {key!r} is {type(report[key]).__name__}, "
+                f"expected {kind.__name__}")
+    if errors:
+        return errors  # structure too broken to continue
+
+    meta = report["meta"]
+    for key in META_KEYS:
+        if key not in meta:
+            err(f"meta is missing {key!r}")
+
+    phases = report["phases"]
+    names = [p.get("name") for p in phases]
+    if names != EXPECTED_PHASES:
+        err(f"phase names/order {names} != {EXPECTED_PHASES}")
+    for p in phases:
+        for field in ("mean_ms", "total_ms", "count"):
+            if not isinstance(p.get(field), (int, float)):
+                err(f"phase {p.get('name')!r} missing numeric {field!r}")
+            elif p[field] < 0:
+                err(f"phase {p.get('name')!r} has negative {field!r}")
+
+    e2e = report["e2e"]
+    for field in ("source", "commands", "mean_ms"):
+        if field not in e2e:
+            err(f"e2e is missing {field!r}")
+    if errors:
+        return errors
+
+    commands = e2e["commands"]
+    if commands < min_commands:
+        err(f"only {commands} completed commands (need >= {min_commands})")
+
+    if e2e["source"] == "trace":
+        phase_sum = sum(p["mean_ms"] for p in phases)
+        mean = e2e["mean_ms"]
+        if mean <= 0:
+            err(f"e2e mean_ms is {mean}, expected > 0")
+        elif abs(phase_sum - mean) > 0.05 * mean:
+            err(f"phase means sum to {phase_sum:.6f} ms but e2e mean is "
+                f"{mean:.6f} ms (off by more than 5%)")
+        for p in phases:
+            if p["count"] != commands:
+                err(f"phase {p['name']!r} counted {p['count']} commands, "
+                    f"e2e counted {commands}")
+    elif meta.get("trace_enabled"):
+        err("trace was enabled but e2e.source is not 'trace'")
+
+    for name in ("completed", "executed"):
+        if name not in report["series"]:
+            err(f"series {name!r} missing from report")
+        elif report["series"][name].get("total", 0) <= 0:
+            err(f"series {name!r} has non-positive total")
+    if not any(name.startswith("server.executed{") for name in report["series"]):
+        err("no labeled server.executed{...} series in report")
+
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("report", help="path to RunReport JSON")
+    parser.add_argument("--min-commands", type=int, default=100,
+                        help="minimum completed commands expected (default 100)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.report, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"check_report: cannot read {args.report}: {exc}", file=sys.stderr)
+        return 1
+
+    errors = check(report, args.min_commands)
+    if errors:
+        for msg in errors:
+            print(f"check_report: {msg}", file=sys.stderr)
+        return 1
+
+    phases = {p["name"]: p["mean_ms"] for p in report["phases"]}
+    summary = " ".join(f"{k}={v:.3f}" for k, v in phases.items())
+    print(f"check_report: OK — {int(report['e2e']['commands'])} commands, "
+          f"e2e {report['e2e']['mean_ms']:.3f} ms ({summary})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

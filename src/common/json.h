@@ -1,0 +1,89 @@
+// Minimal JSON value type: enough for RunReport export and its round-trip
+// tests, with no external dependency. Objects keep keys sorted (std::map),
+// so dumping the same logical document always yields the same bytes —
+// which is what lets tests compare reports from same-seed runs textually.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace dynastar {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(std::int64_t i) : value_(static_cast<double>(i)) {}
+  Json(std::uint64_t i) : value_(static_cast<double>(i)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(Array a) : value_(std::move(a)) {}
+  Json(Object o) : value_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(value_);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(value_);
+  }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(value_);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(value_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<Array>(value_);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<Object>(value_);
+  }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(value_); }
+  [[nodiscard]] double as_number() const { return std::get<double>(value_); }
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(value_);
+  }
+  [[nodiscard]] const Array& as_array() const { return std::get<Array>(value_); }
+  [[nodiscard]] const Object& as_object() const {
+    return std::get<Object>(value_);
+  }
+  Array& as_array() { return std::get<Array>(value_); }
+  Object& as_object() { return std::get<Object>(value_); }
+
+  /// Object member access; null for missing keys / non-objects.
+  [[nodiscard]] const Json* find(const std::string& key) const;
+  Json& operator[](const std::string& key) {
+    if (!is_object()) value_ = Object{};
+    return std::get<Object>(value_)[key];
+  }
+
+  /// Serializes; `indent` > 0 pretty-prints with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Parses a JSON document; nullopt on any syntax error. Numbers are
+  /// doubles; \uXXXX escapes outside ASCII are preserved verbatim (the
+  /// exporter never emits them).
+  static std::optional<Json> parse(const std::string& text);
+
+  friend bool operator==(const Json& a, const Json& b) {
+    return a.value_ == b.value_;
+  }
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+};
+
+}  // namespace dynastar

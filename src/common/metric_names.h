@@ -1,0 +1,51 @@
+// Canonical metric names. Core, benches, tools, and tests all refer to
+// these constants instead of scattering raw string literals; the exporter
+// (common/report.h) documents the same names in its schema.
+//
+// Naming scheme (see docs/OBSERVABILITY.md):
+//  * run-wide series/histograms use bare names ("completed", "latency");
+//  * component-scoped ones are dotted ("oracle.queries", "client.retries");
+//  * per-node variants add labels via MetricsRegistry's labeled overloads,
+//    rendered as name{key=value,...} with keys sorted ("server.executed
+//    {partition=2,replica=0}").
+#pragma once
+
+namespace dynastar::metric {
+
+// --- client-side (recorded by every client) ---
+inline constexpr const char* kCompleted = "completed";
+inline constexpr const char* kCompletedMulti = "completed_multi";
+inline constexpr const char* kLatency = "latency";
+inline constexpr const char* kLatencySingle = "latency_single";
+inline constexpr const char* kLatencyMulti = "latency_multi";
+inline constexpr const char* kClientRetries = "client.retries";
+inline constexpr const char* kClientTimeouts = "client.timeouts";
+inline constexpr const char* kClientRetransmits = "client.retransmits";
+
+// --- partition servers (recorded by the primary replica) ---
+inline constexpr const char* kExecuted = "executed";
+inline constexpr const char* kMultiPartition = "mpart";
+inline constexpr const char* kObjectsExchanged = "objects_exchanged";
+inline constexpr const char* kServerRetries = "retries";
+inline constexpr const char* kPlanApplied = "plan_applied";
+inline constexpr const char* kPlanHandoffs = "plan_handoffs";
+inline constexpr const char* kVerticesMovedOut = "vertices_moved_out";
+inline constexpr const char* kVerticesMovedIn = "vertices_moved_in";
+inline constexpr const char* kServerReplyCacheHits = "server.reply_cache_hits";
+// Labeled per-node variants ({partition=P,replica=R}).
+inline constexpr const char* kServerExecuted = "server.executed";
+inline constexpr const char* kServerMultiPartition = "server.mpart";
+inline constexpr const char* kServerObjectsExchanged =
+    "server.objects_exchanged";
+inline constexpr const char* kServerQueueDepth = "server.queue_depth";
+
+// --- oracle ---
+inline constexpr const char* kOracleQueries = "oracle.queries";
+inline constexpr const char* kOracleRepartitions = "oracle.repartitions";
+inline constexpr const char* kOraclePlansApplied = "oracle.plans_applied";
+inline constexpr const char* kOracleReplyCacheHits = "oracle.reply_cache_hits";
+
+// --- chaos ---
+inline constexpr const char* kChaosEvents = "chaos.events";
+
+}  // namespace dynastar::metric

@@ -1,8 +1,28 @@
 #include "common/metrics.h"
 
+#include <algorithm>
 #include <numeric>
 
 namespace dynastar {
+
+std::string labeled_metric_name(const std::string& name,
+                                std::initializer_list<MetricLabel> labels) {
+  if (labels.size() == 0) return name;
+  std::vector<MetricLabel> sorted(labels);
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = name;
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : sorted) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += '=';
+    out += value;
+  }
+  out += '}';
+  return out;
+}
 
 void TimeSeries::add(SimTime now, double amount) {
   if (now < 0) now = 0;

@@ -7,14 +7,25 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/histogram.h"
 #include "common/ids.h"
 
 namespace dynastar {
+
+/// One metric label as (key, value). Labels qualify a base metric name into
+/// a per-node/per-partition series without inventing ad-hoc name prefixes.
+using MetricLabel = std::pair<std::string, std::string>;
+
+/// Canonical rendering of a labeled metric: name{k1=v1,k2=v2} with keys
+/// sorted, so the same label set always maps to the same series.
+std::string labeled_metric_name(const std::string& name,
+                                std::initializer_list<MetricLabel> labels);
 
 /// A counter sampled into fixed-width time buckets (defaults to one simulated
 /// second), yielding a per-second rate series.
@@ -48,9 +59,31 @@ class MetricsRegistry {
   TimeSeries& series(const std::string& name);
   [[nodiscard]] const TimeSeries* find_series(const std::string& name) const;
 
+  /// Labeled series: series("server.executed", {{"partition", "2"}}) is the
+  /// series named server.executed{partition=2}.
+  TimeSeries& series(const std::string& name,
+                     std::initializer_list<MetricLabel> labels) {
+    return series(labeled_metric_name(name, labels));
+  }
+  [[nodiscard]] const TimeSeries* find_series(
+      const std::string& name,
+      std::initializer_list<MetricLabel> labels) const {
+    return find_series(labeled_metric_name(name, labels));
+  }
+
   /// Named latency histogram (created on first use).
   Histogram& histogram(const std::string& name);
   [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+  Histogram& histogram(const std::string& name,
+                       std::initializer_list<MetricLabel> labels) {
+    return histogram(labeled_metric_name(name, labels));
+  }
+  [[nodiscard]] const Histogram* find_histogram(
+      const std::string& name,
+      std::initializer_list<MetricLabel> labels) const {
+    return find_histogram(labeled_metric_name(name, labels));
+  }
 
   /// Plain scalar counters.
   void add_counter(const std::string& name, double amount = 1.0);
@@ -58,6 +91,9 @@ class MetricsRegistry {
 
   [[nodiscard]] const std::map<std::string, TimeSeries>& all_series() const {
     return series_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& all_histograms() const {
+    return histograms_;
   }
   [[nodiscard]] const std::map<std::string, double>& all_counters() const {
     return counters_;

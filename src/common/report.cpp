@@ -1,0 +1,258 @@
+#include "common/report.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace dynastar {
+
+namespace {
+
+constexpr const char* kPhaseNames[] = {"retry",      "resolve", "order",
+                                       "coordinate", "execute", "reply"};
+constexpr std::size_t kNumPhases = 6;
+
+/// Per-command boundary accumulator. Boundaries for the *final* attempt
+/// only; multi-replica points keep the earliest (first replica to reach
+/// the point defines when the phase ended).
+struct CmdRec {
+  SimTime issue = -1;
+  SimTime complete = -1;
+  std::uint32_t final_attempt = 0;
+  SimTime route = -1;
+  SimTime relay = -1;
+  SimTime deliver = -1;
+  SimTime execute = -1;
+  SimTime reply = -1;
+  bool done = false;
+};
+
+void keep_min(SimTime& slot, SimTime t) {
+  if (slot < 0 || t < slot) slot = t;
+}
+
+}  // namespace
+
+PhaseBreakdown compute_phase_breakdown(const TraceCollector& trace) {
+  PhaseBreakdown out;
+  out.phases.resize(kNumPhases);
+  for (std::size_t i = 0; i < kNumPhases; ++i)
+    out.phases[i].name = kPhaseNames[i];
+
+  // Pass 1: completion marks which attempt is final per command.
+  std::unordered_map<std::uint64_t, CmdRec> cmds;
+  for (const TraceEvent& ev : trace.events()) {
+    switch (ev.point) {
+      case TracePoint::kClientIssue: {
+        CmdRec& rec = cmds[ev.key];
+        if (rec.issue < 0) rec.issue = ev.time;
+        break;
+      }
+      case TracePoint::kClientComplete: {
+        CmdRec& rec = cmds[ev.key];
+        rec.complete = ev.time;
+        rec.final_attempt = ev.attempt;
+        rec.done = true;
+        break;
+      }
+      default: break;
+    }
+  }
+
+  // Pass 2: boundary points of the final attempt only. An earlier attempt's
+  // time is charged to the "retry" phase wholesale.
+  for (const TraceEvent& ev : trace.events()) {
+    auto it = cmds.find(ev.key);
+    if (it == cmds.end() || !it->second.done) continue;
+    CmdRec& rec = it->second;
+    if (ev.attempt != rec.final_attempt) continue;
+    switch (ev.point) {
+      case TracePoint::kClientRoute: keep_min(rec.route, ev.time); break;
+      case TracePoint::kOracleRelay: keep_min(rec.relay, ev.time); break;
+      case TracePoint::kServerDeliver: keep_min(rec.deliver, ev.time); break;
+      case TracePoint::kExecuteStart: keep_min(rec.execute, ev.time); break;
+      case TracePoint::kReplySent: keep_min(rec.reply, ev.time); break;
+      default: break;
+    }
+  }
+
+  for (const auto& [cmd_id, rec] : cmds) {
+    if (!rec.done || rec.issue < 0) continue;
+    // Monotone boundary chain; a missing boundary inherits its predecessor
+    // (its phase then contributes zero), and clock-skew-free simulation
+    // makes the max() a no-op in practice.
+    SimTime bounds[kNumPhases + 1];
+    bounds[0] = rec.issue;
+    const SimTime raw[kNumPhases] = {rec.route,   rec.relay, rec.deliver,
+                                     rec.execute, rec.reply, rec.complete};
+    for (std::size_t i = 0; i < kNumPhases; ++i)
+      bounds[i + 1] = std::max(bounds[i], raw[i] < 0 ? bounds[i] : raw[i]);
+    // The last boundary is completion by construction (complete >= all).
+    for (std::size_t i = 0; i < kNumPhases; ++i) {
+      out.phases[i].total_ns += static_cast<double>(bounds[i + 1] - bounds[i]);
+      out.phases[i].count += 1;
+    }
+    out.commands += 1;
+    out.e2e_total_ns += static_cast<double>(rec.complete - rec.issue);
+  }
+  return out;
+}
+
+namespace {
+
+Json series_to_json(const TimeSeries& series) {
+  Json::Array buckets;
+  buckets.reserve(series.num_buckets());
+  for (std::size_t i = 0; i < series.num_buckets(); ++i)
+    buckets.emplace_back(series.at(i));
+  Json::Object obj;
+  obj.emplace("bucket_seconds", Json(to_seconds(series.bucket_width())));
+  obj.emplace("values", Json(std::move(buckets)));
+  obj.emplace("total", Json(series.total()));
+  return Json(std::move(obj));
+}
+
+Json histogram_to_json(const Histogram& hist) {
+  Json::Object obj;
+  obj.emplace("count", Json(hist.count()));
+  obj.emplace("mean_ms", Json(to_millis(static_cast<SimTime>(hist.mean()))));
+  obj.emplace("p50_ms", Json(to_millis(hist.percentile(0.50))));
+  obj.emplace("p95_ms", Json(to_millis(hist.percentile(0.95))));
+  obj.emplace("p99_ms", Json(to_millis(hist.percentile(0.99))));
+  obj.emplace("max_ms", Json(to_millis(hist.max())));
+  return Json(std::move(obj));
+}
+
+}  // namespace
+
+Json build_run_report(const MetricsRegistry& metrics,
+                      const TraceCollector& trace, const RunInfo& info) {
+  Json report{Json::Object{}};
+
+  Json::Object meta;
+  meta.emplace("workload", Json(info.workload));
+  meta.emplace("mode", Json(info.mode));
+  meta.emplace("seed", Json(info.seed));
+  meta.emplace("duration_s", Json(info.duration_s));
+  meta.emplace("partitions", Json(info.partitions));
+  meta.emplace("clients", Json(info.clients));
+  meta.emplace("trace_enabled", Json(trace.enabled()));
+  meta.emplace("trace_events", Json(trace.size()));
+  report["meta"] = Json(std::move(meta));
+
+  // Phase breakdown (empty when tracing was off).
+  const PhaseBreakdown breakdown = compute_phase_breakdown(trace);
+  Json::Array phases;
+  for (const PhaseStats& phase : breakdown.phases) {
+    Json::Object obj;
+    obj.emplace("name", Json(phase.name));
+    obj.emplace("mean_ms",
+                Json(to_millis(static_cast<SimTime>(phase.mean_ns()))));
+    obj.emplace("total_ms",
+                Json(to_millis(static_cast<SimTime>(phase.total_ns))));
+    obj.emplace("count", Json(phase.count));
+    phases.emplace_back(std::move(obj));
+  }
+  report["phases"] = Json(std::move(phases));
+
+  Json::Object e2e;
+  if (breakdown.commands > 0) {
+    e2e.emplace("source", Json("trace"));
+    e2e.emplace("commands", Json(breakdown.commands));
+    e2e.emplace("mean_ms", Json(to_millis(static_cast<SimTime>(
+                               breakdown.e2e_mean_ns()))));
+  } else if (const Histogram* latency = metrics.find_histogram("latency")) {
+    e2e.emplace("source", Json("histogram"));
+    e2e.emplace("commands", Json(latency->count()));
+    e2e.emplace("mean_ms",
+                Json(to_millis(static_cast<SimTime>(latency->mean()))));
+  } else {
+    e2e.emplace("source", Json("none"));
+    e2e.emplace("commands", Json(std::uint64_t{0}));
+    e2e.emplace("mean_ms", Json(0.0));
+  }
+  report["e2e"] = Json(std::move(e2e));
+
+  Json::Object series;
+  for (const auto& [name, ts] : metrics.all_series())
+    series.emplace(name, series_to_json(ts));
+  report["series"] = Json(std::move(series));
+
+  Json::Object histograms;
+  for (const auto& [name, hist] : metrics.all_histograms())
+    histograms.emplace(name, histogram_to_json(hist));
+  report["histograms"] = Json(std::move(histograms));
+
+  Json::Object counters;
+  for (const auto& [name, value] : metrics.all_counters())
+    counters.emplace(name, Json(value));
+  report["counters"] = Json(std::move(counters));
+
+  // Repartition-epoch timeline and chaos events, straight from the trace.
+  Json::Array repartitions;
+  Json::Array chaos;
+  for (const TraceEvent& ev : trace.events()) {
+    if (ev.point == TracePoint::kPlanApplied) {
+      Json::Object obj;
+      obj.emplace("t_ms", Json(to_millis(ev.time)));
+      obj.emplace("epoch", Json(ev.key));
+      obj.emplace("node", Json(ev.node));
+      obj.emplace("partition", ev.detail == UINT64_MAX
+                                   ? Json("oracle")
+                                   : Json(ev.detail));
+      repartitions.emplace_back(std::move(obj));
+    } else if (ev.point == TracePoint::kChaosEvent) {
+      Json::Object obj;
+      obj.emplace("t_ms", Json(to_millis(ev.time)));
+      obj.emplace("ordinal", Json(ev.key));
+      chaos.emplace_back(std::move(obj));
+    }
+  }
+  report["repartitions"] = Json(std::move(repartitions));
+  report["chaos"] = Json(std::move(chaos));
+
+  return report;
+}
+
+bool write_report_json(const Json& report, const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  const std::string text = report.dump(2);
+  const bool ok = std::fwrite(text.data(), 1, text.size(), out) == text.size();
+  std::fclose(out);
+  return ok;
+}
+
+void write_report_csv(const Json& report, std::FILE* out) {
+  std::fprintf(out, "section,key,index,value\n");
+  if (const Json* phases = report.find("phases"); phases && phases->is_array()) {
+    for (const Json& phase : phases->as_array()) {
+      const Json* name = phase.find("name");
+      const Json* mean = phase.find("mean_ms");
+      if (name == nullptr || mean == nullptr) continue;
+      std::fprintf(out, "phase,%s,mean_ms,%.6f\n", name->as_string().c_str(),
+                   mean->as_number());
+    }
+  }
+  if (const Json* e2e = report.find("e2e")) {
+    if (const Json* mean = e2e->find("mean_ms"))
+      std::fprintf(out, "e2e,latency,mean_ms,%.6f\n", mean->as_number());
+  }
+  if (const Json* counters = report.find("counters");
+      counters && counters->is_object()) {
+    for (const auto& [name, value] : counters->as_object())
+      std::fprintf(out, "counter,%s,,%.6f\n", name.c_str(), value.as_number());
+  }
+  if (const Json* series = report.find("series");
+      series && series->is_object()) {
+    for (const auto& [name, obj] : series->as_object()) {
+      const Json* values = obj.find("values");
+      if (values == nullptr || !values->is_array()) continue;
+      const auto& arr = values->as_array();
+      for (std::size_t i = 0; i < arr.size(); ++i)
+        std::fprintf(out, "series,%s,%zu,%.6f\n", name.c_str(), i,
+                     arr[i].as_number());
+    }
+  }
+}
+
+}  // namespace dynastar

@@ -1,0 +1,74 @@
+// RunReport: turns a finished run's MetricsRegistry + TraceCollector into a
+// machine-readable report — per-phase latency breakdowns derived from the
+// command-lifecycle trace, every metric series/histogram/counter, the
+// repartition-epoch timeline, and chaos events.
+//
+// Phase model (docs/OBSERVABILITY.md): per completed command the trace
+// yields monotone boundaries issue <= route(final attempt) <= oracle relay
+// <= server delivery <= execute start <= reply sent <= complete; missing
+// boundaries inherit their predecessor. The six phase durations telescope,
+// so their sum is exactly the end-to-end latency — a property the CI smoke
+// test asserts on the exported JSON.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace dynastar {
+
+/// One lifecycle phase aggregated over all completed commands.
+struct PhaseStats {
+  std::string name;
+  double total_ns = 0;   // summed over commands
+  std::uint64_t count = 0;  // commands contributing (all completed commands)
+  [[nodiscard]] double mean_ns() const {
+    return count == 0 ? 0.0 : total_ns / static_cast<double>(count);
+  }
+};
+
+/// Where each completed command's time went, phase by phase.
+struct PhaseBreakdown {
+  /// Fixed order: retry, resolve, order, coordinate, execute, reply.
+  std::vector<PhaseStats> phases;
+  std::uint64_t commands = 0;   // completed commands seen in the trace
+  double e2e_total_ns = 0;      // sum of (complete - issue) over them
+  [[nodiscard]] double e2e_mean_ns() const {
+    return commands == 0 ? 0.0 : e2e_total_ns / static_cast<double>(commands);
+  }
+};
+
+/// Derives the per-phase breakdown from a lifecycle trace. Commands without
+/// a kClientComplete (still in flight at the end of the run) are skipped.
+PhaseBreakdown compute_phase_breakdown(const TraceCollector& trace);
+
+/// Caller-provided run identity embedded under the report's "meta" key.
+struct RunInfo {
+  std::string workload;
+  std::string mode;
+  std::uint64_t seed = 0;
+  double duration_s = 0;
+  std::uint64_t partitions = 0;
+  std::uint64_t clients = 0;
+};
+
+/// Builds the full report document. Top-level keys: "meta", "phases",
+/// "e2e", "series", "histograms", "counters", "repartitions", "chaos".
+/// With tracing disabled, "phases"/"repartitions"/"chaos" are empty and
+/// "e2e" falls back to the "latency" histogram.
+Json build_run_report(const MetricsRegistry& metrics,
+                      const TraceCollector& trace, const RunInfo& info);
+
+/// Writes `report.dump(2)` to `path`; false on I/O failure.
+bool write_report_json(const Json& report, const std::string& path);
+
+/// Flat CSV rendering of a report (section,key,bucket/quantile,value rows),
+/// for spreadsheet-side consumption of the same data.
+void write_report_csv(const Json& report, std::FILE* out);
+
+}  // namespace dynastar

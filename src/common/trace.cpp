@@ -1,0 +1,38 @@
+#include "common/trace.h"
+
+namespace dynastar {
+
+const char* TraceCollector::point_name(TracePoint point) {
+  switch (point) {
+    case TracePoint::kClientIssue: return "client_issue";
+    case TracePoint::kClientRoute: return "client_route";
+    case TracePoint::kClientRetry: return "client_retry";
+    case TracePoint::kOracleRelay: return "oracle_relay";
+    case TracePoint::kServerDeliver: return "server_deliver";
+    case TracePoint::kExecuteStart: return "execute_start";
+    case TracePoint::kReplySent: return "reply_sent";
+    case TracePoint::kClientComplete: return "client_complete";
+    case TracePoint::kTransferSent: return "transfer_sent";
+    case TracePoint::kTransferReceived: return "transfer_received";
+    case TracePoint::kReturnSent: return "return_sent";
+    case TracePoint::kReturnReceived: return "return_received";
+    case TracePoint::kMcastDelivered: return "mcast_delivered";
+    case TracePoint::kPaxosDecided: return "paxos_decided";
+    case TracePoint::kPlanApplied: return "plan_applied";
+    case TracePoint::kChaosEvent: return "chaos_event";
+  }
+  return "unknown";
+}
+
+void TraceCollector::write_csv(std::FILE* out) const {
+  std::fprintf(out, "time_ns,point,key,attempt,node,detail\n");
+  for (const TraceEvent& e : events_) {
+    std::fprintf(out, "%lld,%s,%llu,%u,%llu,%llu\n",
+                 static_cast<long long>(e.time), point_name(e.point),
+                 static_cast<unsigned long long>(e.key), e.attempt,
+                 static_cast<unsigned long long>(e.node),
+                 static_cast<unsigned long long>(e.detail));
+  }
+}
+
+}  // namespace dynastar

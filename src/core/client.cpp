@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/metric_names.h"
 #include "core/server.h"  // choose_target, group_of
 
 namespace dynastar::core {
@@ -10,12 +11,13 @@ namespace dynastar::core {
 ClientCore::ClientCore(sim::Env& env, const paxos::Topology& topology,
                        const SystemConfig& config,
                        std::unique_ptr<ClientDriver> driver,
-                       MetricsRegistry* metrics)
+                       MetricsRegistry* metrics, TraceCollector* trace)
     : env_(env),
       topology_(topology),
       config_(config),
       driver_(std::move(driver)),
       metrics_(metrics),
+      trace_(trace),
       sender_(env, topology) {}
 
 void ClientCore::start() { issue_next(); }
@@ -42,6 +44,10 @@ void ClientCore::issue_next() {
                                              std::move(vertices), spec->payload);
   outstanding_ = Outstanding{std::move(*spec), std::move(cmd), 1, env_.now(),
                              false};
+  if (trace_)
+    trace_->record(TracePoint::kClientIssue, env_.now(), cmd_id, 1,
+                   env_.self().value(),
+                   static_cast<std::uint64_t>(outstanding_->cmd->type));
   route(/*force_oracle=*/false);
 }
 
@@ -65,6 +71,9 @@ void ClientCore::route(bool force_oracle) {
 
   if (use_oracle) {
     ++oracle_queries_;
+    if (trace_)
+      trace_->record(TracePoint::kClientRoute, env_.now(), cmd.cmd_id,
+                     out.attempt, env_.self().value(), /*via oracle=*/1);
     sender_.amcast({kOracleGroup}, sim::make_message<OracleRequest>(
                                        out.cmd, out.attempt));
     arm_command_timer();
@@ -78,6 +87,9 @@ void ClientCore::route(bool force_oracle) {
   const PartitionId target = choose_target(cmd.objects, owners);
   out.target = target;
 
+  if (trace_)
+    trace_->record(TracePoint::kClientRoute, env_.now(), cmd.cmd_id,
+                   out.attempt, env_.self().value(), /*via oracle=*/0);
   std::vector<GroupId> groups;
   groups.reserve(dests.size());
   for (PartitionId p : dests) groups.push_back(group_of(p));
@@ -118,14 +130,18 @@ void ClientCore::on_command_timeout(std::uint64_t cmd_id,
     return;
   }
   ++timeouts_;
-  if (metrics_) metrics_->series("client.timeouts").add(env_.now(), 1.0);
+  if (metrics_) metrics_->series(metric::kClientTimeouts).add(env_.now(), 1.0);
   if (config_.client_max_attempts != 0 &&
       outstanding_->attempt >= config_.client_max_attempts) {
     complete(ReplyStatus::kTimeout, nullptr);
     return;
   }
   ++retransmits_;
-  if (metrics_) metrics_->series("client.retransmits").add(env_.now(), 1.0);
+  if (metrics_)
+    metrics_->series(metric::kClientRetransmits).add(env_.now(), 1.0);
+  if (trace_)
+    trace_->record(TracePoint::kClientRetry, env_.now(), cmd_id, attempt,
+                   env_.self().value(), /*timeout=*/0);
   // First re-drive any multicast send a destination group never received —
   // a FIFO-ordered group cannot admit this client's *new* sends behind a
   // lost one — then re-resolve through the oracle under a fresh attempt.
@@ -190,7 +206,10 @@ void ClientCore::on_reply(const CommandReply& msg) {
   if (msg.status == ReplyStatus::kRetry) {
     // Stale addressing: flush the cache and go through the oracle (§4.3).
     ++retries_;
-    if (metrics_) metrics_->series("client.retries").add(env_.now(), 1.0);
+    if (metrics_) metrics_->series(metric::kClientRetries).add(env_.now(), 1.0);
+    if (trace_)
+      trace_->record(TracePoint::kClientRetry, env_.now(), msg.cmd_id,
+                     msg.attempt, env_.self().value(), /*kRetry reply=*/1);
     cache_.clear();
     ++outstanding_->attempt;
     route(/*force_oracle=*/true);
@@ -214,12 +233,18 @@ void ClientCore::complete(ReplyStatus status, const sim::MessagePtr& payload) {
   if (out.cmd->type == CommandType::kDelete && status == ReplyStatus::kOk) {
     for (const auto& [obj, vertex] : out.spec.objects) cache_.erase(vertex);
   }
+  if (trace_)
+    trace_->record(TracePoint::kClientComplete, env_.now(), out.cmd->cmd_id,
+                   out.attempt, env_.self().value(),
+                   static_cast<std::uint64_t>(status));
   if (metrics_) {
     const SimTime latency = env_.now() - out.start_time;
-    metrics_->series("completed").add(env_.now(), 1.0);
-    if (out.multi) metrics_->series("completed_multi").add(env_.now(), 1.0);
-    metrics_->histogram("latency").record(latency);
-    metrics_->histogram(out.multi ? "latency_multi" : "latency_single")
+    metrics_->series(metric::kCompleted).add(env_.now(), 1.0);
+    if (out.multi)
+      metrics_->series(metric::kCompletedMulti).add(env_.now(), 1.0);
+    metrics_->histogram(metric::kLatency).record(latency);
+    metrics_
+        ->histogram(out.multi ? metric::kLatencyMulti : metric::kLatencySingle)
         .record(latency);
   }
   driver_->on_result(out.spec, status, payload, out.start_time, env_.now());

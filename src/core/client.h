@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "core/config.h"
 #include "core/protocol.h"
 #include "core/types.h"
@@ -62,7 +63,7 @@ class ClientCore {
  public:
   ClientCore(sim::Env& env, const paxos::Topology& topology,
              const SystemConfig& config, std::unique_ptr<ClientDriver> driver,
-             MetricsRegistry* metrics);
+             MetricsRegistry* metrics, TraceCollector* trace = nullptr);
 
   void start();
   bool handle(ProcessId from, const sim::MessagePtr& msg);
@@ -96,6 +97,7 @@ class ClientCore {
   const SystemConfig& config_;
   std::unique_ptr<ClientDriver> driver_;
   MetricsRegistry* metrics_;
+  TraceCollector* trace_;
 
   multicast::McastClient sender_;
 

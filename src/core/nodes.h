@@ -20,7 +20,7 @@ class ServerNode final : public sim::Process {
              std::unique_ptr<AppStateMachine> app, bool record_metrics)
       : sim::Process(id, world),
         core_(*this, topology, partition, config, std::move(app),
-              &world.metrics(), record_metrics) {
+              &world.metrics(), record_metrics, &world.trace()) {
     set_message_service_time(config.server_service_time);
   }
 
@@ -41,7 +41,8 @@ class OracleNode final : public sim::Process {
   OracleNode(ProcessId id, sim::World& world, const paxos::Topology& topology,
              const SystemConfig& config, bool record_metrics)
       : sim::Process(id, world),
-        core_(*this, topology, config, &world.metrics(), record_metrics) {
+        core_(*this, topology, config, &world.metrics(), record_metrics,
+              &world.trace()) {
     set_message_service_time(config.oracle_service_time);
   }
 
@@ -62,7 +63,8 @@ class ClientNode final : public sim::Process {
   ClientNode(ProcessId id, sim::World& world, const paxos::Topology& topology,
              const SystemConfig& config, std::unique_ptr<ClientDriver> driver)
       : sim::Process(id, world),
-        core_(*this, topology, config, std::move(driver), &world.metrics()) {
+        core_(*this, topology, config, std::move(driver), &world.metrics(),
+              &world.trace()) {
     set_message_service_time(config.client_service_time);
   }
 

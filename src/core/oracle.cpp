@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/logging.h"
+#include "common/metric_names.h"
 #include "partitioning/partitioner.h"
 
 namespace dynastar::core {
@@ -21,14 +22,16 @@ std::uint64_t oracle_uid(std::uint64_t purpose, std::uint64_t counter) {
 
 OracleCore::OracleCore(sim::Env& env, const paxos::Topology& topology,
                        const SystemConfig& config, MetricsRegistry* metrics,
-                       bool record_metrics)
+                       bool record_metrics, TraceCollector* trace)
     : env_(env),
       topology_(topology),
       config_(config),
       metrics_(metrics),
       record_metrics_(record_metrics),
+      trace_(trace),
       member_(env, topology, kOracleGroup, config.paxos),
       plan_sender_(env, topology) {
+  member_.set_trace(trace);
   member_.set_deliver(
       [this](const multicast::McastData& data) { on_adeliver(data); });
 }
@@ -108,7 +111,7 @@ void OracleCore::send_prophecy(
 void OracleCore::on_request(const OracleRequest& request) {
   env_.consume_cpu(kRequestCost);
   if (record_metrics_ && metrics_)
-    metrics_->series("oracle.queries").add(env_.now(), 1.0);
+    metrics_->series(metric::kOracleQueries).add(env_.now(), 1.0);
 
   const Command& cmd = *request.cmd;
 
@@ -127,6 +130,9 @@ void OracleCore::on_request(const OracleRequest& request) {
         request.cmd, std::vector<PartitionId>{target},
         std::vector<PartitionId>{target}, target, epoch_, request.attempt);
     relay_cache_[cmd.client.value()] = exec;
+    if (trace_)
+      trace_->record(TracePoint::kOracleRelay, env_.now(), cmd.cmd_id,
+                     request.attempt, env_.self().value(), target.value());
     member_.amcast_as_group(oracle_uid(/*purpose=*/1, ++relays_emitted_),
                             {kOracleGroup, group_of(target)}, exec);
     send_prophecy(request, ReplyStatus::kOk, target, {{vertex, target}});
@@ -150,7 +156,11 @@ void OracleCore::on_request(const OracleRequest& request) {
           cached->second->cmd->cmd_id == cmd.cmd_id) {
         const ExecCommand& prev = *cached->second;
         if (record_metrics_ && metrics_)
-          metrics_->add_counter("oracle.reply_cache_hits");
+          metrics_->add_counter(metric::kOracleReplyCacheHits);
+        if (trace_)
+          trace_->record(TracePoint::kOracleRelay, env_.now(), cmd.cmd_id,
+                         request.attempt, env_.self().value(),
+                         prev.target.value());
         std::vector<GroupId> groups;
         groups.reserve(prev.dests.size() + 1);
         for (PartitionId d : prev.dests) groups.push_back(group_of(d));
@@ -183,6 +193,9 @@ void OracleCore::on_request(const OracleRequest& request) {
                                                   std::move(owners), target,
                                                   epoch_, request.attempt);
   relay_cache_[cmd.client.value()] = exec;
+  if (trace_)
+    trace_->record(TracePoint::kOracleRelay, env_.now(), cmd.cmd_id,
+                   request.attempt, env_.self().value(), target.value());
   member_.amcast_as_group(oracle_uid(/*purpose=*/1, ++relays_emitted_),
                           std::move(groups), exec);
   send_prophecy(request, ReplyStatus::kOk, target, std::move(locations));
@@ -257,7 +270,7 @@ void OracleCore::maybe_trigger_repartition() {
     finish_repartition(candidate, snapshot);
   });
   if (record_metrics_ && metrics_)
-    metrics_->series("oracle.repartitions").add(env_.now(), 1.0);
+    metrics_->series(metric::kOracleRepartitions).add(env_.now(), 1.0);
 }
 
 void OracleCore::finish_repartition(
@@ -314,8 +327,11 @@ void OracleCore::on_plan(const PlanMsg& plan) {
   epoch_ = plan.epoch;
   computing_ = false;
   last_plan_time_ = env_.now();
+  if (trace_)
+    trace_->record(TracePoint::kPlanApplied, env_.now(), plan.epoch, 0,
+                   env_.self().value(), /*oracle=*/UINT64_MAX);
   if (record_metrics_ && metrics_)
-    metrics_->series("oracle.plans_applied").add(env_.now(), 1.0);
+    metrics_->series(metric::kOraclePlansApplied).add(env_.now(), 1.0);
 }
 
 }  // namespace dynastar::core

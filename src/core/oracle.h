@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "core/config.h"
 #include "core/protocol.h"
 #include "core/server.h"
@@ -35,7 +36,7 @@ class OracleCore {
  public:
   OracleCore(sim::Env& env, const paxos::Topology& topology,
              const SystemConfig& config, MetricsRegistry* metrics,
-             bool record_metrics);
+             bool record_metrics, TraceCollector* trace = nullptr);
 
   void start();
 
@@ -82,6 +83,7 @@ class OracleCore {
   const SystemConfig& config_;
   MetricsRegistry* metrics_;
   bool record_metrics_;
+  TraceCollector* trace_;
 
   multicast::MemberCore member_;
   multicast::McastClient plan_sender_;  // per-replica sender for PlanMsg

@@ -1,0 +1,56 @@
+#include "core/scenario.h"
+
+#include <cassert>
+#include <utility>
+
+namespace dynastar::core {
+
+ScenarioBuilder& ScenarioBuilder::repartitioning(bool enabled) {
+  config_.repartitioning_enabled = enabled;
+  if (!enabled) config_.repartition_hint_threshold = UINT64_MAX;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::preload_kv(std::uint64_t keys,
+                                             const PRObject& prototype) {
+  kv_preloads_.push_back(KvPreload{keys, ObjectPtr(prototype.clone())});
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::preload(std::function<void(System&)> fn) {
+  preload_fns_.push_back(std::move(fn));
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::clients(std::size_t count,
+                                          DriverFactory factory) {
+  client_batches_.push_back(ClientBatch{count, std::move(factory)});
+  return *this;
+}
+
+std::unique_ptr<System> ScenarioBuilder::build() const {
+  assert(app_factory_ && "ScenarioBuilder: .app(factory) is required");
+  auto system = std::make_unique<System>(config_, app_factory_);
+
+  for (const KvPreload& preload : kv_preloads_) {
+    Assignment assignment;
+    for (std::uint64_t k = 0; k < preload.keys; ++k) {
+      const PartitionId p{k % config_.num_partitions};
+      assignment[VertexId{k}] = p;
+      system->preload_object(ObjectId{k}, VertexId{k}, p, *preload.prototype);
+    }
+    system->preload_assignment(assignment);
+  }
+  for (const auto& fn : preload_fns_) fn(*system);
+
+  std::size_t index = 0;
+  for (const ClientBatch& batch : client_batches_) {
+    for (std::size_t i = 0; i < batch.count; ++i)
+      system->add_client(batch.factory(index++));
+  }
+
+  if (trace_) system->world().trace().enable();
+  return system;
+}
+
+}  // namespace dynastar::core

@@ -1,0 +1,109 @@
+// ScenarioBuilder: fluent construction of a complete benchmark/test
+// deployment. Replaces the hand-rolled config + preload-loop + add-client
+// boilerplate that every bench and system test used to repeat:
+//
+//   auto system = core::ScenarioBuilder()
+//                     .mode(core::ExecutionMode::kDynaStar)
+//                     .partitions(4)
+//                     .app(workloads::kv_app_factory())
+//                     .preload_kv(1024, workloads::KvObject(0))
+//                     .clients(16, [&](std::size_t) {
+//                       return std::make_unique<workloads::RandomKvDriver>(
+//                           1024, 0.5, 0.1);
+//                     })
+//                     .build();
+//   system->run_until(seconds(30));
+//
+// The product is a plain core::System — the old surface remains the way to
+// drive and inspect a run; the builder only removes setup boilerplate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/object.h"
+#include "core/system.h"
+
+namespace dynastar::core {
+
+class ScenarioBuilder {
+ public:
+  /// Per-client driver factory; called once per client with its index.
+  using DriverFactory = std::function<std::unique_ptr<ClientDriver>(std::size_t)>;
+
+  ScenarioBuilder& mode(ExecutionMode m) {
+    config_.mode = m;
+    return *this;
+  }
+  ScenarioBuilder& partitions(std::uint32_t n) {
+    config_.num_partitions = n;
+    return *this;
+  }
+  ScenarioBuilder& seed(std::uint64_t s) {
+    config_.seed = s;
+    return *this;
+  }
+  /// Enables/disables repartitioning; disabling also raises the hint
+  /// threshold so no plan can ever trigger (the common test setup).
+  ScenarioBuilder& repartitioning(bool enabled);
+  /// Arbitrary knobs not worth a dedicated builder method.
+  ScenarioBuilder& tune(const std::function<void(SystemConfig&)>& fn) {
+    fn(config_);
+    return *this;
+  }
+  /// Replaces the whole config (then continue overriding fluently).
+  ScenarioBuilder& config(SystemConfig config) {
+    config_ = std::move(config);
+    return *this;
+  }
+  [[nodiscard]] const SystemConfig& current_config() const { return config_; }
+
+  /// Application state-machine factory (required before build()).
+  ScenarioBuilder& app(AppFactory factory) {
+    app_factory_ = std::move(factory);
+    return *this;
+  }
+
+  /// Preloads `keys` clones of `prototype` as objects 0..keys-1 (vertex k =
+  /// object k) placed round-robin across partitions, and installs the
+  /// matching epoch-0 assignment.
+  ScenarioBuilder& preload_kv(std::uint64_t keys, const PRObject& prototype);
+
+  /// Custom preload hook (Chirper/TPC-C style setup); runs after
+  /// preload_kv, in registration order, before clients are added.
+  ScenarioBuilder& preload(std::function<void(System&)> fn);
+
+  /// Adds `count` clients; `factory(i)` supplies each driver.
+  ScenarioBuilder& clients(std::size_t count, DriverFactory factory);
+
+  /// Arms the world's lifecycle TraceCollector from the start of the run.
+  ScenarioBuilder& trace(bool enabled = true) {
+    trace_ = enabled;
+    return *this;
+  }
+
+  /// Constructs the System and applies preloads/clients/tracing. The
+  /// builder can be reused afterwards (state is retained, not consumed).
+  [[nodiscard]] std::unique_ptr<System> build() const;
+
+ private:
+  struct KvPreload {
+    std::uint64_t keys = 0;
+    ObjectPtr prototype;
+  };
+  struct ClientBatch {
+    std::size_t count = 0;
+    DriverFactory factory;
+  };
+
+  SystemConfig config_;
+  AppFactory app_factory_;
+  std::vector<KvPreload> kv_preloads_;
+  std::vector<std::function<void(System&)>> preload_fns_;
+  std::vector<ClientBatch> client_batches_;
+  bool trace_ = false;
+};
+
+}  // namespace dynastar::core

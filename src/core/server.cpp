@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/logging.h"
+#include "common/metric_names.h"
 
 namespace dynastar::core {
 
@@ -41,7 +42,7 @@ PartitionId choose_target([[maybe_unused]] const std::vector<ObjectId>& objects,
 PartitionServerCore::PartitionServerCore(
     sim::Env& env, const paxos::Topology& topology, PartitionId partition,
     const SystemConfig& config, std::unique_ptr<AppStateMachine> app,
-    MetricsRegistry* metrics, bool record_metrics)
+    MetricsRegistry* metrics, bool record_metrics, TraceCollector* trace)
     : env_(env),
       topology_(topology),
       partition_(partition),
@@ -49,8 +50,14 @@ PartitionServerCore::PartitionServerCore(
       app_(std::move(app)),
       metrics_(metrics),
       record_metrics_(record_metrics),
+      trace_(trace),
+      partition_label_(std::to_string(partition.value())),
       member_(env, topology, group_of(partition), config.paxos),
       reliable_(env) {
+  const auto& replicas = topology.group(group_of(partition)).replicas;
+  for (std::size_t i = 0; i < replicas.size(); ++i)
+    if (replicas[i] == env.self()) replica_label_ = std::to_string(i);
+  member_.set_trace(trace);
   member_.set_deliver(
       [this](const multicast::McastData& data) { on_adeliver(data); });
 }
@@ -127,12 +134,23 @@ void PartitionServerCore::send_to_partition(PartitionId p,
 
 void PartitionServerCore::on_adeliver(const multicast::McastData& data) {
   if (auto exec = std::dynamic_pointer_cast<const ExecCommand>(data.payload)) {
+    trace_cmd(TracePoint::kServerDeliver, *exec, partition_.value());
     queue_.push_back(QueueItem{std::move(exec), nullptr});
   } else if (auto plan =
                  std::dynamic_pointer_cast<const PlanMsg>(data.payload)) {
     queue_.push_back(QueueItem{nullptr, std::move(plan)});
   } else {
     return;  // oracle-only payloads multicast to every group are ignored here
+  }
+  if (metrics_) {
+    // Queue depth sampled at each delivery; mean depth per bucket is this
+    // sum divided by that bucket's delivery count (see common/report.cpp).
+    // Per-node labeled series are recorded by every replica (no double
+    // counting: the labels make each node's series distinct).
+    metrics_
+        ->series(metric::kServerQueueDepth, {{"partition", partition_label_},
+                                             {"replica", replica_label_}})
+        .add(env_.now(), static_cast<double>(queue_.size()));
   }
   if (!blocked_) pump();
 }
@@ -214,6 +232,22 @@ void PartitionServerCore::pump() {
   }
 }
 
+void PartitionServerCore::trace_cmd(TracePoint point, const ExecCommand& ec,
+                                    std::uint64_t detail) {
+  if (trace_)
+    trace_->record(point, env_.now(), ec.cmd->cmd_id, ec.attempt,
+                   env_.self().value(), detail);
+}
+
+void PartitionServerCore::send_reply(const ExecCommand& ec, ReplyStatus status,
+                                     sim::MessagePtr payload) {
+  trace_cmd(TracePoint::kReplySent, ec, static_cast<std::uint64_t>(status));
+  env_.send_message(ec.cmd->client,
+                    sim::make_message<CommandReply>(ec.cmd->cmd_id, ec.attempt,
+                                                    status,
+                                                    std::move(payload)));
+}
+
 void PartitionServerCore::remember_reply(const ExecCommand& ec,
                                          ReplyStatus status,
                                          const sim::MessagePtr& payload) {
@@ -231,12 +265,9 @@ bool PartitionServerCore::serve_cached_duplicate(const ExecCommand& ec) {
   if (it == reply_cache_.end() || it->second.cmd_id < ec.cmd->cmd_id)
     return false;
   if (it->second.cmd_id == ec.cmd->cmd_id) {
-    env_.send_message(ec.cmd->client, sim::make_message<CommandReply>(
-                                          ec.cmd->cmd_id, ec.attempt,
-                                          it->second.status,
-                                          it->second.payload));
+    send_reply(ec, it->second.status, it->second.payload);
     if (record_metrics_ && metrics_)
-      metrics_->add_counter("server.reply_cache_hits");
+      metrics_->add_counter(metric::kServerReplyCacheHits);
   }
   // cached > delivered: the client already moved past this command (it can
   // only have timed out), so executing it now would violate session order —
@@ -255,6 +286,7 @@ bool PartitionServerCore::serve_cached_duplicate(const ExecCommand& ec) {
     if (tstate != transfers_.end()) {
       for (auto& [source, envelopes] : tstate->second.received) {
         sources.insert(source);
+        trace_cmd(TracePoint::kReturnSent, ec, source.value());
         send_to_partition(source,
                           sim::make_message<VarReturn>(ec.cmd->cmd_id,
                                                        ec.attempt, partition_,
@@ -333,7 +365,9 @@ bool PartitionServerCore::transfers_ready_for_ssmr(const ExecCommand& ec) {
     auto msg = sim::make_message<VarTransfer>(ec.cmd->cmd_id, ec.attempt,
                                               partition_, std::move(mine));
     for (PartitionId dest : ec.dests) {
-      if (dest != partition_) send_to_partition(dest, msg);
+      if (dest == partition_) continue;
+      trace_cmd(TracePoint::kTransferSent, ec, dest.value());
+      send_to_partition(dest, msg);
     }
     if (record_metrics_ && metrics_) {
       note_objects_exchanged(static_cast<double>(
@@ -381,14 +415,13 @@ void PartitionServerCore::execute_target(const ExecCommand& ec) {
     for (const auto& [source, envelopes] : tstate->second.received)
       sources.insert(source);
     for (auto& [source, envelopes] : tstate->second.received) {
+      trace_cmd(TracePoint::kReturnSent, ec, source.value());
       send_to_partition(source,
                         sim::make_message<VarReturn>(ec.cmd->cmd_id, ec.attempt,
                                                      partition_, envelopes));
     }
     transfers_.erase(tstate);
-    env_.send_message(ec.cmd->client,
-                      sim::make_message<CommandReply>(
-                          ec.cmd->cmd_id, ec.attempt, ReplyStatus::kRetry, nullptr));
+    send_reply(ec, ReplyStatus::kRetry, nullptr);
     return;
   }
 
@@ -410,15 +443,13 @@ void PartitionServerCore::execute_target(const ExecCommand& ec) {
   env_.consume_cpu(kPerObjectMoveCost *
                    static_cast<SimTime>(borrowed_objects));
 
+  trace_cmd(TracePoint::kExecuteStart, ec, partition_.value());
   ExecResult result = app_->execute(*ec.cmd, store_);
   env_.consume_cpu(result.cpu_cost);
 
   sim::MessagePtr reply_payload = std::move(result.reply);
   remember_reply(ec, ReplyStatus::kOk, reply_payload);
-  env_.send_message(
-      ec.cmd->client,
-      sim::make_message<CommandReply>(ec.cmd->cmd_id, ec.attempt, ReplyStatus::kOk,
-                                      std::move(reply_payload)));
+  send_reply(ec, ReplyStatus::kOk, std::move(reply_payload));
 
   if (multi) {
     if (config_.mode == ExecutionMode::kDynaStar) {
@@ -438,6 +469,7 @@ void PartitionServerCore::execute_target(const ExecCommand& ec) {
       std::size_t returned = 0;
       for (auto& [owner, envelopes] : by_owner) {
         returned += envelopes.size();
+        trace_cmd(TracePoint::kReturnSent, ec, owner.value());
         send_to_partition(owner, sim::make_message<VarReturn>(
                                      ec.cmd->cmd_id, ec.attempt, partition_,
                                      std::move(envelopes)));
@@ -475,19 +507,16 @@ void PartitionServerCore::execute_create(const ExecCommand& ec) {
   // executable regardless of the epoch (Algorithm 2, Tasks 2/3).
   const ObjectId id = ec.cmd->objects.front();
   const VertexId vertex = ec.cmd->vertices.front();
+  trace_cmd(TracePoint::kExecuteStart, ec, partition_.value());
   if (store_.contains(id)) {
     remember_reply(ec, ReplyStatus::kNok, nullptr);
-    env_.send_message(ec.cmd->client,
-                      sim::make_message<CommandReply>(
-                          ec.cmd->cmd_id, ec.attempt, ReplyStatus::kNok, nullptr));
+    send_reply(ec, ReplyStatus::kNok, nullptr);
     return;
   }
   store_.put(id, vertex, app_->make_object(*ec.cmd));
   map_[vertex] = partition_;
   remember_reply(ec, ReplyStatus::kOk, nullptr);
-  env_.send_message(ec.cmd->client,
-                    sim::make_message<CommandReply>(ec.cmd->cmd_id, ec.attempt,
-                                                    ReplyStatus::kOk, nullptr));
+  send_reply(ec, ReplyStatus::kOk, nullptr);
   if (config_.mode == ExecutionMode::kDynaStar)
     record_hints(*ec.cmd, /*multi_partition=*/false);
   note_command_metrics(ec, /*multi=*/false);
@@ -498,12 +527,11 @@ void PartitionServerCore::execute_delete(const ExecCommand& ec) {
   // mapping. The oracle removed the vertex from its own map/graph when it
   // delivered its copy of this multicast (it is a destination).
   const VertexId vertex = ec.cmd->vertices.front();
+  trace_cmd(TracePoint::kExecuteStart, ec, partition_.value());
   for (ObjectId id : store_.objects_of_vertex(vertex)) store_.take(id);
   map_.erase(vertex);
   remember_reply(ec, ReplyStatus::kOk, nullptr);
-  env_.send_message(ec.cmd->client,
-                    sim::make_message<CommandReply>(ec.cmd->cmd_id, ec.attempt,
-                                                    ReplyStatus::kOk, nullptr));
+  send_reply(ec, ReplyStatus::kOk, nullptr);
   note_command_metrics(ec, /*multi=*/false);
 }
 
@@ -554,6 +582,7 @@ void PartitionServerCore::execute_non_target(const ExecCommand& ec) {
       map_[v] = ec.target;
     }
     dssmr_moves_.emplace(key, std::move(record));
+    trace_cmd(TracePoint::kTransferSent, ec, ec.target.value());
     send_to_partition(ec.target,
                       sim::make_message<VarTransfer>(ec.cmd->cmd_id, ec.attempt,
                                                      partition_, std::move(mine)));
@@ -572,6 +601,7 @@ void PartitionServerCore::execute_non_target(const ExecCommand& ec) {
   for (const auto& env : mine) lent_objects_.insert(env.id);
   for (VertexId v : lend.vertices) lent_vertex_count_[v]++;
   lends_.emplace(key, std::move(lend));
+  trace_cmd(TracePoint::kTransferSent, ec, ec.target.value());
   send_to_partition(ec.target,
                     sim::make_message<VarTransfer>(ec.cmd->cmd_id, ec.attempt,
                                                    partition_, std::move(mine)));
@@ -595,14 +625,12 @@ void PartitionServerCore::execute_ssmr(const ExecCommand& ec) {
     }
   }
 
+  trace_cmd(TracePoint::kExecuteStart, ec, partition_.value());
   ExecResult result = app_->execute(*ec.cmd, store_);
   env_.consume_cpu(result.cpu_cost);
   sim::MessagePtr reply_payload = std::move(result.reply);
   remember_reply(ec, ReplyStatus::kOk, reply_payload);
-  env_.send_message(
-      ec.cmd->client,
-      sim::make_message<CommandReply>(ec.cmd->cmd_id, ec.attempt, ReplyStatus::kOk,
-                                      std::move(reply_payload)));
+  send_reply(ec, ReplyStatus::kOk, std::move(reply_payload));
 
   if (multi) {
     // Drop the copies of remote vertices; keep only our own updated state.
@@ -627,11 +655,9 @@ void PartitionServerCore::reject(const ExecCommand& ec, bool notify_peers) {
       for (const auto& [source, envelopes] : tstate->second.received)
         sources.insert(source);
   }
-  env_.send_message(ec.cmd->client,
-                    sim::make_message<CommandReply>(
-                        ec.cmd->cmd_id, ec.attempt, ReplyStatus::kRetry, nullptr));
+  send_reply(ec, ReplyStatus::kRetry, nullptr);
   if (record_metrics_ && metrics_)
-    metrics_->series("retries").add(env_.now(), 1.0);
+    metrics_->series(metric::kServerRetries).add(env_.now(), 1.0);
   const CmdKey key{ec.cmd->cmd_id, ec.attempt};
   if (notify_peers) {
     auto notice =
@@ -644,6 +670,7 @@ void PartitionServerCore::reject(const ExecCommand& ec, bool notify_peers) {
   auto tstate = transfers_.find(key);
   if (tstate != transfers_.end()) {
     for (auto& [source, envelopes] : tstate->second.received) {
+      trace_cmd(TracePoint::kReturnSent, ec, source.value());
       send_to_partition(source,
                         sim::make_message<VarReturn>(ec.cmd->cmd_id, ec.attempt,
                                                      partition_, envelopes));
@@ -685,10 +712,15 @@ void PartitionServerCore::apply_plan(const PlanMsg& plan) {
     for (VertexId v : to_send) send_handoff_if_possible(v);
   }
 
+  if (trace_)
+    trace_->record(TracePoint::kPlanApplied, env_.now(), plan.epoch, 0,
+                   env_.self().value(), partition_.value());
   if (record_metrics_ && metrics_) {
-    metrics_->series("plan_applied").add(env_.now(), 1.0);
-    metrics_->add_counter("vertices_moved_out", static_cast<double>(moved_out));
-    metrics_->add_counter("vertices_moved_in", static_cast<double>(moved_in));
+    metrics_->series(metric::kPlanApplied).add(env_.now(), 1.0);
+    metrics_->add_counter(metric::kVerticesMovedOut,
+                          static_cast<double>(moved_out));
+    metrics_->add_counter(metric::kVerticesMovedIn,
+                          static_cast<double>(moved_in));
   }
 
   // Process handoffs that raced ahead of the plan.
@@ -720,7 +752,7 @@ void PartitionServerCore::send_handoff_if_possible(VertexId vertex) {
                    static_cast<SimTime>(envelopes.size() + 1));
   if (record_metrics_ && metrics_) {
     note_objects_exchanged(static_cast<double>(envelopes.size()));
-    metrics_->series("plan_handoffs")
+    metrics_->series(metric::kPlanHandoffs)
         .add(env_.now(), static_cast<double>(envelopes.size()));
   }
   send_to_partition(it->second,
@@ -769,6 +801,9 @@ void PartitionServerCore::on_var_transfer(const VarTransfer& msg) {
   // dropped instead.
   if (auto res = resolved_.find(key); res != resolved_.end()) {
     if (res->second.insert(msg.from).second) {
+      if (trace_)
+        trace_->record(TracePoint::kReturnSent, env_.now(), msg.cmd_id,
+                       msg.attempt, env_.self().value(), msg.from.value());
       send_to_partition(msg.from, sim::make_message<VarReturn>(
                                       msg.cmd_id, msg.attempt, partition_,
                                       msg.objects));
@@ -779,6 +814,9 @@ void PartitionServerCore::on_var_transfer(const VarTransfer& msg) {
   auto [it, inserted] = state.received.emplace(msg.from, msg.objects);
   (void)it;
   if (!inserted) return;  // duplicate from the source's other replica
+  if (trace_)
+    trace_->record(TracePoint::kTransferReceived, env_.now(), msg.cmd_id,
+                   msg.attempt, env_.self().value(), msg.from.value());
   if (blocked_) {
     blocked_ = false;
     pump();
@@ -800,6 +838,9 @@ void PartitionServerCore::on_var_return(
     }
     returns_seen_.insert(key);
     early_returns_.erase(key);
+    if (trace_)
+      trace_->record(TracePoint::kReturnReceived, env_.now(), msg.cmd_id,
+                     msg.attempt, env_.self().value(), msg.from.value());
     insert_envelopes(msg.objects);
     for (const auto& [vertex, previous] : move->second.previous_owner) {
       if (previous == kNoPartition)
@@ -822,6 +863,9 @@ void PartitionServerCore::on_var_return(
   }
   returns_seen_.insert(key);
   early_returns_.erase(key);
+  if (trace_)
+    trace_->record(TracePoint::kReturnReceived, env_.now(), msg.cmd_id,
+                   msg.attempt, env_.self().value(), msg.from.value());
   insert_envelopes(msg.objects);
   for (VertexId v : it->second.vertices) {
     auto cnt = lent_vertex_count_.find(v);
@@ -920,9 +964,10 @@ void PartitionServerCore::maybe_emit_hints() {
 void PartitionServerCore::note_objects_exchanged(double count) {
   if (!record_metrics_ || metrics_ == nullptr || count <= 0) return;
   const SimTime now = env_.now();
-  metrics_->series("objects_exchanged").add(now, count);
-  metrics_->series("partition." + std::to_string(partition_.value()) +
-                   ".objects_exchanged")
+  metrics_->series(metric::kObjectsExchanged).add(now, count);
+  metrics_
+      ->series(metric::kServerObjectsExchanged,
+               {{"partition", partition_label_}, {"replica", replica_label_}})
       .add(now, count);
 }
 
@@ -930,14 +975,16 @@ void PartitionServerCore::note_command_metrics(
     [[maybe_unused]] const ExecCommand& ec, bool multi) {
   if (!record_metrics_ || !metrics_) return;
   const SimTime now = env_.now();
-  metrics_->series("executed").add(now, 1.0);
-  metrics_->series("partition." + std::to_string(partition_.value()) +
-                   ".executed")
+  metrics_->series(metric::kExecuted).add(now, 1.0);
+  metrics_
+      ->series(metric::kServerExecuted,
+               {{"partition", partition_label_}, {"replica", replica_label_}})
       .add(now, 1.0);
   if (multi) {
-    metrics_->series("mpart").add(now, 1.0);
-    metrics_->series("partition." + std::to_string(partition_.value()) +
-                     ".mpart")
+    metrics_->series(metric::kMultiPartition).add(now, 1.0);
+    metrics_
+        ->series(metric::kServerMultiPartition,
+                 {{"partition", partition_label_}, {"replica", replica_label_}})
         .add(now, 1.0);
   }
 }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "core/app.h"
 #include "core/config.h"
 #include "core/object.h"
@@ -47,7 +48,8 @@ class PartitionServerCore {
   PartitionServerCore(sim::Env& env, const paxos::Topology& topology,
                       PartitionId partition, const SystemConfig& config,
                       std::unique_ptr<AppStateMachine> app,
-                      MetricsRegistry* metrics, bool record_metrics);
+                      MetricsRegistry* metrics, bool record_metrics,
+                      TraceCollector* trace = nullptr);
 
   void start();
 
@@ -114,6 +116,10 @@ class PartitionServerCore {
   void maybe_emit_hints();
   void note_objects_exchanged(double count);
   void note_command_metrics(const ExecCommand& ec, bool multi_partition);
+  void send_reply(const ExecCommand& ec, ReplyStatus status,
+                  sim::MessagePtr payload);
+  void trace_cmd(TracePoint point, const ExecCommand& ec,
+                 std::uint64_t detail);
   [[nodiscard]] bool is_primary_replica() const;
 
   sim::Env& env_;
@@ -123,6 +129,10 @@ class PartitionServerCore {
   std::unique_ptr<AppStateMachine> app_;
   MetricsRegistry* metrics_;
   bool record_metrics_;
+  TraceCollector* trace_;
+  /// Labels identifying this replica in per-node metrics.
+  std::string partition_label_;
+  std::string replica_label_;
 
   multicast::MemberCore member_;
   /// Ack+retransmit channel for the direct (non-multicast) coordination

@@ -244,6 +244,9 @@ void MemberCore::try_deliver() {
     early_proposals_.erase(min_it->first);
     pending_.erase(min_it);
     ++delivered_count_;
+    if (trace_)
+      trace_->record(TracePoint::kMcastDelivered, env_.now(), data->uid, 0,
+                     env_.self().value(), group_.value());
     if (deliver_) deliver_(*data);
   }
 }

@@ -34,6 +34,13 @@ class MemberCore {
 
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
 
+  /// Optional lifecycle trace sink (propagated to the owned Paxos replica);
+  /// records one kMcastDelivered event per a-delivery. Null disables.
+  void set_trace(TraceCollector* trace) {
+    trace_ = trace;
+    replica_.set_trace(trace);
+  }
+
   void start();
 
   /// Re-arms timers after a crash/recover cycle (the previous incarnation's
@@ -91,6 +98,7 @@ class MemberCore {
   GroupId group_;
   paxos::ReplicaCore replica_;
   DeliverFn deliver_;
+  TraceCollector* trace_ = nullptr;
 
   Timestamp clock_ = 0;
   std::unordered_map<Uid, Pending> pending_;

@@ -282,10 +282,16 @@ void ReplicaCore::try_deliver() {
     const sim::MessagePtr& value = it->second;
     if (auto* batch = dynamic_cast<const Batch*>(value.get())) {
       for (const auto& inner : batch->values) {
+        if (trace_)
+          trace_->record(TracePoint::kPaxosDecided, env_.now(), next_seq_, 0,
+                         env_.self().value(), group_.value());
         if (deliver_) deliver_(next_seq_, inner);
         ++next_seq_;
       }
     } else {
+      if (trace_)
+        trace_->record(TracePoint::kPaxosDecided, env_.now(), next_seq_, 0,
+                       env_.self().value(), group_.value());
       if (deliver_) deliver_(next_seq_, value);
       ++next_seq_;
     }

@@ -14,6 +14,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/trace.h"
 #include "paxos/messages.h"
 #include "paxos/topology.h"
 #include "sim/env.h"
@@ -43,6 +44,10 @@ class ReplicaCore {
               ReplicaConfig config = {});
 
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Optional lifecycle trace sink; records one kPaxosDecided event per
+  /// delivered value. Null (the default) disables the hook entirely.
+  void set_trace(TraceCollector* trace) { trace_ = trace; }
 
   /// Invoked every time this replica completes phase 1 and starts leading.
   /// Upper layers use it to re-emit coordination messages a failed leader
@@ -101,6 +106,7 @@ class ReplicaCore {
   GroupId group_;
   ReplicaConfig config_;
   DeliverFn deliver_;
+  TraceCollector* trace_ = nullptr;
   std::function<void()> on_lead_;
   std::size_t my_index_ = 0;
 

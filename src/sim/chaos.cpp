@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/metric_names.h"
+
 namespace dynastar::sim {
 
 void ChaosInjector::arm() {
@@ -22,7 +24,8 @@ void ChaosInjector::record(SimTime at, std::string what) {
   line << "t=" << to_millis(at) << "ms " << what;
   log_.push_back(line.str());
   ++injected_;
-  world_.metrics().add_counter("chaos.events");
+  world_.metrics().add_counter(metric::kChaosEvents);
+  world_.trace().record(TracePoint::kChaosEvent, at, injected_, 0, 0, 0);
 }
 
 void ChaosInjector::schedule_crashes() {

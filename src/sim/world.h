@@ -8,6 +8,7 @@
 #include "common/ids.h"
 #include "common/metrics.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 
@@ -36,6 +37,10 @@ class World {
   Simulator& sim() { return sim_; }
   Network& network() { return *network_; }
   MetricsRegistry& metrics() { return metrics_; }
+  /// Lifecycle trace sink (disabled by default; `trace().enable()` to arm).
+  /// Always constructed so cores can hold a stable pointer from birth.
+  TraceCollector& trace() { return trace_; }
+  [[nodiscard]] const TraceCollector& trace() const { return trace_; }
 
   /// Fresh independent random stream (deterministic given the world seed).
   Rng fork_rng() { return rng_.fork(); }
@@ -65,6 +70,7 @@ class World {
   Rng rng_;
   std::unique_ptr<Network> network_;
   MetricsRegistry metrics_;
+  TraceCollector trace_;
   std::vector<std::unique_ptr<Process>> processes_;  // index == ProcessId
   std::uint64_t next_process_id_ = 0;
   bool started_ = false;

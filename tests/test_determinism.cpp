@@ -3,7 +3,8 @@
 // every test failure replayable.
 #include <gtest/gtest.h>
 
-#include "core/system.h"
+#include "common/metric_names.h"
+#include "core/scenario.h"
 #include "workloads/chirper.h"
 #include "workloads/kv.h"
 #include "workloads/kv_drivers.h"
@@ -24,29 +25,31 @@ struct Fingerprint {
   }
 };
 
-Fingerprint run_kv(std::uint64_t seed) {
-  core::SystemConfig config;
-  config.num_partitions = 3;
-  config.seed = seed;
-  config.repartition_hint_threshold = UINT64_MAX;
-  core::System system(config, workloads::kv_app_factory());
-  core::Assignment assignment;
-  workloads::KvObject zero(0);
-  for (std::uint64_t k = 0; k < 32; ++k) {
-    const PartitionId p{k % 3};
-    assignment[core::VertexId{k}] = p;
-    system.preload_object(ObjectId{k}, core::VertexId{k}, p, zero);
-  }
-  system.preload_assignment(assignment);
-  for (int c = 0; c < 6; ++c) {
-    system.add_client(
-        std::make_unique<workloads::RandomKvDriver>(32, 0.5, 0.4));
-  }
-  system.run_until(seconds(3));
-  return Fingerprint{system.metrics().series("completed").total(),
-                     system.metrics().series("mpart").total(),
-                     system.metrics().series("objects_exchanged").total(),
+Fingerprint fingerprint_of(core::System& system) {
+  return Fingerprint{system.metrics().series(metric::kCompleted).total(),
+                     system.metrics().series(metric::kMultiPartition).total(),
+                     system.metrics().series(metric::kObjectsExchanged).total(),
                      system.world().sim().executed_events()};
+}
+
+Fingerprint run_kv(std::uint64_t seed) {
+  auto system =
+      core::ScenarioBuilder()
+          .partitions(3)
+          .seed(seed)
+          .tune([](core::SystemConfig& c) {
+            c.repartition_hint_threshold = UINT64_MAX;
+          })
+          .app(workloads::kv_app_factory())
+          .preload_kv(32, workloads::KvObject(0))
+          .clients(6,
+                   [](std::size_t) {
+                     return std::make_unique<workloads::RandomKvDriver>(32, 0.5,
+                                                                        0.4);
+                   })
+          .build();
+  system->run_until(seconds(3));
+  return fingerprint_of(*system);
 }
 
 TEST(Determinism, IdenticalSeedsIdenticalRuns) {
@@ -64,26 +67,31 @@ TEST(Determinism, DifferentSeedsDiverge) {
 
 TEST(Determinism, ChirperRunsReproduce) {
   auto run_once = [] {
-    core::SystemConfig config;
-    config.num_partitions = 2;
-    config.repartition_hint_threshold = 10'000;
-    config.min_repartition_interval = seconds(1);
     auto graph = workloads::generate_social_graph(300, 3, 9);
-    core::System system(config, workloads::chirper::chirper_app_factory());
-    workloads::chirper::setup(system, graph,
-                              workloads::chirper::Placement::kRandom);
     auto directory = workloads::chirper::make_directory(graph);
     auto zipf = std::make_shared<ZipfGenerator>(300, 0.95);
     workloads::chirper::WorkloadMix mix;
-    for (int c = 0; c < 4; ++c) {
-      system.add_client(std::make_unique<workloads::chirper::ChirperDriver>(
-          directory, mix, zipf));
-    }
-    system.run_until(seconds(5));
-    return Fingerprint{system.metrics().series("completed").total(),
-                       system.metrics().series("mpart").total(),
-                       system.metrics().series("objects_exchanged").total(),
-                       system.world().sim().executed_events()};
+    auto system =
+        core::ScenarioBuilder()
+            .partitions(2)
+            .tune([](core::SystemConfig& c) {
+              c.repartition_hint_threshold = 10'000;
+              c.min_repartition_interval = seconds(1);
+            })
+            .app(workloads::chirper::chirper_app_factory())
+            .preload([&](core::System& s) {
+              workloads::chirper::setup(s, graph,
+                                        workloads::chirper::Placement::kRandom);
+            })
+            .clients(4,
+                     [&](std::size_t) {
+                       return std::make_unique<
+                           workloads::chirper::ChirperDriver>(directory, mix,
+                                                              zipf);
+                     })
+            .build();
+    system->run_until(seconds(5));
+    return fingerprint_of(*system);
   };
   EXPECT_TRUE(run_once() == run_once());
 }

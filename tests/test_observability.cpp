@@ -1,0 +1,232 @@
+// Command-lifecycle tracing invariants: tracing is side-effect-free (a
+// traced run is identical to an untraced one), bit-deterministic across
+// same-seed runs, well-formed as a span tree, and its phase breakdown
+// telescopes exactly to end-to-end latency. Also covers the per-node
+// labeled metric series the servers emit.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/metric_names.h"
+#include "common/report.h"
+#include "common/trace.h"
+#include "core/scenario.h"
+#include "workloads/kv.h"
+#include "workloads/kv_drivers.h"
+
+namespace dynastar {
+namespace {
+
+core::ScenarioBuilder kv_scenario(std::uint64_t seed) {
+  return core::ScenarioBuilder()
+      .mode(core::ExecutionMode::kDynaStar)
+      .partitions(2)
+      .seed(seed)
+      .repartitioning(false)
+      .app(workloads::kv_app_factory())
+      .preload_kv(16, workloads::KvObject(0))
+      .clients(3, [](std::size_t) {
+        return std::make_unique<workloads::RandomKvDriver>(16, 0.5, 0.4);
+      });
+}
+
+struct RunResult {
+  double completed = 0;
+  double mpart = 0;
+  double exchanged = 0;
+  double latency_mean = 0;
+  std::uint64_t events = 0;
+  std::vector<TraceEvent> trace;
+};
+
+RunResult run(std::uint64_t seed, bool traced) {
+  auto system = kv_scenario(seed).trace(traced).build();
+  system->run_until(seconds(2));
+  RunResult r;
+  r.completed = system->metrics().series(metric::kCompleted).total();
+  r.mpart = system->metrics().series(metric::kMultiPartition).total();
+  r.exchanged = system->metrics().series(metric::kObjectsExchanged).total();
+  if (const auto* latency =
+          system->metrics().find_histogram(metric::kLatency))
+    r.latency_mean = latency->mean();
+  r.events = system->world().sim().executed_events();
+  r.trace = system->world().trace().events();
+  return r;
+}
+
+TEST(Observability, TracedRunMatchesUntracedRun) {
+  const auto traced = run(7, true);
+  const auto untraced = run(7, false);
+  // Tracing must never perturb the simulation: same event count, same
+  // outcomes, same metrics — only the trace buffer differs.
+  EXPECT_EQ(traced.events, untraced.events);
+  EXPECT_EQ(traced.completed, untraced.completed);
+  EXPECT_EQ(traced.mpart, untraced.mpart);
+  EXPECT_EQ(traced.exchanged, untraced.exchanged);
+  EXPECT_EQ(traced.latency_mean, untraced.latency_mean);
+  EXPECT_GT(traced.trace.size(), 0u);
+  EXPECT_EQ(untraced.trace.size(), 0u);
+}
+
+TEST(Observability, SameSeedTracesAreIdentical) {
+  const auto a = run(11, true);
+  const auto b = run(11, true);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i)
+    ASSERT_EQ(a.trace[i], b.trace[i]) << "trace diverges at event " << i;
+}
+
+TEST(Observability, DifferentSeedTracesDiverge) {
+  const auto a = run(1, true);
+  const auto b = run(2, true);
+  EXPECT_NE(a.trace, b.trace);
+}
+
+TEST(Observability, SpanNestingIsWellFormed) {
+  const auto result = run(5, true);
+
+  struct Span {
+    SimTime issue = -1;
+    SimTime complete = -1;
+    std::uint64_t issues = 0;
+    std::uint64_t completes = 0;
+  };
+  std::map<std::uint64_t, Span> spans;
+  SimTime last_time = 0;
+  for (const TraceEvent& ev : result.trace) {
+    // Events are appended in simulation order.
+    ASSERT_GE(ev.time, last_time);
+    last_time = ev.time;
+    switch (ev.point) {
+      case TracePoint::kClientIssue: {
+        Span& span = spans[ev.key];
+        span.issue = ev.time;
+        span.issues++;
+        break;
+      }
+      case TracePoint::kClientComplete: {
+        Span& span = spans[ev.key];
+        span.complete = ev.time;
+        span.completes++;
+        break;
+      }
+      case TracePoint::kClientRoute:
+      case TracePoint::kOracleRelay:
+      case TracePoint::kServerDeliver:
+      case TracePoint::kExecuteStart:
+      case TracePoint::kReplySent: {
+        // Inner lifecycle points happen after their command was issued.
+        // (They may trail completion: the client completes on the first
+        // replica's reply while stragglers are still executing.)
+        auto it = spans.find(ev.key);
+        ASSERT_NE(it, spans.end()) << "lifecycle event before issue";
+        ASSERT_GE(ev.time, it->second.issue);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  std::uint64_t completed_spans = 0;
+  for (const auto& [cmd, span] : spans) {
+    EXPECT_EQ(span.issues, 1u) << "command " << cmd << " issued twice";
+    EXPECT_LE(span.completes, 1u);
+    if (span.completes == 1) {
+      EXPECT_GE(span.complete, span.issue);
+      ++completed_spans;
+    }
+  }
+  EXPECT_GT(completed_spans, 100u);
+}
+
+TEST(Observability, PhaseLatenciesSumToEndToEnd) {
+  auto system = kv_scenario(3).trace().build();
+  system->run_until(seconds(2));
+  const auto breakdown = compute_phase_breakdown(system->world().trace());
+  ASSERT_GT(breakdown.commands, 0u);
+  ASSERT_EQ(breakdown.phases.size(), 6u);
+
+  double phase_sum = 0;
+  for (const auto& phase : breakdown.phases) {
+    EXPECT_EQ(phase.count, breakdown.commands);
+    EXPECT_GE(phase.total_ns, 0.0);
+    phase_sum += phase.total_ns;
+  }
+  // The boundaries telescope, so the sum is exact up to double rounding —
+  // far inside the 5% budget the acceptance criterion allows.
+  EXPECT_NEAR(phase_sum, breakdown.e2e_total_ns,
+              1e-9 * breakdown.e2e_total_ns);
+
+  // Sanity on magnitudes: ordering and coordination dominate a
+  // cross-partition KV run; execution is instantaneous in the simulator.
+  const auto& order = breakdown.phases[2];
+  EXPECT_GT(order.mean_ns(), 0.0);
+  EXPECT_GT(breakdown.e2e_mean_ns(), order.mean_ns());
+}
+
+TEST(Observability, DisabledCollectorRecordsNothing) {
+  TraceCollector trace;
+  EXPECT_FALSE(trace.enabled());
+  trace.record(TracePoint::kClientIssue, 10, 1, 1, 0);
+  EXPECT_EQ(trace.size(), 0u);
+
+  trace.enable();
+  trace.record(TracePoint::kClientIssue, 10, 1, 1, 0, 2);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace.events()[0].point, TracePoint::kClientIssue);
+  EXPECT_EQ(trace.events()[0].detail, 2u);
+
+  trace.enable(false);
+  trace.record(TracePoint::kClientComplete, 20, 1, 1, 0);
+  EXPECT_EQ(trace.size(), 1u);
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(Observability, PointNamesAreStable) {
+  EXPECT_STREQ(TraceCollector::point_name(TracePoint::kClientIssue),
+               "client_issue");
+  EXPECT_STREQ(TraceCollector::point_name(TracePoint::kOracleRelay),
+               "oracle_relay");
+  EXPECT_STREQ(TraceCollector::point_name(TracePoint::kChaosEvent),
+               "chaos_event");
+}
+
+TEST(Observability, LabeledMetricNamesAreCanonical) {
+  EXPECT_EQ(labeled_metric_name("server.executed",
+                                {{"replica", "0"}, {"partition", "2"}}),
+            "server.executed{partition=2,replica=0}");
+  EXPECT_EQ(labeled_metric_name("x", {}), "x");
+
+  MetricsRegistry registry;
+  registry.series("server.executed", {{"partition", "1"}, {"replica", "0"}})
+      .add(0, 3.0);
+  // Label order in the call does not matter: same set, same series.
+  const auto* found = registry.find_series("server.executed",
+                                           {{"replica", "0"},
+                                            {"partition", "1"}});
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->total(), 3.0);
+}
+
+TEST(Observability, ServersEmitPerNodeLabeledSeries) {
+  auto system = kv_scenario(9).build();
+  system->run_until(seconds(2));
+  auto& metrics = system->metrics();
+  double labeled_total = 0;
+  for (std::uint32_t p = 0; p < 2; ++p) {
+    const auto* executed =
+        metrics.find_series(metric::kServerExecuted,
+                            {{"partition", std::to_string(p)},
+                             {"replica", "0"}});
+    ASSERT_NE(executed, nullptr) << "missing labeled series for partition " << p;
+    EXPECT_GT(executed->total(), 0.0);
+    labeled_total += executed->total();
+  }
+  // Primary-replica labeled series must agree with the run-wide counter.
+  EXPECT_EQ(labeled_total, metrics.series(metric::kExecuted).total());
+}
+
+}  // namespace
+}  // namespace dynastar

@@ -3,7 +3,7 @@
 // application results (mode equivalence).
 #include <gtest/gtest.h>
 
-#include "core/system.h"
+#include "core/scenario.h"
 #include "workloads/kv.h"
 #include "workloads/kv_drivers.h"
 #include "workloads/trace.h"
@@ -11,34 +11,27 @@
 namespace dynastar {
 namespace {
 
-core::SystemConfig config_for(core::ExecutionMode mode) {
-  core::SystemConfig config;
-  config.mode = mode;
-  config.num_partitions = 2;
-  config.repartitioning_enabled = false;
-  config.repartition_hint_threshold = UINT64_MAX;
-  return config;
-}
-
-void preload(core::System& system, std::uint64_t keys) {
-  core::Assignment assignment;
-  workloads::KvObject zero(0);
-  for (std::uint64_t k = 0; k < keys; ++k) {
-    const PartitionId p{k % 2};
-    assignment[core::VertexId{k}] = p;
-    system.preload_object(ObjectId{k}, core::VertexId{k}, p, zero);
-  }
-  system.preload_assignment(assignment);
+core::ScenarioBuilder scenario_for(core::ExecutionMode mode) {
+  return core::ScenarioBuilder()
+      .mode(mode)
+      .partitions(2)
+      .repartitioning(false)
+      .app(workloads::kv_app_factory())
+      .preload_kv(16, workloads::KvObject(0));
 }
 
 workloads::Trace record_trace() {
   workloads::Trace trace;
-  core::System system(config_for(core::ExecutionMode::kDynaStar),
-                      workloads::kv_app_factory());
-  preload(system, 16);
-  system.add_client(std::make_unique<workloads::RecordingDriver>(
-      std::make_unique<workloads::RandomKvDriver>(16, 0.5, 0.4), &trace));
-  system.run_until(seconds(2));
+  auto system = scenario_for(core::ExecutionMode::kDynaStar)
+                    .clients(1,
+                             [&](std::size_t) {
+                               return std::make_unique<workloads::RecordingDriver>(
+                                   std::make_unique<workloads::RandomKvDriver>(
+                                       16, 0.5, 0.4),
+                                   &trace);
+                             })
+                    .build();
+  system->run_until(seconds(2));
   return trace;
 }
 
@@ -56,11 +49,14 @@ TEST(Trace, ReplayIsDeterministic) {
 
   auto run_replay = [&](core::ExecutionMode mode) {
     workloads::Trace sink;
-    core::System system(config_for(mode), workloads::kv_app_factory());
-    preload(system, 16);
-    system.add_client(
-        std::make_unique<workloads::ReplayDriver>(trace, false, &sink));
-    system.run_until(seconds(20));
+    auto system = scenario_for(mode)
+                      .clients(1,
+                               [&](std::size_t) {
+                                 return std::make_unique<workloads::ReplayDriver>(
+                                     trace, false, &sink);
+                               })
+                      .build();
+    system->run_until(seconds(20));
     return sink;
   };
 
@@ -78,15 +74,19 @@ TEST(Trace, SameTraceAcrossModesGivesSameFinalState) {
   auto trace = std::make_shared<const workloads::Trace>(record_trace());
 
   auto final_read = [&](core::ExecutionMode mode) {
-    core::System system(config_for(mode), workloads::kv_app_factory());
-    preload(system, 16);
-    system.add_client(std::make_unique<workloads::ReplayDriver>(trace));
-    system.run_until(seconds(20));
+    auto system = scenario_for(mode)
+                      .clients(1,
+                               [&](std::size_t) {
+                                 return std::make_unique<workloads::ReplayDriver>(
+                                     trace);
+                               })
+                      .build();
+    system->run_until(seconds(20));
     // Read the final value of every key directly from the stores.
     std::vector<std::uint64_t> values;
     for (std::uint64_t k = 0; k < 16; ++k) {
       for (std::uint32_t p = 0; p < 2; ++p) {
-        const auto& store = system.server(PartitionId{p}).store();
+        const auto& store = system->server(PartitionId{p}).store();
         if (const auto* obj = dynamic_cast<const workloads::KvObject*>(
                 store.find(ObjectId{k}))) {
           values.push_back(obj->value);
@@ -109,12 +109,14 @@ TEST(Trace, SameTraceAcrossModesGivesSameFinalState) {
 TEST(Trace, PacedReplayRespectsIssueTimes) {
   auto trace = std::make_shared<const workloads::Trace>(record_trace());
   workloads::Trace sink;
-  core::System system(config_for(core::ExecutionMode::kDynaStar),
-                      workloads::kv_app_factory());
-  preload(system, 16);
-  system.add_client(
-      std::make_unique<workloads::ReplayDriver>(trace, /*paced=*/true, &sink));
-  system.run_until(seconds(30));
+  auto system = scenario_for(core::ExecutionMode::kDynaStar)
+                    .clients(1,
+                             [&](std::size_t) {
+                               return std::make_unique<workloads::ReplayDriver>(
+                                   trace, /*paced=*/true, &sink);
+                             })
+                    .build();
+  system->run_until(seconds(30));
   ASSERT_EQ(sink.size(), trace->size());
   for (std::size_t i = 0; i < sink.size(); ++i)
     EXPECT_GE(sink.entries[i].issued_at, trace->entries[i].issued_at);

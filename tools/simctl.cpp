@@ -2,20 +2,27 @@
 //
 // Runs one configuration of {workload, execution mode, partitions, clients,
 // duration, placement} and prints either a human summary or CSV time series
-// (for plotting the paper's figures from custom sweeps).
+// (for plotting the paper's figures from custom sweeps). With --trace/--report
+// it also exports the command-lifecycle trace and a RunReport JSON document
+// (see docs/OBSERVABILITY.md).
 //
 // Examples:
 //   simctl --workload=chirper --mode=dynastar --partitions=4 --duration=30
 //   simctl --workload=tpcc --mode=ssmr --partitions=8 --clients=96
 //          --placement=optimized --csv=series.csv
+//   simctl --workload=kv --duration=5 --trace=trace.csv --report=report.json
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "baselines/presets.h"
-#include "core/system.h"
+#include "common/metric_names.h"
+#include "common/report.h"
+#include "core/scenario.h"
 #include "sim/chaos.h"
 #include "workloads/chirper.h"
 #include "workloads/kv.h"
@@ -41,44 +48,86 @@ struct Options {
   double timeline_fraction = 0.85;    // chirper mix
   std::uint64_t repartition_threshold = 60'000;
   std::string csv;                    // write per-second series here
+  std::string trace_file;             // write lifecycle trace CSV here
+  std::string report_json;            // write RunReport JSON here
   bool chaos = false;                 // arm the nemesis
   std::uint64_t chaos_seed = 42;
 };
 
-void usage() {
-  std::puts(
-      "usage: simctl [--workload=kv|tpcc|chirper|smallbank]\n"
-      "              [--mode=dynastar|ssmr|dssmr]\n"
-      "              [--placement=random|optimized] [--partitions=N]\n"
-      "              [--clients=N] [--duration=SECONDS] [--seed=N]\n"
-      "              [--users=N] [--keys=N] [--timeline=F]\n"
-      "              [--threshold=N] [--csv=FILE] [--chaos=SEED]");
+/// One command-line flag: spelling, value placeholder, help line, and the
+/// action run on its value. --help is generated from this table, so adding
+/// a flag is one entry here and nothing else.
+struct Flag {
+  const char* name;   // including "--" and trailing "="
+  const char* value;  // metavariable shown in --help
+  const char* help;
+  std::function<void(const char*)> apply;
+};
+
+std::vector<Flag> flag_table(Options* o) {
+  return {
+      {"--workload=", "NAME", "kv | tpcc | chirper | smallbank",
+       [o](const char* v) { o->workload = v; }},
+      {"--mode=", "NAME", "dynastar | ssmr | dssmr",
+       [o](const char* v) { o->mode = v; }},
+      {"--placement=", "NAME", "random | optimized initial placement",
+       [o](const char* v) { o->placement = v; }},
+      {"--partitions=", "N", "number of partitions",
+       [o](const char* v) { o->partitions = std::atoi(v); }},
+      {"--clients=", "N", "total clients (0 = 12 per partition)",
+       [o](const char* v) { o->clients = std::atoi(v); }},
+      {"--duration=", "SECONDS", "simulated run length",
+       [o](const char* v) { o->duration = std::atoi(v); }},
+      {"--seed=", "N", "root RNG seed",
+       [o](const char* v) { o->seed = std::atoll(v); }},
+      {"--users=", "N", "chirper social-graph size",
+       [o](const char* v) { o->users = std::atoi(v); }},
+      {"--keys=", "N", "kv keyspace / smallbank accounts",
+       [o](const char* v) { o->keys = std::atoll(v); }},
+      {"--timeline=", "F", "chirper timeline fraction of the mix",
+       [o](const char* v) { o->timeline_fraction = std::atof(v); }},
+      {"--threshold=", "N", "dynastar repartition hint threshold",
+       [o](const char* v) { o->repartition_threshold = std::atoll(v); }},
+      {"--csv=", "FILE", "write per-second series CSV",
+       [o](const char* v) { o->csv = v; }},
+      {"--trace=", "FILE", "write command-lifecycle trace CSV",
+       [o](const char* v) { o->trace_file = v; }},
+      {"--report=", "FILE", "write RunReport JSON",
+       [o](const char* v) { o->report_json = v; }},
+      {"--chaos=", "SEED", "arm the chaos nemesis with this seed",
+       [o](const char* v) {
+         o->chaos = true;
+         o->chaos_seed = std::atoll(v);
+       }},
+  };
 }
 
-bool parse(int argc, char** argv, Options* options) {
+void usage(const std::vector<Flag>& flags) {
+  std::puts("usage: simctl [flags]\n");
+  for (const auto& flag : flags) {
+    std::string spelling = std::string(flag.name) + flag.value;
+    std::printf("  %-22s %s\n", spelling.c_str(), flag.help);
+  }
+  std::puts("  --help                 show this message");
+}
+
+bool parse(int argc, char** argv, const std::vector<Flag>& flags) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    auto value = [&](const char* prefix) -> const char* {
-      const std::size_t n = std::strlen(prefix);
-      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
-    };
-    if (const char* v = value("--workload=")) options->workload = v;
-    else if (const char* v = value("--mode=")) options->mode = v;
-    else if (const char* v = value("--placement=")) options->placement = v;
-    else if (const char* v = value("--partitions=")) options->partitions = std::atoi(v);
-    else if (const char* v = value("--clients=")) options->clients = std::atoi(v);
-    else if (const char* v = value("--duration=")) options->duration = std::atoi(v);
-    else if (const char* v = value("--seed=")) options->seed = std::atoll(v);
-    else if (const char* v = value("--users=")) options->users = std::atoi(v);
-    else if (const char* v = value("--keys=")) options->keys = std::atoll(v);
-    else if (const char* v = value("--timeline=")) options->timeline_fraction = std::atof(v);
-    else if (const char* v = value("--threshold=")) options->repartition_threshold = std::atoll(v);
-    else if (const char* v = value("--csv=")) options->csv = v;
-    else if (const char* v = value("--chaos=")) {
-      options->chaos = true;
-      options->chaos_seed = std::atoll(v);
+    if (arg == "--help" || arg == "-h") {
+      usage(flags);
+      std::exit(0);
     }
-    else {
+    bool matched = false;
+    for (const auto& flag : flags) {
+      const std::size_t n = std::strlen(flag.name);
+      if (arg.compare(0, n, flag.name) == 0) {
+        flag.apply(arg.c_str() + n);
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
     }
@@ -102,80 +151,102 @@ core::SystemConfig make_config(const Options& options) {
   return config;
 }
 
+std::unique_ptr<core::System> make_system(const Options& options,
+                                          std::uint32_t clients) {
+  core::ScenarioBuilder builder;
+  builder.config(make_config(options));
+  if (!options.trace_file.empty() || !options.report_json.empty())
+    builder.trace();
+
+  if (options.workload == "kv") {
+    builder.app(workloads::kv_app_factory())
+        .preload([&](core::System& system) {
+          core::Assignment assignment;
+          workloads::KvObject zero(0);
+          Rng rng(options.seed);
+          for (std::uint64_t k = 0; k < options.keys; ++k) {
+            const PartitionId p{options.placement == "optimized"
+                                    ? k % options.partitions
+                                    : rng.uniform(0, options.partitions - 1)};
+            assignment[core::VertexId{k}] = p;
+            system.preload_object(ObjectId{k}, core::VertexId{k}, p, zero);
+          }
+          system.preload_assignment(assignment);
+        })
+        .clients(clients, [&](std::size_t) {
+          return std::make_unique<workloads::RandomKvDriver>(options.keys, 0.5,
+                                                             0.2);
+        });
+  } else if (options.workload == "tpcc") {
+    workloads::tpcc::Scale scale;
+    builder.app(workloads::tpcc::tpcc_app_factory(scale))
+        .preload([&, scale](core::System& system) {
+          workloads::tpcc::setup(
+              system, scale, options.partitions,
+              options.placement == "optimized"
+                  ? workloads::tpcc::Placement::kWarehousePerPartition
+                  : workloads::tpcc::Placement::kRandom,
+              options.seed);
+        })
+        .clients(clients, [&, scale](std::size_t c) {
+          return std::make_unique<workloads::tpcc::TpccDriver>(
+              scale, options.partitions,
+              static_cast<std::uint32_t>(c) % options.partitions + 1,
+              static_cast<std::uint32_t>(c) / options.partitions % 10 + 1);
+        });
+  } else if (options.workload == "chirper") {
+    auto graph = std::make_shared<workloads::SocialGraph>(
+        workloads::generate_social_graph(options.users, 4, options.seed));
+    auto directory = std::make_shared<workloads::chirper::Directory>(
+        workloads::chirper::make_directory(*graph));
+    auto zipf = std::make_shared<ZipfGenerator>(options.users, 0.95);
+    workloads::chirper::WorkloadMix mix;
+    mix.timeline_fraction = options.timeline_fraction;
+    builder.app(workloads::chirper::chirper_app_factory())
+        .preload([&, graph](core::System& system) {
+          workloads::chirper::setup(
+              system, *graph,
+              options.placement == "optimized"
+                  ? workloads::chirper::Placement::kOptimized
+                  : workloads::chirper::Placement::kRandom,
+              options.seed);
+        })
+        .clients(clients, [directory, mix, zipf](std::size_t) {
+          return std::make_unique<workloads::chirper::ChirperDriver>(*directory,
+                                                                     mix, zipf);
+        });
+  } else if (options.workload == "smallbank") {
+    builder.app(workloads::smallbank::smallbank_app_factory())
+        .preload([&](core::System& system) {
+          workloads::smallbank::setup(
+              system, static_cast<std::uint32_t>(options.keys));
+        })
+        .clients(clients, [&](std::size_t) {
+          return std::make_unique<workloads::smallbank::SmallBankDriver>(
+              static_cast<std::uint32_t>(options.keys));
+        });
+  } else {
+    std::fprintf(stderr, "unknown workload %s\n", options.workload.c_str());
+    return nullptr;
+  }
+  return builder.build();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options options;
-  if (!parse(argc, argv, &options)) {
-    usage();
+  const auto flags = flag_table(&options);
+  if (!parse(argc, argv, flags)) {
+    usage(flags);
     return 2;
   }
   const std::uint32_t clients =
       options.clients != 0 ? options.clients : options.partitions * 12;
-  auto config = make_config(options);
 
-  std::unique_ptr<core::System> system;
-  if (options.workload == "kv") {
-    system = std::make_unique<core::System>(config, workloads::kv_app_factory());
-    core::Assignment assignment;
-    workloads::KvObject zero(0);
-    Rng rng(options.seed);
-    for (std::uint64_t k = 0; k < options.keys; ++k) {
-      const PartitionId p{options.placement == "optimized"
-                              ? k % options.partitions
-                              : rng.uniform(0, options.partitions - 1)};
-      assignment[core::VertexId{k}] = p;
-      system->preload_object(ObjectId{k}, core::VertexId{k}, p, zero);
-    }
-    system->preload_assignment(assignment);
-    for (std::uint32_t c = 0; c < clients; ++c) {
-      system->add_client(std::make_unique<workloads::RandomKvDriver>(
-          options.keys, 0.5, 0.2));
-    }
-  } else if (options.workload == "tpcc") {
-    workloads::tpcc::Scale scale;
-    system = std::make_unique<core::System>(
-        config, workloads::tpcc::tpcc_app_factory(scale));
-    workloads::tpcc::setup(
-        *system, scale, options.partitions,
-        options.placement == "optimized"
-            ? workloads::tpcc::Placement::kWarehousePerPartition
-            : workloads::tpcc::Placement::kRandom,
-        options.seed);
-    for (std::uint32_t c = 0; c < clients; ++c) {
-      system->add_client(std::make_unique<workloads::tpcc::TpccDriver>(
-          scale, options.partitions, c % options.partitions + 1,
-          c / options.partitions % 10 + 1));
-    }
-  } else if (options.workload == "chirper") {
-    auto graph = workloads::generate_social_graph(options.users, 4, options.seed);
-    system = std::make_unique<core::System>(
-        config, workloads::chirper::chirper_app_factory());
-    workloads::chirper::setup(*system, graph,
-                              options.placement == "optimized"
-                                  ? workloads::chirper::Placement::kOptimized
-                                  : workloads::chirper::Placement::kRandom,
-                              options.seed);
-    auto directory = workloads::chirper::make_directory(graph);
-    auto zipf = std::make_shared<ZipfGenerator>(options.users, 0.95);
-    workloads::chirper::WorkloadMix mix;
-    mix.timeline_fraction = options.timeline_fraction;
-    for (std::uint32_t c = 0; c < clients; ++c) {
-      system->add_client(std::make_unique<workloads::chirper::ChirperDriver>(
-          directory, mix, zipf));
-    }
-  } else if (options.workload == "smallbank") {
-    system = std::make_unique<core::System>(
-        config, workloads::smallbank::smallbank_app_factory());
-    workloads::smallbank::setup(
-        *system, static_cast<std::uint32_t>(options.keys));
-    for (std::uint32_t c = 0; c < clients; ++c) {
-      system->add_client(std::make_unique<workloads::smallbank::SmallBankDriver>(
-          static_cast<std::uint32_t>(options.keys)));
-    }
-  } else {
-    std::fprintf(stderr, "unknown workload %s\n", options.workload.c_str());
-    usage();
+  auto system = make_system(options, clients);
+  if (system == nullptr) {
+    usage(flags);
     return 2;
   }
 
@@ -209,11 +280,11 @@ int main(int argc, char** argv) {
   system->run_until(seconds(options.duration));
 
   auto& metrics = system->metrics();
-  const auto& completed = metrics.series("completed");
-  const auto& mpart = metrics.series("mpart");
-  const auto& executed = metrics.series("executed");
-  const auto& exchanged = metrics.series("objects_exchanged");
-  const auto* latency = metrics.find_histogram("latency");
+  const auto& completed = metrics.series(metric::kCompleted);
+  const auto& mpart = metrics.series(metric::kMultiPartition);
+  const auto& executed = metrics.series(metric::kExecuted);
+  const auto& exchanged = metrics.series(metric::kObjectsExchanged);
+  const auto* latency = metrics.find_histogram(metric::kLatency);
 
   std::printf("workload=%s mode=%s partitions=%u clients=%u duration=%us seed=%llu\n",
               options.workload.c_str(), options.mode.c_str(),
@@ -226,17 +297,18 @@ int main(int argc, char** argv) {
               exec_total > 0 ? 100.0 * mpart.total() / exec_total : 0.0);
   std::printf("objects exchanged  : %.0f\n", exchanged.total());
   std::printf("plans applied      : %.0f\n",
-              metrics.series("oracle.plans_applied").total());
+              metrics.series(metric::kOraclePlansApplied).total());
   std::printf("client retries     : %.0f\n",
-              metrics.series("client.retries").total());
+              metrics.series(metric::kClientRetries).total());
   std::printf("client timeouts    : %.0f (retransmits %.0f)\n",
-              metrics.series("client.timeouts").total(),
-              metrics.series("client.retransmits").total());
+              metrics.series(metric::kClientTimeouts).total(),
+              metrics.series(metric::kClientRetransmits).total());
   std::printf("reply cache hits   : server %.0f, oracle %.0f\n",
-              metrics.counter("server.reply_cache_hits"),
-              metrics.counter("oracle.reply_cache_hits"));
+              metrics.counter(metric::kServerReplyCacheHits),
+              metrics.counter(metric::kOracleReplyCacheHits));
   if (injector != nullptr) {
-    std::printf("chaos events       : %.0f\n", metrics.counter("chaos.events"));
+    std::printf("chaos events       : %.0f\n",
+                metrics.counter(metric::kChaosEvents));
     for (const auto& line : injector->log())
       std::printf("  chaos: %s\n", line.c_str());
   }
@@ -245,6 +317,15 @@ int main(int argc, char** argv) {
                 to_millis(static_cast<SimTime>(latency->mean())),
                 to_millis(latency->percentile(0.95)),
                 to_millis(latency->percentile(0.99)));
+  }
+  const auto& trace = system->world().trace();
+  if (trace.enabled()) {
+    const auto breakdown = compute_phase_breakdown(trace);
+    std::printf("phase means (ms)   :");
+    for (const auto& phase : breakdown.phases)
+      std::printf(" %s=%.2f", phase.name.c_str(), phase.mean_ns() / 1e6);
+    std::printf(" (e2e %.2f over %llu cmds)\n", breakdown.e2e_mean_ns() / 1e6,
+                static_cast<unsigned long long>(breakdown.commands));
   }
 
   if (!options.csv.empty()) {
@@ -255,14 +336,42 @@ int main(int argc, char** argv) {
     }
     std::fprintf(file,
                  "t,completed,mpart,objects_exchanged,oracle_queries,retries\n");
-    const auto& queries = metrics.series("oracle.queries");
-    const auto& retries = metrics.series("client.retries");
+    const auto& queries = metrics.series(metric::kOracleQueries);
+    const auto& retries = metrics.series(metric::kClientRetries);
     for (std::uint32_t t = 0; t < options.duration; ++t) {
       std::fprintf(file, "%u,%.0f,%.0f,%.0f,%.0f,%.0f\n", t, completed.at(t),
                    mpart.at(t), exchanged.at(t), queries.at(t), retries.at(t));
     }
     std::fclose(file);
     std::printf("per-second series written to %s\n", options.csv.c_str());
+  }
+
+  if (!options.trace_file.empty()) {
+    FILE* file = std::fopen(options.trace_file.c_str(), "w");
+    if (file == nullptr) {
+      std::perror("fopen");
+      return 1;
+    }
+    trace.write_csv(file);
+    std::fclose(file);
+    std::printf("lifecycle trace (%zu events) written to %s\n", trace.size(),
+                options.trace_file.c_str());
+  }
+
+  if (!options.report_json.empty()) {
+    RunInfo info;
+    info.workload = options.workload;
+    info.mode = options.mode;
+    info.seed = options.seed;
+    info.duration_s = options.duration;
+    info.partitions = options.partitions;
+    info.clients = clients;
+    const Json report = build_run_report(metrics, trace, info);
+    if (!write_report_json(report, options.report_json)) {
+      std::perror("fopen");
+      return 1;
+    }
+    std::printf("run report written to %s\n", options.report_json.c_str());
   }
   return 0;
 }
