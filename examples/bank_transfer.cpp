@@ -43,7 +43,7 @@ class BankApp final : public core::AppStateMachine {
  public:
   core::ExecResult execute(const core::Command& cmd,
                            core::ObjectStore& store) override {
-    auto reply = std::make_shared<BankReply>();
+    auto reply = sim::make_mutable_message<BankReply>();
     if (auto* transfer = dynamic_cast<const Transfer*>(cmd.payload.get())) {
       auto* from = dynamic_cast<Account*>(store.find(cmd.objects[0]));
       auto* to = dynamic_cast<Account*>(store.find(cmd.objects[1]));

@@ -9,7 +9,13 @@ Checks the structural contract documented in docs/OBSERVABILITY.md:
     difference is double rounding only);
   * the headline series exist and command counts are consistent.
 
+Also validates kernel benchmark documents (bench/kernel_throughput's
+BENCH_kernel.json) with --bench: schema check plus an optional events/sec
+regression gate against a checked-in baseline.
+
 Usage: check_report.py REPORT.json [--min-commands N]
+       check_report.py --bench BENCH_kernel.json [--baseline FILE]
+                       [--max-regression 0.25]
 Exit code 0 on success, 1 with a message per violation otherwise.
 """
 
@@ -102,12 +108,75 @@ def check(report, min_commands):
     return errors
 
 
+BENCH_SCHEMA = "dynastar-bench-kernel-v1"
+
+# section -> required numeric (strictly positive) fields
+BENCH_SECTIONS = {
+    "kernel": ["events", "pending", "events_per_sec"],
+    "legacy_kernel": ["events", "pending", "events_per_sec"],
+    "message_plane": ["messages", "messages_per_sec", "pool_allocs"],
+    "full_stack": ["commands", "wall_seconds", "commands_per_sec"],
+}
+
+
+def check_bench(report, baseline, max_regression):
+    errors = []
+
+    def err(msg):
+        errors.append(msg)
+
+    if report.get("schema") != BENCH_SCHEMA:
+        err(f"schema is {report.get('schema')!r}, expected {BENCH_SCHEMA!r}")
+        return errors
+    for section, fields in BENCH_SECTIONS.items():
+        body = report.get(section)
+        if not isinstance(body, dict):
+            err(f"missing section {section!r}")
+            continue
+        for field in fields:
+            value = body.get(field)
+            if not isinstance(value, (int, float)):
+                err(f"{section}.{field} missing or non-numeric")
+            elif value <= 0:
+                err(f"{section}.{field} is {value}, expected > 0")
+    if not isinstance(report.get("speedup_vs_legacy"), (int, float)):
+        err("speedup_vs_legacy missing or non-numeric")
+    if errors:
+        return errors
+
+    # pool_reuses may legitimately be zero on a cold run, but a steady-state
+    # storm should recycle nearly everything.
+    reuses = report["message_plane"].get("pool_reuses", 0)
+    allocs = report["message_plane"]["pool_allocs"]
+    if reuses < 0.5 * allocs:
+        err(f"message pool reused only {reuses} of {allocs} allocations")
+
+    if baseline is not None:
+        base_eps = baseline.get("kernel", {}).get("events_per_sec")
+        if not isinstance(base_eps, (int, float)) or base_eps <= 0:
+            err("baseline kernel.events_per_sec missing or non-positive")
+        else:
+            eps = report["kernel"]["events_per_sec"]
+            floor = base_eps * (1.0 - max_regression)
+            if eps < floor:
+                err(f"kernel events/sec regressed: {eps:.0f} < {floor:.0f} "
+                    f"({base_eps:.0f} baseline, {max_regression:.0%} budget)")
+    return errors
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
-    parser.add_argument("report", help="path to RunReport JSON")
+    parser.add_argument("report", help="path to RunReport (or bench) JSON")
     parser.add_argument("--min-commands", type=int, default=100,
                         help="minimum completed commands expected (default 100)")
+    parser.add_argument("--bench", action="store_true",
+                        help="validate a BENCH_kernel.json document instead")
+    parser.add_argument("--baseline",
+                        help="baseline bench JSON for the regression gate")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="events/sec regression budget vs baseline "
+                             "(default 0.25)")
     args = parser.parse_args()
 
     try:
@@ -116,6 +185,27 @@ def main():
     except (OSError, json.JSONDecodeError) as exc:
         print(f"check_report: cannot read {args.report}: {exc}", file=sys.stderr)
         return 1
+
+    if args.bench:
+        baseline = None
+        if args.baseline:
+            try:
+                with open(args.baseline, encoding="utf-8") as f:
+                    baseline = json.load(f)
+            except (OSError, json.JSONDecodeError) as exc:
+                print(f"check_report: cannot read {args.baseline}: {exc}",
+                      file=sys.stderr)
+                return 1
+        errors = check_bench(report, baseline, args.max_regression)
+        if errors:
+            for msg in errors:
+                print(f"check_report: {msg}", file=sys.stderr)
+            return 1
+        print(f"check_report: OK — kernel "
+              f"{report['kernel']['events_per_sec']:.0f} events/sec "
+              f"({report['speedup_vs_legacy']:.2f}x vs legacy), message plane "
+              f"{report['message_plane']['messages_per_sec']:.0f} msgs/sec")
+        return 0
 
     errors = check(report, args.min_commands)
     if errors:

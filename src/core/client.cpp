@@ -39,7 +39,7 @@ void ClientCore::issue_next() {
     vertices.push_back(vertex);
   }
   const std::uint64_t cmd_id = (env_.self().value() << 32) | ++next_cmd_;
-  auto cmd = std::make_shared<const Command>(cmd_id, env_.self(), spec->type,
+  auto cmd = sim::make_message<Command>(cmd_id, env_.self(), spec->type,
                                              std::move(objects),
                                              std::move(vertices), spec->payload);
   outstanding_ = Outstanding{std::move(*spec), std::move(cmd), 1, env_.now(),

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "core/config.h"
@@ -101,7 +102,7 @@ class ClientCore {
 
   multicast::McastClient sender_;
 
-  std::unordered_map<VertexId, PartitionId> cache_;
+  common::FlatMap<VertexId, PartitionId> cache_;
   Epoch cache_epoch_ = 0;
 
   std::optional<Outstanding> outstanding_;

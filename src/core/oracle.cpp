@@ -83,18 +83,18 @@ PartitionId OracleCore::lookup(VertexId v) const {
 }
 
 void OracleCore::on_adeliver(const multicast::McastData& data) {
-  if (auto req = std::dynamic_pointer_cast<const OracleRequest>(data.payload)) {
+  if (auto req = sim::dyn_ref_cast<const OracleRequest>(data.payload)) {
     on_request(*req);
   } else if (auto exec =
-                 std::dynamic_pointer_cast<const ExecCommand>(data.payload)) {
+                 sim::dyn_ref_cast<const ExecCommand>(data.payload)) {
     on_create_apply(*exec);
   } else if (auto hint =
-                 std::dynamic_pointer_cast<const HintReport>(data.payload)) {
+                 sim::dyn_ref_cast<const HintReport>(data.payload)) {
     on_hint(*hint);
-  } else if (auto update = std::dynamic_pointer_cast<const LocationUpdate>(
+  } else if (auto update = sim::dyn_ref_cast<const LocationUpdate>(
                  data.payload)) {
     on_location_update(*update);
-  } else if (auto plan = std::dynamic_pointer_cast<const PlanMsg>(data.payload)) {
+  } else if (auto plan = sim::dyn_ref_cast<const PlanMsg>(data.payload)) {
     on_plan(*plan);
   }
 }
@@ -126,7 +126,7 @@ void OracleCore::on_request(const OracleRequest& request) {
     }
     // Retransmitted creates resolve to the already-placed vertex, so the
     // same target is addressed again and its reply cache answers.
-    auto exec = std::make_shared<const ExecCommand>(
+    auto exec = sim::make_message<ExecCommand>(
         request.cmd, std::vector<PartitionId>{target},
         std::vector<PartitionId>{target}, target, epoch_, request.attempt);
     relay_cache_[cmd.client.value()] = exec;
@@ -167,7 +167,7 @@ void OracleCore::on_request(const OracleRequest& request) {
         if (cmd.type == CommandType::kDelete) groups.push_back(kOracleGroup);
         member_.amcast_as_group(
             oracle_uid(/*purpose=*/1, ++relays_emitted_), std::move(groups),
-            std::make_shared<const ExecCommand>(prev.cmd, prev.dests,
+            sim::make_message<ExecCommand>(prev.cmd, prev.dests,
                                                 prev.owners, prev.target,
                                                 prev.epoch, request.attempt));
         send_prophecy(request, ReplyStatus::kOk, prev.target, {});
@@ -189,7 +189,7 @@ void OracleCore::on_request(const OracleRequest& request) {
   for (PartitionId p : dests) groups.push_back(group_of(p));
   if (cmd.type == CommandType::kDelete) groups.push_back(kOracleGroup);
 
-  auto exec = std::make_shared<const ExecCommand>(request.cmd, std::move(dests),
+  auto exec = sim::make_message<ExecCommand>(request.cmd, std::move(dests),
                                                   std::move(owners), target,
                                                   epoch_, request.attempt);
   relay_cache_[cmd.client.value()] = exec;

@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+
+#include "common/flat_map.h"
 #include <vector>
 
 #include "common/metrics.h"
@@ -93,13 +95,13 @@ class OracleCore {
   partitioning::WorkloadGraph graph_;
 
   /// Creates relayed but whose Task-2 delivery has not landed yet.
-  std::unordered_map<VertexId, PartitionId> pending_creates_;
+  common::FlatMap<VertexId, PartitionId> pending_creates_;
 
   /// Last command relayed per client. A retransmitted request whose vertices
   /// no longer resolve (the original attempt already executed a delete) is
   /// re-relayed with the original addressing so the target's reply cache can
   /// answer it, instead of bouncing kNok at the client.
-  std::unordered_map<std::uint64_t, std::shared_ptr<const ExecCommand>>
+  std::unordered_map<std::uint64_t, sim::Ref<const ExecCommand>>
       relay_cache_;
 
   std::uint64_t changes_ = 0;         // hint deltas since last plan

@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+
+#include "common/flat_map.h"
 #include <utility>
 #include <vector>
 
@@ -92,7 +94,8 @@ struct HintReport final : sim::Message {
 
 /// Location assignment: vertex -> partition. Shared so a plan multicast to
 /// every group references one allocation.
-using Assignment = std::unordered_map<VertexId, PartitionId>;
+// Flat open-addressing map: the oracle probes this on every command.
+using Assignment = common::FlatMap<VertexId, PartitionId>;
 using AssignmentPtr = std::shared_ptr<const Assignment>;
 
 /// One vertex relocation in a plan.

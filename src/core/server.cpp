@@ -103,7 +103,7 @@ bool PartitionServerCore::dispatch_direct(ProcessId /*from*/,
     on_var_transfer(*m);
     return true;
   }
-  if (auto m = std::dynamic_pointer_cast<const VarReturn>(msg)) {
+  if (auto m = sim::dyn_ref_cast<const VarReturn>(msg)) {
     on_var_return(m);
     return true;
   }
@@ -133,11 +133,11 @@ void PartitionServerCore::send_to_partition(PartitionId p,
 // ---------------------------------------------------------------------------
 
 void PartitionServerCore::on_adeliver(const multicast::McastData& data) {
-  if (auto exec = std::dynamic_pointer_cast<const ExecCommand>(data.payload)) {
+  if (auto exec = sim::dyn_ref_cast<const ExecCommand>(data.payload)) {
     trace_cmd(TracePoint::kServerDeliver, *exec, partition_.value());
     queue_.push_back(QueueItem{std::move(exec), nullptr});
   } else if (auto plan =
-                 std::dynamic_pointer_cast<const PlanMsg>(data.payload)) {
+                 sim::dyn_ref_cast<const PlanMsg>(data.payload)) {
     queue_.push_back(QueueItem{nullptr, std::move(plan)});
   } else {
     return;  // oracle-only payloads multicast to every group are ignored here
@@ -764,7 +764,7 @@ void PartitionServerCore::send_handoff_if_possible(VertexId vertex) {
 
 void PartitionServerCore::on_handoff(const ObjectHandoff& msg) {
   if (msg.epoch > epoch_) {
-    handoff_buffer_.push_back(std::make_shared<const ObjectHandoff>(msg));
+    handoff_buffer_.push_back(sim::make_message<ObjectHandoff>(msg));
     return;
   }
   if (!handoffs_seen_.insert({msg.epoch, msg.vertex.value()}).second) return;
@@ -824,7 +824,7 @@ void PartitionServerCore::on_var_transfer(const VarTransfer& msg) {
 }
 
 void PartitionServerCore::on_var_return(
-    const std::shared_ptr<const VarReturn>& msg_ptr) {
+    const sim::Ref<const VarReturn>& msg_ptr) {
   const VarReturn& msg = *msg_ptr;
   const CmdKey key{msg.cmd_id, msg.attempt};
   if (returns_seen_.contains(key)) return;  // other replica's copy

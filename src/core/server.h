@@ -72,8 +72,8 @@ class PartitionServerCore {
  private:
   /// Dedupe key for per-command coordination: (cmd_id, attempt).
   using CmdKey = std::pair<std::uint64_t, std::uint32_t>;
-  using ExecCommandPtr = std::shared_ptr<const ExecCommand>;
-  using PlanMsgPtr = std::shared_ptr<const PlanMsg>;
+  using ExecCommandPtr = sim::Ref<const ExecCommand>;
+  using PlanMsgPtr = sim::Ref<const PlanMsg>;
 
   struct QueueItem {
     ExecCommandPtr exec;  // exactly one of exec/plan set
@@ -102,7 +102,7 @@ class PartitionServerCore {
 
   // Direct message handlers.
   void on_var_transfer(const VarTransfer& msg);
-  void on_var_return(const std::shared_ptr<const VarReturn>& msg);
+  void on_var_return(const sim::Ref<const VarReturn>& msg);
   void on_handoff(const ObjectHandoff& msg);
   void on_fetch(const FetchVertex& msg);
   void on_abort(const AbortNotice& msg);
@@ -183,7 +183,7 @@ class PartitionServerCore {
   // A return can outrun this replica's own processing of the command: the
   // peer source replica's transfer drives the target, whose return lands
   // here before we lent anything. Hold it until the lend record exists.
-  std::map<CmdKey, std::shared_ptr<const VarReturn>> early_returns_;
+  std::map<CmdKey, sim::Ref<const VarReturn>> early_returns_;
   std::set<CmdKey> sent_transfers_;  // non-target: vars already shipped
   std::set<CmdKey> ssmr_sent_;
   // Target-side: commands already executed or rejected, with the sources
@@ -199,7 +199,7 @@ class PartitionServerCore {
   std::unordered_set<VertexId> fetch_requested_;  // on-demand: asked sources
   std::unordered_set<VertexId> fetch_wanted_;     // on-demand src: send when free
   std::set<std::pair<Epoch, std::uint64_t>> handoffs_seen_;
-  std::vector<std::shared_ptr<const ObjectHandoff>> handoff_buffer_;
+  std::vector<sim::Ref<const ObjectHandoff>> handoff_buffer_;
 
   // Workload-graph hints accumulated since the last report (deterministic
   // across replicas: driven purely by executed commands).

@@ -53,7 +53,7 @@ struct Command final : sim::Message {
   sim::MessagePtr payload;
 };
 
-using CommandPtr = std::shared_ptr<const Command>;
+using CommandPtr = sim::Ref<const Command>;
 
 /// Outcome status carried in replies to the client.
 enum class ReplyStatus : std::uint8_t {

@@ -33,7 +33,7 @@ class McastClient {
     std::vector<std::pair<GroupId, std::uint64_t>> seqs;
     seqs.reserve(groups.size());
     for (GroupId g : groups) seqs.emplace_back(g, ++seq_per_group_[g]);
-    auto data = std::make_shared<const McastData>(
+    auto data = sim::make_message<McastData>(
         uid, env_.self().value(), env_.self(), std::move(groups),
         std::move(seqs), std::move(payload));
     auto& entry = outbox_[uid];

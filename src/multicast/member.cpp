@@ -275,7 +275,7 @@ void MemberCore::amcast_as_group(Uid uid, std::vector<GroupId> groups,
   std::vector<std::pair<GroupId, std::uint64_t>> seqs;
   seqs.reserve(groups.size());
   for (GroupId g : groups) seqs.emplace_back(g, ++group_sender_seq_[g]);
-  auto data = std::make_shared<const McastData>(
+  auto data = sim::make_message<McastData>(
       uid, group_sender_key(group_), env_.self(), std::move(groups),
       std::move(seqs), std::move(payload));
   OutEntry entry;

@@ -62,7 +62,7 @@ struct McastData final : sim::Message {
   sim::MessagePtr payload;
 };
 
-using McastDataPtr = std::shared_ptr<const McastData>;
+using McastDataPtr = sim::Ref<const McastData>;
 
 /// Sender -> replicas of each destination group.
 struct McastSend final : sim::Message {

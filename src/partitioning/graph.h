@@ -4,11 +4,19 @@
 // workload graph: vertices = state variables at the application's chosen
 // granularity, edge weights = how often commands co-access two vertices).
 // Graph is the compact CSR form handed to the partitioner.
+//
+// WorkloadGraph interns application vertex ids into dense slots via a flat
+// map and keeps per-slot adjacency as small vectors (degrees in these
+// workloads are tiny), replacing the previous nested unordered_map-of-
+// unordered_map layout; GraphBuilder accumulates edges in one flat record
+// vector and does a single sort+merge in build(). Both changes remove the
+// per-edge allocation/pointer-chasing tax from the oracle's hot path.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
+
+#include "common/flat_map.h"
 
 namespace dynastar::partitioning {
 
@@ -31,11 +39,17 @@ struct Graph {
   }
 };
 
-/// Builder used by tests and generators: accumulate edges, then freeze.
+/// Builder used by tests, generators, and WorkloadGraph::compact():
+/// accumulate edges into a flat record vector, then freeze with one
+/// sort+merge pass.
 class GraphBuilder {
  public:
   explicit GraphBuilder(std::size_t num_vertices)
-      : vertex_weights_(num_vertices, 1), adj_(num_vertices) {}
+      : vertex_weights_(num_vertices, 1) {}
+
+  /// Pre-sizes the edge accumulator (callers that know their edge count —
+  /// e.g. WorkloadGraph::compact() — avoid regrowth).
+  void reserve(std::size_t num_edges) { edges_.reserve(num_edges); }
 
   void set_vertex_weight(std::uint32_t v, std::int64_t w) {
     vertex_weights_[v] = w;
@@ -46,8 +60,14 @@ class GraphBuilder {
   [[nodiscard]] Graph build() const;
 
  private:
+  struct EdgeRec {
+    std::uint32_t a;  // canonical: a < b
+    std::uint32_t b;
+    std::int64_t w;
+  };
+
   std::vector<std::int64_t> vertex_weights_;
-  std::vector<std::unordered_map<std::uint32_t, std::int64_t>> adj_;
+  std::vector<EdgeRec> edges_;
 };
 
 /// The oracle's evolving workload graph over application vertex ids.
@@ -64,10 +84,10 @@ class WorkloadGraph {
   /// decay to zero — lets the oracle forget stale access patterns.
   void decay(double factor);
 
-  [[nodiscard]] std::size_t num_vertices() const { return vertices_.size(); }
+  [[nodiscard]] std::size_t num_vertices() const { return index_.size(); }
   [[nodiscard]] std::size_t num_edges() const { return num_edges_; }
   [[nodiscard]] bool contains(std::uint64_t id) const {
-    return vertices_.contains(id);
+    return index_.contains(id);
   }
 
   struct Compact {
@@ -78,10 +98,24 @@ class WorkloadGraph {
   [[nodiscard]] Compact compact() const;
 
  private:
-  std::unordered_map<std::uint64_t, std::int64_t> vertices_;
-  std::unordered_map<std::uint64_t,
-                     std::unordered_map<std::uint64_t, std::int64_t>>
-      edges_;  // symmetric: stored under both endpoints
+  using Slot = std::uint32_t;
+  struct Neighbor {
+    Slot slot;
+    std::int64_t weight;
+  };
+
+  /// Returns the dense slot for `id`, creating one (reusing freed slots)
+  /// if the vertex is new.
+  Slot intern(std::uint64_t id);
+  /// Drops the {a, b} entry from a's adjacency list (swap-erase).
+  void drop_neighbor(Slot from, Slot target);
+
+  common::FlatMap<std::uint64_t, Slot> index_;  // id -> slot (live only)
+  std::vector<std::uint64_t> ids_;              // slot -> id
+  std::vector<std::int64_t> weights_;           // slot -> vertex weight
+  std::vector<std::uint8_t> alive_;             // slot -> liveness
+  std::vector<std::vector<Neighbor>> adj_;      // slot -> neighbors
+  std::vector<Slot> free_slots_;
   std::size_t num_edges_ = 0;
 };
 

@@ -214,9 +214,8 @@ void ReplicaCore::step_down(Ballot higher) {
   for (auto& v : batch_) to_resubmit.push_back(std::move(v));
   batch_.clear();
   for (auto& v : to_resubmit) {
-    if (dynamic_cast<const Batch*>(v.get()) != nullptr) {
+    if (const auto* batch = dynamic_cast<const Batch*>(v.get())) {
       // Unwrap recovered batches back into individual values.
-      auto batch = std::static_pointer_cast<const Batch>(v);
       for (const auto& inner : batch->values) submit(inner);
     } else {
       submit(std::move(v));

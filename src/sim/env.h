@@ -22,8 +22,10 @@ class Env {
   /// Current (simulated) time.
   [[nodiscard]] virtual SimTime now() const = 0;
 
-  /// Sends a message to another node.
-  virtual void send_message(ProcessId to, MessagePtr msg) = 0;
+  /// Sends a message to another node. Takes the message by reference so a
+  /// multi-destination fan-out pays exactly one refcount bump per
+  /// destination (the network's delivery capture) and none in between.
+  virtual void send_message(ProcessId to, const MessagePtr& msg) = 0;
 
   /// One-shot timer; cancelled implicitly if the node crashes first.
   virtual void start_timer(SimTime delay, std::function<void()> fn) = 0;

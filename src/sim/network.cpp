@@ -18,7 +18,7 @@ SimTime Network::sample_latency(std::size_t payload_bytes) {
   return latency;
 }
 
-void Network::send(ProcessId from, ProcessId to, MessagePtr msg) {
+void Network::send(ProcessId from, ProcessId to, const MessagePtr& msg) {
   ++messages_sent_;
   bytes_sent_ += msg->size_bytes();
   if (blocked_.contains(link_key(from, to))) {

@@ -43,8 +43,9 @@ class Network {
         deliver_(std::move(deliver)) {}
 
   /// Sends `msg` from `from` to `to`; delivery is scheduled per the latency
-  /// model unless the message is dropped or the link is blocked.
-  void send(ProcessId from, ProcessId to, MessagePtr msg);
+  /// model unless the message is dropped or the link is blocked. The only
+  /// refcount bump on this path is the capture into the delivery event.
+  void send(ProcessId from, ProcessId to, const MessagePtr& msg);
 
   /// Blocks / unblocks the directed link from->to (for partition tests).
   void block_link(ProcessId from, ProcessId to);

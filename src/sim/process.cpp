@@ -4,8 +4,8 @@ namespace dynastar::sim {
 
 SimTime Process::now() const { return world_.now(); }
 
-void Process::send_message(ProcessId to, MessagePtr msg) {
-  world_.network().send(id_, to, std::move(msg));
+void Process::send_message(ProcessId to, const MessagePtr& msg) {
+  world_.network().send(id_, to, msg);
 }
 
 void Process::start_timer(SimTime delay, std::function<void()> fn) {

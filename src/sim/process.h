@@ -46,7 +46,7 @@ class Process : public Env {
   // --- Env ---
   [[nodiscard]] ProcessId self() const override { return id_; }
   [[nodiscard]] SimTime now() const override;
-  void send_message(ProcessId to, MessagePtr msg) override;
+  void send_message(ProcessId to, const MessagePtr& msg) override;
   void start_timer(SimTime delay, std::function<void()> fn) override;
   void consume_cpu(SimTime amount) override { pending_work_ += amount; }
   Rng& random() override { return rng_; }

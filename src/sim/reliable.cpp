@@ -14,9 +14,9 @@ constexpr std::uint32_t kMaxTries = 50;
 void ReliableLink::send(ProcessId to, MessagePtr msg) {
   const std::uint64_t token =
       (env_.self().value() << 20) ^ ++next_token_;
-  auto wrapped = make_message<ReliableMsg>(token, std::move(msg));
-  pending_[token] = Pending{to, wrapped, env_.now(), 1};
+  MessagePtr wrapped = make_message<ReliableMsg>(token, std::move(msg));
   env_.send_message(to, wrapped);
+  pending_[token] = Pending{to, std::move(wrapped), env_.now(), 1};
   maybe_arm();
 }
 

@@ -1,6 +1,5 @@
 #include "sim/simulator.h"
 
-#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -8,8 +7,7 @@ namespace dynastar::sim {
 
 void Simulator::schedule_at(SimTime t, Action action) {
   if (t < now_) t = now_;
-  heap_.push_back(Event{t, next_seq_++, std::move(action)});
-  std::push_heap(heap_.begin(), heap_.end(), EventLater{});
+  queue_.push(t, next_seq_++, std::move(action));
 }
 
 void Simulator::schedule_after(SimTime delay, Action action) {
@@ -18,18 +16,16 @@ void Simulator::schedule_after(SimTime delay, Action action) {
 }
 
 bool Simulator::step() {
-  if (heap_.empty()) return false;
-  std::pop_heap(heap_.begin(), heap_.end(), EventLater{});
-  Event ev = std::move(heap_.back());
-  heap_.pop_back();
-  now_ = ev.time;
+  if (queue_.empty()) return false;
+  Event ev = queue_.pop();
+  now_ = ev.time();
   ++executed_;
   ev.action();
   return true;
 }
 
 void Simulator::run_until(SimTime t) {
-  while (!heap_.empty() && heap_.front().time <= t) step();
+  while (!queue_.empty() && queue_.next_time() <= t) step();
   if (now_ < t) now_ = t;
 }
 

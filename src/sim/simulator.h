@@ -1,22 +1,25 @@
 // Deterministic discrete-event simulation kernel.
 //
-// A single-threaded event loop over a binary heap keyed by
-// (time, sequence). The sequence tiebreak makes execution order — and thus
-// every protocol run and every benchmark figure — a pure function of the
-// configuration and seed.
+// A single-threaded event loop over a two-tier calendar/spill queue keyed
+// by (time, sequence). The sequence tiebreak makes execution order — and
+// thus every protocol run and every benchmark figure — a pure function of
+// the configuration and seed. Events are stored as allocation-free
+// sim::EventFn callables (see event_fn.h); the queue design and its
+// determinism contract are documented in event_queue.h and
+// docs/PERFORMANCE.md.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <vector>
 
 #include "common/ids.h"
+#include "sim/event_fn.h"
+#include "sim/event_queue.h"
 
 namespace dynastar::sim {
 
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  using Action = EventFn;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -41,24 +44,11 @@ class Simulator {
   /// Runs until the event queue is empty.
   void run();
 
-  [[nodiscard]] std::size_t pending_events() const { return heap_.size(); }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
  private:
-  struct Event {
-    SimTime time;
-    std::uint64_t seq;
-    Action action;
-  };
-  // std::push_heap is a max-heap; "later" events compare smaller.
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-
-  std::vector<Event> heap_;
+  EventQueue queue_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

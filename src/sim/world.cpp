@@ -7,6 +7,7 @@
 namespace dynastar::sim {
 
 World::World(NetworkConfig net_config, std::uint64_t seed) : rng_(seed) {
+  message_pool_.install();
   network_ = std::make_unique<Network>(
       sim_, net_config, rng_.fork(),
       [this](ProcessId from, ProcessId to, const MessagePtr& msg) {
@@ -61,6 +62,7 @@ void World::start_all() {
 }
 
 void World::run_until(SimTime t) {
+  message_pool_.install();
   start_all();
   sim_.run_until(t);
 }

@@ -9,6 +9,7 @@
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "common/trace.h"
+#include "sim/message_pool.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 
@@ -61,11 +62,19 @@ class World {
 
   [[nodiscard]] SimTime now() const { return sim_.now(); }
 
+  /// Message allocation pool for this world (installed as the active pool
+  /// on construction and on every run_until, so interleaved worlds each
+  /// allocate from their own slabs).
+  MessagePool& message_pool() { return message_pool_; }
+
  private:
   void attach(std::unique_ptr<Process> proc);
   void deliver(ProcessId from, ProcessId to, const MessagePtr& msg);
   void start_all();
 
+  // Declared first so it outlives everything that can hold messages
+  // (pending simulator events, process inboxes, protocol cores).
+  MessagePool message_pool_;
   Simulator sim_;
   Rng rng_;
   std::unique_ptr<Network> network_;

@@ -9,7 +9,7 @@ namespace dynastar::workloads::chirper {
 
 core::ExecResult ChirperApp::execute(const core::Command& cmd,
                                      core::ObjectStore& store) {
-  auto reply = std::make_shared<ChirperReply>();
+  auto reply = sim::make_mutable_message<ChirperReply>();
   const auto* op = dynamic_cast<const ChirperOp*>(cmd.payload.get());
   if (op == nullptr) {
     reply->ok = false;
@@ -121,11 +121,11 @@ core::CommandSpec make_post_spec(const SocialGraph& directory,
     spec.objects.emplace_back(user_object(followers[i]),
                               user_vertex(followers[i]));
   }
-  auto op = std::make_shared<ChirperOp>();
+  auto op = sim::make_mutable_message<ChirperOp>();
   op->kind = ChirperOp::Kind::kPost;
   op->author = author;
   op->post_ref = post_ref;
-  spec.payload = std::shared_ptr<const sim::Message>(std::move(op));
+  spec.payload = std::move(op);
   return spec;
 }
 
@@ -144,10 +144,10 @@ std::optional<core::CommandSpec> ChirperDriver::next(Rng& rng, SimTime now) {
       spec.objects.emplace_back(user_object(active), user_vertex(active));
       spec.objects.emplace_back(user_object(celebrity),
                                 user_vertex(celebrity));
-      auto op = std::make_shared<ChirperOp>();
+      auto op = sim::make_mutable_message<ChirperOp>();
       op->kind = ChirperOp::Kind::kFollow;
       op->author = active;
-      spec.payload = std::shared_ptr<const sim::Message>(std::move(op));
+      spec.payload = std::move(op);
       return spec;
     }
   }
@@ -162,20 +162,20 @@ std::optional<core::CommandSpec> ChirperDriver::next(Rng& rng, SimTime now) {
     core::CommandSpec spec;
     spec.objects.emplace_back(user_object(active), user_vertex(active));
     spec.objects.emplace_back(user_object(other), user_vertex(other));
-    auto op = std::make_shared<ChirperOp>();
+    auto op = sim::make_mutable_message<ChirperOp>();
     op->kind =
         unfollow ? ChirperOp::Kind::kUnfollow : ChirperOp::Kind::kFollow;
     op->author = active;
-    spec.payload = std::shared_ptr<const sim::Message>(std::move(op));
+    spec.payload = std::move(op);
     return spec;
   }
 
   if (rng.chance(mix_.timeline_fraction)) {
     core::CommandSpec spec;
     spec.objects.emplace_back(user_object(active), user_vertex(active));
-    auto op = std::make_shared<ChirperOp>();
+    auto op = sim::make_mutable_message<ChirperOp>();
     op->kind = ChirperOp::Kind::kTimeline;
-    spec.payload = std::shared_ptr<const sim::Message>(std::move(op));
+    spec.payload = std::move(op);
     return spec;
   }
   return make_post_spec(*directory_, active,
@@ -221,10 +221,10 @@ std::optional<core::CommandSpec> CelebrityDriver::next(Rng& rng,
     core::CommandSpec spec;
     spec.type = core::CommandType::kCreate;
     spec.objects.emplace_back(user_object(user_), user_vertex(user_));
-    auto op = std::make_shared<ChirperOp>();
+    auto op = sim::make_mutable_message<ChirperOp>();
     op->kind = ChirperOp::Kind::kPost;
     op->author = user_;
-    spec.payload = std::shared_ptr<const sim::Message>(std::move(op));
+    spec.payload = std::move(op);
     return spec;
   }
   if (post_interval_ > 0 && rng.chance(0.5)) {

@@ -10,7 +10,7 @@ CustomerAccounts* account(core::ObjectStore& store, ObjectId id) {
 
 core::ExecResult SmallBankApp::execute(const core::Command& cmd,
                                        core::ObjectStore& store) {
-  auto reply = std::make_shared<Reply>();
+  auto reply = sim::make_mutable_message<Reply>();
   const auto* op = dynamic_cast<const Op*>(cmd.payload.get());
   if (op == nullptr || cmd.objects.empty()) {
     reply->ok = false;
@@ -101,7 +101,7 @@ std::uint32_t SmallBankDriver::pick_customer(Rng& rng) const {
 
 std::optional<core::CommandSpec> SmallBankDriver::next(Rng& rng,
                                                        SimTime /*now*/) {
-  auto op = std::make_shared<Op>();
+  auto op = sim::make_mutable_message<Op>();
   const double roll = rng.uniform01();
   double cumulative = mix_.balance;
   if (roll < cumulative) {
@@ -130,7 +130,7 @@ std::optional<core::CommandSpec> SmallBankDriver::next(Rng& rng,
     if (b == a) b = (b + 1) % customers_;
     spec.objects.emplace_back(customer_object(b), customer_vertex(b));
   }
-  spec.payload = std::shared_ptr<const sim::Message>(std::move(op));
+  spec.payload = std::move(op);
   return spec;
 }
 

@@ -27,7 +27,7 @@ T* row(core::ObjectStore& store, ObjectId id) {
 
 core::ExecResult TpccApp::execute(const core::Command& cmd,
                                   core::ObjectStore& store) {
-  auto reply = std::make_shared<TpccReply>();
+  auto reply = sim::make_mutable_message<TpccReply>();
   SimTime cost = microseconds(10);
 
   if (auto* args = dynamic_cast<const NewOrderArgs*>(cmd.payload.get())) {
@@ -265,7 +265,7 @@ std::uint32_t TpccDriver::nurand_item(Rng& rng) const {
 }
 
 core::CommandSpec TpccDriver::make_new_order(Rng& rng) {
-  auto args = std::make_shared<NewOrderArgs>();
+  auto args = sim::make_mutable_message<NewOrderArgs>();
   args->w = home_w_;
   args->d = home_d_;
   args->c = nurand_customer(rng);
@@ -295,12 +295,12 @@ core::CommandSpec TpccDriver::make_new_order(Rng& rng) {
                               warehouse_vertex(line.supply_w));
     args->lines.push_back(line);
   }
-  spec.payload = std::shared_ptr<const sim::Message>(std::move(args));
+  spec.payload = std::move(args);
   return spec;
 }
 
 core::CommandSpec TpccDriver::make_payment(Rng& rng) {
-  auto args = std::make_shared<PaymentArgs>();
+  auto args = sim::make_mutable_message<PaymentArgs>();
   args->w = home_w_;
   args->d = home_d_;
   args->amount = 1.0 + rng.uniform01() * 4999.0;
@@ -325,12 +325,12 @@ core::CommandSpec TpccDriver::make_payment(Rng& rng) {
                             district_vertex(args->w, args->d));
   spec.objects.emplace_back(oid(Table::kCustomer, args->c_w, args->c_d, args->c),
                             district_vertex(args->c_w, args->c_d));
-  spec.payload = std::shared_ptr<const sim::Message>(std::move(args));
+  spec.payload = std::move(args);
   return spec;
 }
 
 core::CommandSpec TpccDriver::make_order_status(Rng& rng) {
-  auto args = std::make_shared<OrderStatusArgs>();
+  auto args = sim::make_mutable_message<OrderStatusArgs>();
   args->w = home_w_;
   args->d = home_d_;
   args->c = nurand_customer(rng);
@@ -347,27 +347,27 @@ core::CommandSpec TpccDriver::make_order_status(Rng& rng) {
     spec.objects.emplace_back(oid(Table::kOrder, args->w, args->d, args->o_id),
                               district_vertex(args->w, args->d));
   }
-  spec.payload = std::shared_ptr<const sim::Message>(std::move(args));
+  spec.payload = std::move(args);
   return spec;
 }
 
 void TpccDriver::queue_delivery(Rng& rng) {
   const auto carrier = static_cast<std::uint32_t>(rng.uniform(1, 10));
   for (std::uint32_t d = 1; d <= scale_.districts_per_warehouse; ++d) {
-    auto args = std::make_shared<DeliveryArgs>();
+    auto args = sim::make_mutable_message<DeliveryArgs>();
     args->w = home_w_;
     args->d = d;
     args->carrier = carrier;
     core::CommandSpec spec;
     spec.objects.emplace_back(oid(Table::kDistrict, home_w_, d, 0),
                               district_vertex(home_w_, d));
-    spec.payload = std::shared_ptr<const sim::Message>(std::move(args));
+    spec.payload = std::move(args);
     pending_.push_back(std::move(spec));
   }
 }
 
 core::CommandSpec TpccDriver::make_stock_scan(Rng& rng) {
-  auto args = std::make_shared<StockScanArgs>();
+  auto args = sim::make_mutable_message<StockScanArgs>();
   args->w = home_w_;
   args->d = home_d_;
   args->last_n = 20;
@@ -375,7 +375,7 @@ core::CommandSpec TpccDriver::make_stock_scan(Rng& rng) {
   core::CommandSpec spec;
   spec.objects.emplace_back(oid(Table::kDistrict, home_w_, home_d_, 0),
                             district_vertex(home_w_, home_d_));
-  spec.payload = std::shared_ptr<const sim::Message>(std::move(args));
+  spec.payload = std::move(args);
   return spec;
 }
 
@@ -416,14 +416,14 @@ void TpccDriver::on_result(const core::CommandSpec& spec,
   if (dynamic_cast<const StockScanArgs*>(spec.payload.get()) != nullptr &&
       !reply->items.empty()) {
     // Phase 2: check the stock of the scanned items at the home warehouse.
-    auto args = std::make_shared<StockCheckArgs>();
+    auto args = sim::make_mutable_message<StockCheckArgs>();
     args->w = home_w_;
     core::CommandSpec spec2;
     for (std::uint32_t item : reply->items) {
       spec2.objects.emplace_back(oid(Table::kStock, home_w_, 0, item),
                                  warehouse_vertex(home_w_));
     }
-    spec2.payload = std::shared_ptr<const sim::Message>(std::move(args));
+    spec2.payload = std::move(args);
     pending_.push_back(std::move(spec2));
   }
 }

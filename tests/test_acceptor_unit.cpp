@@ -16,8 +16,8 @@ class MockEnv final : public sim::Env {
  public:
   [[nodiscard]] ProcessId self() const override { return ProcessId{99}; }
   [[nodiscard]] SimTime now() const override { return now_; }
-  void send_message(ProcessId to, sim::MessagePtr msg) override {
-    sent.emplace_back(to, std::move(msg));
+  void send_message(ProcessId to, const sim::MessagePtr& msg) override {
+    sent.emplace_back(to, msg);
   }
   void start_timer(SimTime, std::function<void()> fn) override {
     timers.push_back(std::move(fn));

@@ -14,8 +14,8 @@ class MockEnv final : public sim::Env {
   explicit MockEnv(ProcessId self) : self_(self) {}
   [[nodiscard]] ProcessId self() const override { return self_; }
   [[nodiscard]] SimTime now() const override { return now_; }
-  void send_message(ProcessId to, sim::MessagePtr msg) override {
-    sent.emplace_back(to, std::move(msg));
+  void send_message(ProcessId to, const sim::MessagePtr& msg) override {
+    sent.emplace_back(to, msg);
   }
   void start_timer(SimTime delay, std::function<void()> fn) override {
     timers.emplace_back(now_ + delay, std::move(fn));

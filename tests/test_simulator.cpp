@@ -58,6 +58,67 @@ TEST(Simulator, NestedSchedulingFromHandlers) {
   EXPECT_EQ(depth, 100);
 }
 
+// Same-timestamp events must run in schedule (seq) order even when they are
+// pushed into different tiers of the event queue: events beyond the wheel
+// horizon (~67 ms) start in the spill heap and migrate into the wheel as the
+// cursor advances; migration must not reorder them relative to events that
+// were scheduled later but landed in the wheel directly.
+TEST(Simulator, TiesBreakBySchedulingOrderAcrossQueueTiers) {
+  Simulator simulator;
+  std::vector<int> order;
+  const SimTime far = milliseconds(500);  // well past the wheel horizon
+  // First batch goes to the spill heap (far future at schedule time).
+  for (int i = 0; i < 5; ++i) {
+    simulator.schedule_at(far, [&order, i] { order.push_back(i); });
+  }
+  // An intermediate event advances the cursor so `far` is inside the wheel
+  // horizon when the second batch is scheduled.
+  simulator.schedule_at(milliseconds(450), [&] {
+    for (int i = 5; i < 10; ++i) {
+      simulator.schedule_at(far, [&order, i] { order.push_back(i); });
+    }
+  });
+  simulator.run();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+  EXPECT_EQ(simulator.now(), far);
+}
+
+// Events scheduled for exactly now() from inside a running event land in the
+// bucket currently being drained; they must still run this step, after any
+// already-pending events at the same timestamp (seq order).
+TEST(Simulator, ScheduleAtNowFromInsideRunningEvent) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.schedule_at(milliseconds(7), [&] {
+    order.push_back(0);
+    simulator.schedule_at(simulator.now(), [&] {
+      order.push_back(2);
+      simulator.schedule_at(simulator.now(), [&] { order.push_back(3); });
+    });
+  });
+  simulator.schedule_at(milliseconds(7), [&] { order.push_back(1); });
+  simulator.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(simulator.now(), milliseconds(7));
+}
+
+// Past-time scheduling clamps to now() and still respects seq order among
+// everything clamped to the same instant.
+TEST(Simulator, PastTimeClampKeepsScheduleOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.schedule_at(milliseconds(10), [&] {
+    simulator.schedule_at(milliseconds(3), [&] { order.push_back(0); });
+    simulator.schedule_at(milliseconds(1), [&] { order.push_back(1); });
+    simulator.schedule_at(simulator.now(), [&] { order.push_back(2); });
+    simulator.schedule_at(milliseconds(2), [&] { order.push_back(3); });
+  });
+  simulator.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(simulator.now(), milliseconds(10));
+}
+
 // --- Process / network fixtures ---
 
 class EchoProcess final : public Process {

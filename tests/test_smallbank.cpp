@@ -17,7 +17,7 @@ core::CommandPtr make_cmd(std::vector<std::uint32_t> customers,
     ids.push_back(customer_object(c));
     vertices.push_back(customer_vertex(c));
   }
-  return std::make_shared<const core::Command>(
+  return sim::make_message<core::Command>(
       1, ProcessId{0}, core::CommandType::kAccess, std::move(ids),
       std::move(vertices), std::move(payload));
 }
@@ -33,11 +33,11 @@ class SmallBankUnit : public ::testing::Test {
 
   const Reply* run(std::vector<std::uint32_t> customers, Op::Kind kind,
                    double amount = 0) {
-    auto op = std::make_shared<Op>();
+    auto op = sim::make_mutable_message<Op>();
     op->kind = kind;
     op->amount = amount;
     auto cmd = make_cmd(std::move(customers),
-                        std::shared_ptr<const sim::Message>(std::move(op)));
+                        std::move(op));
     last_ = app_.execute(*cmd, store_).reply;
     return dynamic_cast<const Reply*>(last_.get());
   }

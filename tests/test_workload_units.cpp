@@ -21,7 +21,7 @@ core::CommandPtr make_cmd(std::vector<std::pair<ObjectId, core::VertexId>> objs,
     ids.push_back(o);
     vertices.push_back(v);
   }
-  return std::make_shared<const core::Command>(
+  return sim::make_message<core::Command>(
       1, ProcessId{0}, core::CommandType::kAccess, std::move(ids),
       std::move(vertices), std::move(payload));
 }
@@ -47,14 +47,14 @@ class TpccAppTest : public ::testing::Test {
 
   const tp::TpccReply* run_new_order(std::uint32_t c,
                                      std::vector<tp::OrderLine> lines) {
-    auto args = std::make_shared<tp::NewOrderArgs>();
+    auto args = sim::make_mutable_message<tp::NewOrderArgs>();
     args->w = 1;
     args->d = 1;
     args->c = c;
     args->lines = std::move(lines);
     auto cmd = make_cmd({{tp::oid(tp::Table::kWarehouse, 1, 0, 0),
                           tp::warehouse_vertex(1)}},
-                        std::shared_ptr<const sim::Message>(args));
+                        args);
     last_ = app_.execute(*cmd, store_).reply;
     return dynamic_cast<const tp::TpccReply*>(last_.get());
   }
@@ -99,7 +99,7 @@ TEST_F(TpccAppTest, StockRefillsBelowThreshold) {
 }
 
 TEST_F(TpccAppTest, PaymentMovesMoney) {
-  auto args = std::make_shared<tp::PaymentArgs>();
+  auto args = sim::make_mutable_message<tp::PaymentArgs>();
   args->w = 1;
   args->d = 1;
   args->c_w = 1;
@@ -108,7 +108,7 @@ TEST_F(TpccAppTest, PaymentMovesMoney) {
   args->amount = 100.0;
   auto cmd = make_cmd({{tp::oid(tp::Table::kCustomer, 1, 1, 2),
                         tp::district_vertex(1, 1)}},
-                      std::shared_ptr<const sim::Message>(args));
+                      args);
   auto result = app_.execute(*cmd, store_);
   auto* reply = dynamic_cast<const tp::TpccReply*>(result.reply.get());
   ASSERT_NE(reply, nullptr);
@@ -125,13 +125,13 @@ TEST_F(TpccAppTest, PaymentMovesMoney) {
 TEST_F(TpccAppTest, DeliveryProcessesOldestUndelivered) {
   run_new_order(1, {{3, 1, 5, 0}});
   run_new_order(2, {{4, 1, 2, 0}});
-  auto args = std::make_shared<tp::DeliveryArgs>();
+  auto args = sim::make_mutable_message<tp::DeliveryArgs>();
   args->w = 1;
   args->d = 1;
   args->carrier = 7;
   auto cmd = make_cmd({{tp::oid(tp::Table::kDistrict, 1, 1, 0),
                         tp::district_vertex(1, 1)}},
-                      std::shared_ptr<const sim::Message>(args));
+                      args);
   auto result = app_.execute(*cmd, store_);
   auto* reply = dynamic_cast<const tp::TpccReply*>(result.reply.get());
   ASSERT_NE(reply, nullptr);
@@ -153,12 +153,12 @@ TEST_F(TpccAppTest, DeliveryProcessesOldestUndelivered) {
 
 TEST_F(TpccAppTest, StockScanReportsRecentItems) {
   run_new_order(1, {{3, 1, 5, 0}, {7, 1, 1, 0}});
-  auto args = std::make_shared<tp::StockScanArgs>();
+  auto args = sim::make_mutable_message<tp::StockScanArgs>();
   args->w = 1;
   args->d = 1;
   auto cmd = make_cmd({{tp::oid(tp::Table::kDistrict, 1, 1, 0),
                         tp::district_vertex(1, 1)}},
-                      std::shared_ptr<const sim::Message>(args));
+                      args);
   auto result = app_.execute(*cmd, store_);
   auto* reply = dynamic_cast<const tp::TpccReply*>(result.reply.get());
   ASSERT_NE(reply, nullptr);
@@ -166,7 +166,7 @@ TEST_F(TpccAppTest, StockScanReportsRecentItems) {
 }
 
 TEST_F(TpccAppTest, MissingRowsRejectGracefully) {
-  auto args = std::make_shared<tp::PaymentArgs>();
+  auto args = sim::make_mutable_message<tp::PaymentArgs>();
   args->w = 9;  // nonexistent warehouse
   args->d = 1;
   args->c_w = 9;
@@ -174,7 +174,7 @@ TEST_F(TpccAppTest, MissingRowsRejectGracefully) {
   args->c = 1;
   auto cmd = make_cmd({{tp::oid(tp::Table::kCustomer, 9, 1, 1),
                         tp::district_vertex(9, 1)}},
-                      std::shared_ptr<const sim::Message>(args));
+                      args);
   auto result = app_.execute(*cmd, store_);
   auto* reply = dynamic_cast<const tp::TpccReply*>(result.reply.get());
   ASSERT_NE(reply, nullptr);
@@ -189,14 +189,14 @@ TEST(ChirperApp, PostAppendsToFollowerTimelinesOnly) {
   for (std::uint32_t u = 0; u < 3; ++u)
     store.put(ch::user_object(u), ch::user_vertex(u),
               std::make_shared<ch::UserObject>());
-  auto op = std::make_shared<ch::ChirperOp>();
+  auto op = sim::make_mutable_message<ch::ChirperOp>();
   op->kind = ch::ChirperOp::Kind::kPost;
   op->author = 0;
   op->post_ref = 0xfeed;
   auto cmd = make_cmd({{ch::user_object(0), ch::user_vertex(0)},
                        {ch::user_object(1), ch::user_vertex(1)},
                        {ch::user_object(2), ch::user_vertex(2)}},
-                      std::shared_ptr<const sim::Message>(op));
+                      op);
   app.execute(*cmd, store);
 
   auto* author = dynamic_cast<ch::UserObject*>(store.find(ch::user_object(0)));
@@ -225,22 +225,22 @@ TEST(ChirperApp, FollowAdjustsCounters) {
             std::make_shared<ch::UserObject>());
   store.put(ch::user_object(2), ch::user_vertex(2),
             std::make_shared<ch::UserObject>());
-  auto op = std::make_shared<ch::ChirperOp>();
+  auto op = sim::make_mutable_message<ch::ChirperOp>();
   op->kind = ch::ChirperOp::Kind::kFollow;
   auto cmd = make_cmd({{ch::user_object(1), ch::user_vertex(1)},
                        {ch::user_object(2), ch::user_vertex(2)}},
-                      std::shared_ptr<const sim::Message>(op));
+                      op);
   app.execute(*cmd, store);
   auto* follower = dynamic_cast<ch::UserObject*>(store.find(ch::user_object(1)));
   auto* followee = dynamic_cast<ch::UserObject*>(store.find(ch::user_object(2)));
   EXPECT_EQ(follower->following_count, 1u);
   EXPECT_EQ(followee->followers_count, 1u);
 
-  auto unop = std::make_shared<ch::ChirperOp>();
+  auto unop = sim::make_mutable_message<ch::ChirperOp>();
   unop->kind = ch::ChirperOp::Kind::kUnfollow;
   auto uncmd = make_cmd({{ch::user_object(1), ch::user_vertex(1)},
                          {ch::user_object(2), ch::user_vertex(2)}},
-                        std::shared_ptr<const sim::Message>(unop));
+                        unop);
   app.execute(*uncmd, store);
   EXPECT_EQ(follower->following_count, 0u);
   EXPECT_EQ(followee->followers_count, 0u);
