@@ -219,10 +219,13 @@ struct FullStackResult {
 };
 
 /// Full-stack sanity point: single-partition KV, 1 simulated second.
-FullStackResult run_full_stack() {
+/// `checkpoint_interval` 0 disables checkpointing so the default-on cost can
+/// be gated (full_stack vs full_stack_nockpt in check_report.py --bench).
+FullStackResult run_full_stack(paxos::Slot checkpoint_interval) {
   const auto start = std::chrono::steady_clock::now();
   auto system = core::ScenarioBuilder()
                     .partitions(1)
+                    .checkpoint_interval(checkpoint_interval)
                     .tune([](core::SystemConfig& c) {
                       c.repartition_hint_threshold = UINT64_MAX;
                     })
@@ -275,11 +278,26 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(msg.pool_reuses));
 
   std::printf("kernel_throughput: full stack (1 simulated second of KV)...\n");
-  const auto stack = run_full_stack();
+  // Default-config run (periodic checkpoints on) vs checkpointing disabled:
+  // the wall-clock ratio is the cost of the checkpoint subsystem, gated <5%
+  // by check_report.py --bench. An aggressive interval (512 slots) makes the
+  // 1-simulated-second run actually cross boundaries.
+  FullStackResult stack, stack_nockpt;
+  for (int round = 0; round < kRounds; ++round) {
+    const auto with = run_full_stack(/*checkpoint_interval=*/512);
+    if (round == 0 || with.wall_seconds < stack.wall_seconds) stack = with;
+    const auto without = run_full_stack(/*checkpoint_interval=*/0);
+    if (round == 0 || without.wall_seconds < stack_nockpt.wall_seconds)
+      stack_nockpt = without;
+  }
   std::printf("  full stack      : %.0f commands in %.2fs wall "
               "(%.0f commands/sec)\n",
               stack.commands, stack.wall_seconds,
               stack.commands / stack.wall_seconds);
+  std::printf("  no checkpoints  : %.0f commands in %.2fs wall "
+              "(%.0f commands/sec)\n",
+              stack_nockpt.commands, stack_nockpt.wall_seconds,
+              stack_nockpt.commands / stack_nockpt.wall_seconds);
 
   Json report = Json::Object{};
   report["schema"] = "dynastar-bench-kernel-v1";
@@ -304,6 +322,11 @@ int main(int argc, char** argv) {
       {"commands", stack.commands},
       {"wall_seconds", stack.wall_seconds},
       {"commands_per_sec", stack.commands / stack.wall_seconds},
+  };
+  report["full_stack_nockpt"] = Json::Object{
+      {"commands", stack_nockpt.commands},
+      {"wall_seconds", stack_nockpt.wall_seconds},
+      {"commands_per_sec", stack_nockpt.commands / stack_nockpt.wall_seconds},
   };
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");

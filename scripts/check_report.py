@@ -151,6 +151,20 @@ def check_bench(report, baseline, max_regression):
     if reuses < 0.5 * allocs:
         err(f"message pool reused only {reuses} of {allocs} allocations")
 
+    # Checkpointing cost gate: the default-on checkpoint subsystem may cost
+    # at most 5% of full-stack throughput vs the same run with checkpoints
+    # disabled. Older bench documents without the section still validate.
+    nockpt = report.get("full_stack_nockpt")
+    if isinstance(nockpt, dict):
+        base_cps = nockpt.get("commands_per_sec")
+        cps = report["full_stack"]["commands_per_sec"]
+        if not isinstance(base_cps, (int, float)) or base_cps <= 0:
+            err("full_stack_nockpt.commands_per_sec missing or non-positive")
+        elif cps < 0.95 * base_cps:
+            err(f"checkpointing costs too much: full_stack "
+                f"{cps:.0f} commands/sec < 95% of no-checkpoint "
+                f"{base_cps:.0f} commands/sec")
+
     if baseline is not None:
         base_eps = baseline.get("kernel", {}).get("events_per_sec")
         if not isinstance(base_eps, (int, float)) or base_eps <= 0:

@@ -39,6 +39,14 @@ inline constexpr const char* kServerObjectsExchanged =
     "server.objects_exchanged";
 inline constexpr const char* kServerQueueDepth = "server.queue_depth";
 
+// --- recovery (checkpoints + snapshot state transfer) ---
+inline constexpr const char* kServerCheckpoints = "server.checkpoints";
+inline constexpr const char* kServerSnapshotInstalls =
+    "server.snapshot_installs";
+inline constexpr const char* kOracleCheckpoints = "oracle.checkpoints";
+inline constexpr const char* kOracleSnapshotInstalls =
+    "oracle.snapshot_installs";
+
 // --- oracle ---
 inline constexpr const char* kOracleQueries = "oracle.queries";
 inline constexpr const char* kOracleRepartitions = "oracle.repartitions";

@@ -20,6 +20,9 @@ const char* TraceCollector::point_name(TracePoint point) {
     case TracePoint::kPaxosDecided: return "paxos_decided";
     case TracePoint::kPlanApplied: return "plan_applied";
     case TracePoint::kChaosEvent: return "chaos_event";
+    case TracePoint::kCheckpoint: return "checkpoint";
+    case TracePoint::kRecoveryRestore: return "recovery_restore";
+    case TracePoint::kSnapshotInstall: return "snapshot_install";
   }
   return "unknown";
 }

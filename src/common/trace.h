@@ -46,6 +46,10 @@ enum class TracePoint : std::uint8_t {
   kPaxosDecided,      // key = delivery seq, detail = group
   kPlanApplied,       // key = epoch, detail = partition (oracle: UINT64_MAX)
   kChaosEvent,        // key = event ordinal
+  // --- recovery: key = slot position, detail = partition (see §Recovery) ---
+  kCheckpoint,        // durable checkpoint captured; key = checkpoint slot
+  kRecoveryRestore,   // recovered node restored its checkpoint; key = slot
+  kSnapshotInstall,   // lagging replica installed a peer snapshot; key = slot
 };
 
 /// One fixed-width trace record. 40 bytes, trivially copyable; the collector

@@ -13,49 +13,119 @@
 
 namespace dynastar::core {
 
+/// Hosts one PartitionServerCore plus the replica's *durable* checkpoint
+/// (modeled like paxos::AcceptorStorage: the one thing that survives a
+/// crash). The core itself is volatile — on_crash destroys it, and recovery
+/// rebuilds a fresh core from the checkpoint plus log replay.
 class ServerNode final : public sim::Process {
  public:
   ServerNode(ProcessId id, sim::World& world, const paxos::Topology& topology,
              PartitionId partition, const SystemConfig& config,
-             std::unique_ptr<AppStateMachine> app, bool record_metrics)
+             AppFactory app_factory, bool record_metrics)
       : sim::Process(id, world),
-        core_(*this, topology, partition, config, std::move(app),
-              &world.metrics(), record_metrics, &world.trace()) {
+        topology_(topology),
+        partition_(partition),
+        config_(config),
+        app_factory_(std::move(app_factory)),
+        record_metrics_(record_metrics) {
     set_message_service_time(config.server_service_time);
+    rebuild();
   }
 
-  void on_start() override { core_.start(); }
-  void on_recover() override { core_.on_recover(); }
+  void on_start() override {
+    // Durable slot-0 checkpoint: covers preloaded objects/assignment, so a
+    // crash before the first boundary still restores the initial state.
+    checkpoint_ = core_->capture_snapshot();
+    core_->start();
+  }
+
+  void on_crash() override { core_.reset(); }
+
+  void on_recover() override {
+    rebuild();
+    if (checkpoint_) core_->restore_snapshot(*checkpoint_);
+    core_->start_recovered();
+  }
+
   void on_message(ProcessId from, const sim::MessagePtr& msg) override {
-    core_.handle(from, msg);
+    core_->handle(from, msg);
   }
 
-  PartitionServerCore& core() { return core_; }
+  PartitionServerCore& core() { return *core_; }
+  [[nodiscard]] PartitionServerCore::SnapshotPtr checkpoint() const {
+    return checkpoint_;
+  }
 
  private:
-  PartitionServerCore core_;
+  void rebuild() {
+    // Fresh app instance from the factory: AppStateMachine holds no state
+    // outside the ObjectStore (by contract), so a new one is equivalent.
+    core_ = std::make_unique<PartitionServerCore>(
+        *this, topology_, partition_, config_, app_factory_(),
+        &world().metrics(), record_metrics_, &world().trace());
+    core_->set_checkpoint_sink([this](PartitionServerCore::SnapshotPtr snap) {
+      checkpoint_ = std::move(snap);
+    });
+  }
+
+  const paxos::Topology& topology_;
+  PartitionId partition_;
+  const SystemConfig& config_;
+  AppFactory app_factory_;
+  bool record_metrics_;
+  std::unique_ptr<PartitionServerCore> core_;  // volatile (dies on crash)
+  PartitionServerCore::SnapshotPtr checkpoint_;  // durable
 };
 
+/// Oracle analog of ServerNode: volatile core + durable checkpoint.
 class OracleNode final : public sim::Process {
  public:
   OracleNode(ProcessId id, sim::World& world, const paxos::Topology& topology,
              const SystemConfig& config, bool record_metrics)
       : sim::Process(id, world),
-        core_(*this, topology, config, &world.metrics(), record_metrics,
-              &world.trace()) {
+        topology_(topology),
+        config_(config),
+        record_metrics_(record_metrics) {
     set_message_service_time(config.oracle_service_time);
+    rebuild();
   }
 
-  void on_start() override { core_.start(); }
-  void on_recover() override { core_.on_recover(); }
+  void on_start() override {
+    checkpoint_ = core_->capture_snapshot();
+    core_->start();
+  }
+
+  void on_crash() override { core_.reset(); }
+
+  void on_recover() override {
+    rebuild();
+    if (checkpoint_) core_->restore_snapshot(*checkpoint_);
+    core_->start_recovered();
+  }
+
   void on_message(ProcessId from, const sim::MessagePtr& msg) override {
-    core_.handle(from, msg);
+    core_->handle(from, msg);
   }
 
-  OracleCore& core() { return core_; }
+  OracleCore& core() { return *core_; }
+  [[nodiscard]] OracleCore::SnapshotPtr checkpoint() const {
+    return checkpoint_;
+  }
 
  private:
-  OracleCore core_;
+  void rebuild() {
+    core_ = std::make_unique<OracleCore>(*this, topology_, config_,
+                                         &world().metrics(), record_metrics_,
+                                         &world().trace());
+    core_->set_checkpoint_sink(
+        [this](OracleCore::SnapshotPtr snap) { checkpoint_ = std::move(snap); });
+  }
+
+  const paxos::Topology& topology_;
+  const SystemConfig& config_;
+  bool record_metrics_;
+  std::unique_ptr<OracleCore> core_;  // volatile (dies on crash)
+  OracleCore::SnapshotPtr checkpoint_;  // durable
 };
 
 class ClientNode final : public sim::Process {

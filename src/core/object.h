@@ -90,6 +90,26 @@ class ObjectStore {
 
   [[nodiscard]] std::size_t size() const { return objects_.size(); }
 
+  /// Clone of the whole store with every object deep-copied — checkpoint
+  /// capture/restore must not alias live mutable objects.
+  [[nodiscard]] ObjectStore deep_copy() const {
+    ObjectStore copy;
+    for (const auto& [id, entry] : objects_) {
+      copy.put(id, entry.vertex,
+               entry.object ? ObjectPtr(entry.object->clone()) : nullptr);
+    }
+    return copy;
+  }
+
+  /// Approximate serialized size of the whole store, for snapshot-transfer
+  /// network cost accounting.
+  [[nodiscard]] std::size_t total_bytes() const {
+    std::size_t total = 0;
+    for (const auto& [id, entry] : objects_)
+      total += 16 + (entry.object ? entry.object->size_bytes() : 0);
+    return total;
+  }
+
  private:
   struct Entry {
     VertexId vertex;

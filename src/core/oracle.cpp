@@ -34,6 +34,21 @@ OracleCore::OracleCore(sim::Env& env, const paxos::Topology& topology,
   member_.set_trace(trace);
   member_.set_deliver(
       [this](const multicast::McastData& data) { on_adeliver(data); });
+  member_.replica().set_checkpoint_hook([this] { on_checkpoint_boundary(); });
+  member_.replica().set_snapshot_provider([this] {
+    return sim::make_message<OracleSnapshotMsg>(capture_snapshot());
+  });
+  member_.replica().set_snapshot_installer([this](const sim::MessagePtr& m) {
+    const auto* snap = dynamic_cast<const OracleSnapshotMsg*>(m.get());
+    if (snap == nullptr || !snap->state) return false;
+    restore_snapshot(*snap->state);
+    if (metrics_) metrics_->add_counter(metric::kOracleSnapshotInstalls);
+    if (trace_)
+      trace_->record(TracePoint::kSnapshotInstall, env_.now(),
+                     snap->state->member.replica.next_deliver_slot, 0,
+                     env_.self().value(), /*oracle=*/UINT64_MAX);
+    return true;
+  });
 }
 
 void OracleCore::start() {
@@ -41,11 +56,57 @@ void OracleCore::start() {
   arm_plan_repair_timer();
 }
 
-void OracleCore::on_recover() {
-  member_.on_recover();
-  // A plan-computation timer from the previous incarnation never fires;
-  // clear the latch so future hint deliveries can trigger a plan again.
+void OracleCore::on_checkpoint_boundary() {
+  if (checkpoint_sink_) checkpoint_sink_(capture_snapshot());
+  if (metrics_) metrics_->add_counter(metric::kOracleCheckpoints);
+  if (trace_)
+    trace_->record(TracePoint::kCheckpoint, env_.now(),
+                   member_.replica().last_checkpoint_slot(), 0,
+                   env_.self().value(), /*oracle=*/UINT64_MAX);
+}
+
+OracleCore::SnapshotPtr OracleCore::capture_snapshot() const {
+  auto snap = std::make_shared<Snapshot>();
+  snap->member = member_.capture_state();
+  snap->plan_sender = plan_sender_.capture();
+  snap->map = map_;
+  snap->epoch = epoch_;
+  snap->graph = graph_;
+  snap->pending_creates = pending_creates_;
+  snap->relay_cache = relay_cache_;
+  snap->changes = changes_;
+  snap->create_round_robin = create_round_robin_;
+  snap->relays_emitted = relays_emitted_;
+  return snap;
+}
+
+void OracleCore::restore_snapshot(const Snapshot& snapshot) {
+  member_.restore_state(snapshot.member);
+  plan_sender_.restore(snapshot.plan_sender);
+  map_ = snapshot.map;
+  epoch_ = snapshot.epoch;
+  graph_ = snapshot.graph;
+  pending_creates_ = snapshot.pending_creates;
+  relay_cache_ = snapshot.relay_cache;
+  changes_ = snapshot.changes;
+  create_round_robin_ = snapshot.create_round_robin;
+  relays_emitted_ = snapshot.relays_emitted;
+  // Replica-local plan state: any computation in flight at the crash is
+  // gone (its timer died with the old incarnation); reset the latch so a
+  // later hint delivery can trigger a plan again.
   computing_ = false;
+  repartition_requested_ = false;
+  last_plan_time_ = env_.now();
+}
+
+void OracleCore::start_recovered() {
+  if (trace_)
+    trace_->record(TracePoint::kRecoveryRestore, env_.now(),
+                   member_.replica().next_deliver_slot(), 0,
+                   env_.self().value(), /*oracle=*/UINT64_MAX);
+  member_.start_recovered();
+  // Re-drive unacked PlanMsg sends immediately, then keep the repair cadence.
+  plan_sender_.retransmit_unacked();
   arm_plan_repair_timer();
 }
 

@@ -36,14 +36,35 @@ namespace dynastar::core {
 
 class OracleCore {
  public:
+  /// A full copy of an oracle replica's volatile state at a slot boundary:
+  /// multicast + Paxos position, the plan sender's outbox, the location map,
+  /// the workload graph, and the relay (at-most-once) cache.
+  struct Snapshot;
+  using SnapshotPtr = std::shared_ptr<const Snapshot>;
+
   OracleCore(sim::Env& env, const paxos::Topology& topology,
              const SystemConfig& config, MetricsRegistry* metrics,
              bool record_metrics, TraceCollector* trace = nullptr);
 
   void start();
 
-  /// Re-arms protocol timers after a crash/recover cycle.
-  void on_recover();
+  /// Receives the snapshot captured at each checkpoint boundary; the owning
+  /// node stores it as the replica's durable checkpoint.
+  void set_checkpoint_sink(std::function<void(SnapshotPtr)> sink) {
+    checkpoint_sink_ = std::move(sink);
+  }
+
+  /// Captures the complete volatile state.
+  [[nodiscard]] SnapshotPtr capture_snapshot() const;
+
+  /// Replaces all volatile state with a snapshot's contents.
+  void restore_snapshot(const Snapshot& snapshot);
+
+  /// Rejoins the group after restore_snapshot() on a fresh incarnation:
+  /// re-arms timers and proactively pulls the missing log suffix. Plan
+  /// computations in flight at the crash are abandoned (the latch is reset);
+  /// a surviving replica's plan or a later hint delivery re-triggers one.
+  void start_recovered();
 
   bool handle(ProcessId from, const sim::MessagePtr& msg);
 
@@ -64,6 +85,7 @@ class OracleCore {
   void request_repartition() { repartition_requested_ = true; }
 
  private:
+  void on_checkpoint_boundary();
   void on_adeliver(const multicast::McastData& data);
   void on_request(const OracleRequest& request);
   void on_create_apply(const ExecCommand& exec);
@@ -86,6 +108,7 @@ class OracleCore {
   MetricsRegistry* metrics_;
   bool record_metrics_;
   TraceCollector* trace_;
+  std::function<void(SnapshotPtr)> checkpoint_sink_;
 
   multicast::MemberCore member_;
   multicast::McastClient plan_sender_;  // per-replica sender for PlanMsg
@@ -110,6 +133,35 @@ class OracleCore {
   bool repartition_requested_ = false;
   std::uint64_t create_round_robin_ = 0;
   std::uint64_t relays_emitted_ = 0;  // uid counter for group multicasts
+};
+
+/// Defined out of line so it can name the core's private bookkeeping types.
+/// Deliberately excludes the replica-local plan-computation latch and
+/// cooldown anchor: a restored replica starts with no plan in flight.
+struct OracleCore::Snapshot {
+  multicast::MemberCore::State member;
+  multicast::McastClient::State plan_sender;
+
+  Assignment map;
+  Epoch epoch = 0;
+  partitioning::WorkloadGraph graph;
+  common::FlatMap<VertexId, PartitionId> pending_creates;
+  std::unordered_map<std::uint64_t, sim::Ref<const ExecCommand>> relay_cache;
+  std::uint64_t changes = 0;
+  std::uint64_t create_round_robin = 0;
+  std::uint64_t relays_emitted = 0;
+};
+
+/// Carrier for an oracle snapshot travelling as an InstallSnapshotResp
+/// payload.
+struct OracleSnapshotMsg final : sim::Message {
+  explicit OracleSnapshotMsg(OracleCore::SnapshotPtr s)
+      : state(std::move(s)) {}
+  const char* type_name() const override { return "core.OracleSnapshot"; }
+  std::size_t size_bytes() const override {
+    return 256 + (state ? state->map.size() * 16 : 0);
+  }
+  OracleCore::SnapshotPtr state;
 };
 
 }  // namespace dynastar::core

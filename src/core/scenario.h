@@ -48,6 +48,19 @@ class ScenarioBuilder {
   /// Enables/disables repartitioning; disabling also raises the hint
   /// threshold so no plan can ever trigger (the common test setup).
   ScenarioBuilder& repartitioning(bool enabled);
+  /// Applied-log suffix (in slots) a replica retains beyond its last stable
+  /// checkpoint for peer catch-up; a peer lagging further than this pulls a
+  /// full snapshot instead. 0 = retain everything.
+  ScenarioBuilder& catchup_window(paxos::Slot slots) {
+    config_.paxos.catchup_window = slots;
+    return *this;
+  }
+  /// Decided slots between durable checkpoints (bounds both recovery replay
+  /// and retained-log memory). 0 disables periodic checkpoints.
+  ScenarioBuilder& checkpoint_interval(paxos::Slot slots) {
+    config_.paxos.checkpoint_interval = slots;
+    return *this;
+  }
   /// Arbitrary knobs not worth a dedicated builder method.
   ScenarioBuilder& tune(const std::function<void(SystemConfig&)>& fn) {
     fn(config_);

@@ -60,13 +60,125 @@ PartitionServerCore::PartitionServerCore(
   member_.set_trace(trace);
   member_.set_deliver(
       [this](const multicast::McastData& data) { on_adeliver(data); });
+  member_.replica().set_checkpoint_hook([this] { on_checkpoint_boundary(); });
+  member_.replica().set_snapshot_provider([this] {
+    return sim::make_message<ServerSnapshotMsg>(capture_snapshot());
+  });
+  member_.replica().set_snapshot_installer([this](const sim::MessagePtr& m) {
+    const auto* snap = dynamic_cast<const ServerSnapshotMsg*>(m.get());
+    if (snap == nullptr || !snap->state) return false;
+    restore_snapshot(*snap->state);
+    if (metrics_) metrics_->add_counter(metric::kServerSnapshotInstalls);
+    if (trace_)
+      trace_->record(TracePoint::kSnapshotInstall, env_.now(),
+                     snap->state->member.replica.next_deliver_slot, 0,
+                     env_.self().value(), partition_.value());
+    return true;
+  });
 }
 
 void PartitionServerCore::start() { member_.start(); }
 
-void PartitionServerCore::on_recover() {
-  member_.on_recover();
-  reliable_.on_recover();
+std::vector<ProcessId> PartitionServerCore::reliable_peers() const {
+  // Every process that may hold (or need) retained direct coordination
+  // messages for us: the replicas of every partition group but ourselves.
+  // The oracle group exchanges no ReliableLink traffic.
+  std::vector<ProcessId> peers;
+  for (std::uint32_t p = 0; p < config_.num_partitions; ++p) {
+    for (ProcessId replica :
+         topology_.group(group_of(PartitionId{p})).replicas) {
+      if (replica != env_.self()) peers.push_back(replica);
+    }
+  }
+  return peers;
+}
+
+void PartitionServerCore::on_checkpoint_boundary() {
+  if (checkpoint_sink_) checkpoint_sink_(capture_snapshot());
+  // Tell peers which of their retained sends this durable checkpoint covers.
+  reliable_.note_checkpoint(env_.now(), reliable_peers());
+  if (metrics_) metrics_->add_counter(metric::kServerCheckpoints);
+  if (trace_)
+    trace_->record(TracePoint::kCheckpoint, env_.now(),
+                   member_.replica().last_checkpoint_slot(), 0,
+                   env_.self().value(), partition_.value());
+}
+
+PartitionServerCore::SnapshotPtr PartitionServerCore::capture_snapshot()
+    const {
+  auto snap = std::make_shared<Snapshot>();
+  snap->member = member_.capture_state();
+  snap->reliable = reliable_.capture();
+  snap->reply_cache = reply_cache_;
+  snap->store = store_.deep_copy();
+  snap->map = map_;
+  snap->epoch = epoch_;
+  snap->queue = queue_;
+  snap->blocked = blocked_;
+  snap->future = future_;
+  snap->transfers = transfers_;
+  snap->lends = lends_;
+  snap->lent_objects = lent_objects_;
+  snap->lent_vertex_count = lent_vertex_count_;
+  snap->returns_seen = returns_seen_;
+  snap->early_returns = early_returns_;
+  snap->sent_transfers = sent_transfers_;
+  snap->ssmr_sent = ssmr_sent_;
+  snap->resolved = resolved_;
+  snap->awaited = awaited_;
+  snap->obligations = obligations_;
+  snap->fetch_requested = fetch_requested_;
+  snap->fetch_wanted = fetch_wanted_;
+  snap->handoffs_seen = handoffs_seen_;
+  snap->handoff_buffer = handoff_buffer_;
+  snap->hint_vertices = hint_vertices_;
+  snap->hint_edges = hint_edges_;
+  snap->commands_since_hint = commands_since_hint_;
+  snap->hint_emissions = hint_emissions_;
+  snap->location_updates_emitted = location_updates_emitted_;
+  snap->dssmr_moves = dssmr_moves_;
+  return snap;
+}
+
+void PartitionServerCore::restore_snapshot(const Snapshot& snapshot) {
+  member_.restore_state(snapshot.member);
+  reliable_.restore(snapshot.reliable, reliable_peers());
+  reply_cache_ = snapshot.reply_cache;
+  store_ = snapshot.store.deep_copy();
+  map_ = snapshot.map;
+  epoch_ = snapshot.epoch;
+  queue_ = snapshot.queue;
+  blocked_ = snapshot.blocked;
+  future_ = snapshot.future;
+  transfers_ = snapshot.transfers;
+  lends_ = snapshot.lends;
+  lent_objects_ = snapshot.lent_objects;
+  lent_vertex_count_ = snapshot.lent_vertex_count;
+  returns_seen_ = snapshot.returns_seen;
+  early_returns_ = snapshot.early_returns;
+  sent_transfers_ = snapshot.sent_transfers;
+  ssmr_sent_ = snapshot.ssmr_sent;
+  resolved_ = snapshot.resolved;
+  awaited_ = snapshot.awaited;
+  obligations_ = snapshot.obligations;
+  fetch_requested_ = snapshot.fetch_requested;
+  fetch_wanted_ = snapshot.fetch_wanted;
+  handoffs_seen_ = snapshot.handoffs_seen;
+  handoff_buffer_ = snapshot.handoff_buffer;
+  hint_vertices_ = snapshot.hint_vertices;
+  hint_edges_ = snapshot.hint_edges;
+  commands_since_hint_ = snapshot.commands_since_hint;
+  hint_emissions_ = snapshot.hint_emissions;
+  location_updates_emitted_ = snapshot.location_updates_emitted;
+  dssmr_moves_ = snapshot.dssmr_moves;
+}
+
+void PartitionServerCore::start_recovered() {
+  if (trace_)
+    trace_->record(TracePoint::kRecoveryRestore, env_.now(),
+                   member_.replica().next_deliver_slot(), 0,
+                   env_.self().value(), partition_.value());
+  member_.start_recovered();
 }
 
 bool PartitionServerCore::is_primary_replica() const {

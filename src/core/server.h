@@ -45,6 +45,14 @@ PartitionId choose_target(const std::vector<ObjectId>& objects,
 
 class PartitionServerCore {
  public:
+  /// A full copy of the replica's volatile state at a slot boundary: the
+  /// multicast + Paxos position, retained reliable sends, object store
+  /// (deep-copied), borrow/lend bookkeeping, and the at-most-once reply
+  /// cache. Immutable once captured; shared between the node's durable
+  /// checkpoint slot and in-flight snapshot transfers.
+  struct Snapshot;
+  using SnapshotPtr = std::shared_ptr<const Snapshot>;
+
   PartitionServerCore(sim::Env& env, const paxos::Topology& topology,
                       PartitionId partition, const SystemConfig& config,
                       std::unique_ptr<AppStateMachine> app,
@@ -53,8 +61,23 @@ class PartitionServerCore {
 
   void start();
 
-  /// Re-arms protocol timers after a crash/recover cycle.
-  void on_recover();
+  /// Receives the snapshot captured at each checkpoint boundary; the owning
+  /// node stores it as the replica's durable checkpoint.
+  void set_checkpoint_sink(std::function<void(SnapshotPtr)> sink) {
+    checkpoint_sink_ = std::move(sink);
+  }
+
+  /// Captures the complete volatile state (deep-copying mutable objects).
+  [[nodiscard]] SnapshotPtr capture_snapshot() const;
+
+  /// Replaces all volatile state with a snapshot's contents. Used both when
+  /// a recovering node restores its durable checkpoint and when a live
+  /// replica installs a peer snapshot.
+  void restore_snapshot(const Snapshot& snapshot);
+
+  /// Rejoins the group after restore_snapshot() on a fresh incarnation:
+  /// re-arms timers and proactively pulls the missing log suffix.
+  void start_recovered();
 
   /// Handles multicast/paxos traffic and the direct coordination messages.
   bool handle(ProcessId from, const sim::MessagePtr& msg);
@@ -121,6 +144,8 @@ class PartitionServerCore {
   void trace_cmd(TracePoint point, const ExecCommand& ec,
                  std::uint64_t detail);
   [[nodiscard]] bool is_primary_replica() const;
+  void on_checkpoint_boundary();
+  [[nodiscard]] std::vector<ProcessId> reliable_peers() const;
 
   sim::Env& env_;
   const paxos::Topology& topology_;
@@ -130,6 +155,7 @@ class PartitionServerCore {
   MetricsRegistry* metrics_;
   bool record_metrics_;
   TraceCollector* trace_;
+  std::function<void(SnapshotPtr)> checkpoint_sink_;
   /// Labels identifying this replica in per-node metrics.
   std::string partition_label_;
   std::string replica_label_;
@@ -217,6 +243,53 @@ class PartitionServerCore {
     std::vector<std::pair<VertexId, PartitionId>> previous_owner;
   };
   std::map<CmdKey, MoveRecord> dssmr_moves_;
+};
+
+/// Defined out of line so it can name the core's private bookkeeping types.
+struct PartitionServerCore::Snapshot {
+  multicast::MemberCore::State member;
+  sim::ReliableLink::State reliable;
+
+  std::unordered_map<std::uint64_t, CachedReply> reply_cache;
+  ObjectStore store;  // deep-copied on capture AND restore
+  Assignment map;
+  Epoch epoch = 0;
+  std::deque<QueueItem> queue;
+  bool blocked = false;
+  std::deque<ExecCommandPtr> future;
+  std::map<CmdKey, TransferState> transfers;
+  std::map<CmdKey, LendRecord> lends;
+  std::unordered_set<ObjectId> lent_objects;
+  std::unordered_map<VertexId, int> lent_vertex_count;
+  std::set<CmdKey> returns_seen;
+  std::map<CmdKey, sim::Ref<const VarReturn>> early_returns;
+  std::set<CmdKey> sent_transfers;
+  std::set<CmdKey> ssmr_sent;
+  std::map<CmdKey, std::set<PartitionId>> resolved;
+  std::unordered_map<VertexId, PartitionId> awaited;
+  std::unordered_map<VertexId, PartitionId> obligations;
+  std::unordered_set<VertexId> fetch_requested;
+  std::unordered_set<VertexId> fetch_wanted;
+  std::set<std::pair<Epoch, std::uint64_t>> handoffs_seen;
+  std::vector<sim::Ref<const ObjectHandoff>> handoff_buffer;
+  std::map<std::uint64_t, std::int64_t> hint_vertices;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::int64_t> hint_edges;
+  std::uint64_t commands_since_hint = 0;
+  std::uint64_t hint_emissions = 0;
+  std::uint64_t location_updates_emitted = 0;
+  std::map<CmdKey, MoveRecord> dssmr_moves;
+};
+
+/// Carrier for a server snapshot travelling as an InstallSnapshotResp
+/// payload. The snapshot is immutable; receivers deep-copy on install.
+struct ServerSnapshotMsg final : sim::Message {
+  explicit ServerSnapshotMsg(PartitionServerCore::SnapshotPtr s)
+      : state(std::move(s)) {}
+  const char* type_name() const override { return "core.ServerSnapshot"; }
+  std::size_t size_bytes() const override {
+    return 256 + (state ? state->store.total_bytes() : 0);
+  }
+  PartitionServerCore::SnapshotPtr state;
 };
 
 }  // namespace dynastar::core

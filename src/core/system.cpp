@@ -42,7 +42,7 @@ System::System(SystemConfig config, AppFactory app_factory)
   for (std::uint32_t p = 0; p < config_.num_partitions; ++p) {
     for (std::uint32_t r = 0; r < replicas; ++r) {
       auto& node = world_.spawn<ServerNode>(topology_, PartitionId{p}, config_,
-                                            app_factory_(),
+                                            app_factory_,
                                             /*record_metrics=*/r == 0);
       server_nodes_[p].push_back(&node);
     }

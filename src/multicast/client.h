@@ -22,8 +22,33 @@ namespace dynastar::multicast {
 
 class McastClient {
  public:
+  struct OutEntry {
+    McastDataPtr data;
+    std::set<GroupId> unacked;
+  };
+
+  /// Sender state captured into a checkpoint (the env/topology refs stay
+  /// with the owning incarnation). Payloads are immutable shared pointers.
+  struct State {
+    std::uint64_t next_uid = 0;
+    std::map<GroupId, std::uint64_t> seq_per_group;
+    std::map<Uid, OutEntry> outbox;
+  };
+
   McastClient(sim::Env& env, const paxos::Topology& topology)
       : env_(env), topology_(topology) {}
+
+  [[nodiscard]] State capture() const {
+    return State{next_uid_, seq_per_group_, outbox_};
+  }
+
+  /// Restores sender state after a crash; the owner re-drives delivery via
+  /// retransmit_unacked() (receivers dedupe by uid).
+  void restore(const State& s) {
+    next_uid_ = s.next_uid;
+    seq_per_group_ = s.seq_per_group;
+    outbox_ = s.outbox;
+  }
 
   /// Atomically multicasts `payload` to `groups`; returns the message uid.
   Uid amcast(std::vector<GroupId> groups, sim::MessagePtr payload) {
@@ -65,11 +90,6 @@ class McastClient {
   [[nodiscard]] std::size_t unacked() const { return outbox_.size(); }
 
  private:
-  struct OutEntry {
-    McastDataPtr data;
-    std::set<GroupId> unacked;
-  };
-
   void transmit(const OutEntry& entry) {
     auto msg = sim::make_message<McastSend>(entry.data);
     for (GroupId dest : entry.unacked) {

@@ -34,8 +34,38 @@ void MemberCore::start() {
   arm_repair_timer();
 }
 
-void MemberCore::on_recover() {
-  replica_.on_recover();
+MemberCore::State MemberCore::capture_state() const {
+  State s;
+  s.clock = clock_;
+  s.pending = pending_;
+  s.seen = seen_;
+  s.delivered_count = delivered_count_;
+  s.early_proposals = early_proposals_;
+  s.final_submitted = final_submitted_;
+  s.channels = channels_;
+  s.unstarted = unstarted_;
+  s.outbox = outbox_;
+  s.group_sender_seq = group_sender_seq_;
+  s.replica = replica_.checkpoint_state();
+  return s;
+}
+
+void MemberCore::restore_state(const State& s) {
+  clock_ = s.clock;
+  pending_ = s.pending;
+  seen_ = s.seen;
+  delivered_count_ = s.delivered_count;
+  early_proposals_ = s.early_proposals;
+  final_submitted_ = s.final_submitted;
+  channels_ = s.channels;
+  unstarted_ = s.unstarted;
+  outbox_ = s.outbox;
+  group_sender_seq_ = s.group_sender_seq;
+  replica_.restore(s.replica);
+}
+
+void MemberCore::start_recovered() {
+  replica_.start_recovered();
   arm_repair_timer();
 }
 

@@ -29,6 +29,47 @@ class MemberCore {
   /// order.
   using DeliverFn = std::function<void(const McastData&)>;
 
+  struct Pending {
+    McastDataPtr data;
+    Timestamp local_ts = 0;
+    std::map<GroupId, Timestamp> proposals;
+    std::optional<Timestamp> final_ts;
+  };
+
+  struct OutEntry {
+    McastDataPtr data;
+    std::set<GroupId> unacked;  // destination groups not yet heard from
+    SimTime last_tx = 0;
+  };
+
+  // FIFO holdback: per sender, next expected seq and messages waiting.
+  struct SenderChannel {
+    std::uint64_t next_seq = 1;
+    std::map<std::uint64_t, McastDataPtr> held;
+  };
+
+  // McastSends received but not yet seen as Start entries (see unstarted_).
+  struct Unstarted {
+    McastDataPtr data;
+    SimTime since = 0;  // last submission attempt (age-gates resubmits)
+  };
+
+  /// The complete multicast protocol state captured into a checkpoint. Plain
+  /// value copies; McastData payloads are immutable and shared by pointer.
+  struct State {
+    Timestamp clock = 0;
+    std::unordered_map<Uid, Pending> pending;
+    std::unordered_map<Uid, Timestamp> seen;
+    std::uint64_t delivered_count = 0;
+    std::unordered_map<Uid, std::map<GroupId, Timestamp>> early_proposals;
+    std::unordered_set<Uid> final_submitted;
+    std::unordered_map<std::uint64_t, SenderChannel> channels;
+    std::map<Uid, Unstarted> unstarted;
+    std::vector<OutEntry> outbox;
+    std::map<GroupId, std::uint64_t> group_sender_seq;
+    paxos::ReplicaRestart replica;
+  };
+
   MemberCore(sim::Env& env, const paxos::Topology& topology, GroupId group,
              paxos::ReplicaConfig paxos_config = {});
 
@@ -43,10 +84,17 @@ class MemberCore {
 
   void start();
 
-  /// Re-arms timers after a crash/recover cycle (the previous incarnation's
-  /// timers never fire). Retained protocol state is repaired by the normal
-  /// retransmission paths.
-  void on_recover();
+  /// Captures/restores the full multicast + Paxos-position state for
+  /// checkpoints. restore_state() leaves timers untouched; pair it with
+  /// start_recovered() when rejoining after a crash.
+  [[nodiscard]] State capture_state() const;
+  void restore_state(const State& s);
+
+  /// Rejoins the group after restore_state(): re-arms the repair timer and
+  /// the replica's follower liveness (the previous incarnation's timers
+  /// never fire). Restored in-flight coordination is re-driven by the
+  /// repair timer and on_gain_leadership.
+  void start_recovered();
 
   /// Handles Paxos and multicast messages; returns false for anything else
   /// (application messages the caller should dispatch itself). A McastAck
@@ -64,22 +112,10 @@ class MemberCore {
   [[nodiscard]] GroupId group() const { return group_; }
   [[nodiscard]] bool is_leader() const { return replica_.is_leader(); }
   paxos::ReplicaCore& replica() { return replica_; }
+  [[nodiscard]] const paxos::ReplicaCore& replica() const { return replica_; }
   [[nodiscard]] std::uint64_t delivered_count() const { return delivered_count_; }
 
  private:
-  struct Pending {
-    McastDataPtr data;
-    Timestamp local_ts = 0;
-    std::map<GroupId, Timestamp> proposals;
-    std::optional<Timestamp> final_ts;
-  };
-
-  struct OutEntry {
-    McastDataPtr data;
-    std::set<GroupId> unacked;  // destination groups not yet heard from
-    SimTime last_tx = 0;
-  };
-
   void on_log_entry(const sim::MessagePtr& value);
   void process_start(const McastDataPtr& data);
   void process_final(Uid uid, Timestamp ts);
@@ -115,20 +151,11 @@ class MemberCore {
   // Finals already submitted (leader-side dedupe; log-side dedupe also holds).
   std::unordered_set<Uid> final_submitted_;
 
-  // FIFO holdback: per sender, next expected seq and messages waiting.
-  struct SenderChannel {
-    std::uint64_t next_seq = 1;
-    std::map<std::uint64_t, McastDataPtr> held;
-  };
   std::unordered_map<std::uint64_t, SenderChannel> channels_;
 
   // McastSends received but not yet seen as Start entries; every replica
   // retains (and periodically re-submits) them until started, so a send that
   // reached only a follower — or whose leader died — still gets ordered.
-  struct Unstarted {
-    McastDataPtr data;
-    SimTime since = 0;  // last submission attempt (age-gates resubmits)
-  };
   std::map<Uid, Unstarted> unstarted_;
 
   // Group-sender outbox: multicasts this group emitted (deterministically).

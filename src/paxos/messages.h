@@ -102,12 +102,16 @@ struct Decision final : sim::Message {
 };
 
 /// Leader -> replicas: liveness heartbeat (suppresses elections).
+/// `floor_slot` advertises the leader's log floor: slots below it have been
+/// truncated and can only be recovered via snapshot transfer.
 struct Heartbeat final : sim::Message {
-  Heartbeat(GroupId g, Ballot b, Slot next) : group(g), ballot(b), next_slot(next) {}
+  Heartbeat(GroupId g, Ballot b, Slot next, Slot floor)
+      : group(g), ballot(b), next_slot(next), floor_slot(floor) {}
   const char* type_name() const override { return "paxos.Heartbeat"; }
   GroupId group;
   Ballot ballot;
   Slot next_slot;
+  Slot floor_slot;
 };
 
 /// Lagging replica -> leader: resend decisions starting at from_slot.
@@ -116,6 +120,31 @@ struct CatchupReq final : sim::Message {
   const char* type_name() const override { return "paxos.CatchupReq"; }
   GroupId group;
   Slot from_slot;
+};
+
+/// Lagging replica -> leader: my gap starts below your log floor; send a
+/// full snapshot instead of decisions.
+struct InstallSnapshotReq final : sim::Message {
+  InstallSnapshotReq(GroupId g, Slot have) : group(g), have_slot(have) {}
+  const char* type_name() const override { return "paxos.InstallSnapshotReq"; }
+  GroupId group;
+  Slot have_slot;
+};
+
+/// Leader -> lagging replica: an opaque application snapshot covering every
+/// slot below `next_slot`. The payload is produced by the upper layer's
+/// snapshot provider and installed by its snapshot installer; Paxos itself
+/// only transports it.
+struct InstallSnapshotResp final : sim::Message {
+  InstallSnapshotResp(GroupId g, Slot next, sim::MessagePtr st)
+      : group(g), next_slot(next), state(std::move(st)) {}
+  const char* type_name() const override { return "paxos.InstallSnapshotResp"; }
+  std::size_t size_bytes() const override {
+    return 64 + (state ? state->size_bytes() : 0);
+  }
+  GroupId group;
+  Slot next_slot;
+  sim::MessagePtr state;
 };
 
 /// Values proposed by the leader are batches of submitted values; the

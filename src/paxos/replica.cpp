@@ -7,13 +7,6 @@
 
 namespace dynastar::paxos {
 
-namespace {
-/// Applied log entries retained for serving CatchupReq. Sized so a replica
-/// that was crashed for a full chaos-injector downtime window can still
-/// catch up from a peer's log instead of wedging.
-constexpr Slot kCatchupWindow = 16384;
-}  // namespace
-
 ReplicaCore::ReplicaCore(sim::Env& env, const Topology& topology, GroupId group,
                          ReplicaConfig config)
     : env_(env), topology_(topology), group_(group), config_(config) {
@@ -85,20 +78,36 @@ void ReplicaCore::arm_stash_retry() {
   });
 }
 
-void ReplicaCore::on_recover() {
-  // The previous incarnation's timers are gone; clear every "timer armed"
-  // latch and restart liveness from follower (or re-contest leadership via
-  // the normal election path if we still own the highest ballot we saw).
-  catchup_pending_ = false;
+void ReplicaCore::restore(const ReplicaRestart& s) {
+  state_ = State::kFollower;
+  ballot_ = s.ballot;
+  promises_.clear();
+  recovered_.clear();
+  in_flight_.clear();
+  next_slot_ = 0;
+  batch_.clear();
   flush_scheduled_ = false;
+  log_.clear();
+  next_deliver_slot_ = s.next_deliver_slot;
+  next_seq_ = s.next_seq;
+  floor_slot_ = s.next_deliver_slot;
+  last_checkpoint_slot_ = s.last_checkpoint_slot;
+  last_leader_contact_ = env_.now();
+  catchup_pending_ = false;
+  stashed_.clear();
   stash_retry_armed_ = false;
-  if (state_ != State::kFollower) {
-    step_down(ballot_);
-  } else {
-    last_leader_contact_ = env_.now();
-    arm_election_timer();
+}
+
+void ReplicaCore::start_recovered() {
+  last_leader_contact_ = env_.now();
+  arm_election_timer();
+  // Pull the missing suffix without waiting for the next heartbeat. If the
+  // gap starts below the peer's log floor, its on_catchup answers with a
+  // snapshot instead of decisions.
+  if (leader_hint() != env_.self()) {
+    env_.send_message(leader_hint(),
+                      sim::make_message<CatchupReq>(group_, next_deliver_slot_));
   }
-  if (!stashed_.empty()) arm_stash_retry();
 }
 
 bool ReplicaCore::handle(ProcessId from, const sim::MessagePtr& msg) {
@@ -134,6 +143,16 @@ bool ReplicaCore::handle(ProcessId from, const sim::MessagePtr& msg) {
   if (auto* p = dynamic_cast<const CatchupReq*>(msg.get())) {
     if (p->group != group_) return false;
     on_catchup(from, *p);
+    return true;
+  }
+  if (auto* p = dynamic_cast<const InstallSnapshotReq*>(msg.get())) {
+    if (p->group != group_) return false;
+    on_install_req(from, *p);
+    return true;
+  }
+  if (auto* p = dynamic_cast<const InstallSnapshotResp*>(msg.get())) {
+    if (p->group != group_) return false;
+    on_install_resp(*p);
     return true;
   }
   return false;
@@ -295,22 +314,38 @@ void ReplicaCore::try_deliver() {
       ++next_seq_;
     }
     ++next_deliver_slot_;
+    // Deterministic checkpoint cadence: every upper-layer mutation from the
+    // slots below next_deliver_slot_ has fully applied (delivery is
+    // synchronous), so the captured state sits exactly at a slot boundary.
+    if (config_.checkpoint_interval > 0 &&
+        next_deliver_slot_ % config_.checkpoint_interval == 0) {
+      take_checkpoint();
+    }
   }
-  // Trim the applied prefix, keeping a window for peer catch-up. A replica
-  // that lags further than the window re-learns via phase-1 recovery from
-  // the acceptors (equivalent to snapshot transfer in a real deployment).
-  if (next_deliver_slot_ > kCatchupWindow) {
-    const Slot cutoff = next_deliver_slot_ - kCatchupWindow;
+  // Trim the applied prefix. Everything below the last checkpoint is
+  // recoverable from the snapshot, so only the window beyond it needs to be
+  // retained for peer catch-up; a replica that lags below the floor pulls a
+  // snapshot via InstallSnapshotReq.
+  Slot cutoff = last_checkpoint_slot_;
+  if (config_.catchup_window > 0 && next_deliver_slot_ > config_.catchup_window)
+    cutoff = std::max(cutoff, next_deliver_slot_ - config_.catchup_window);
+  if (cutoff > floor_slot_) {
     log_.erase(log_.begin(), log_.lower_bound(cutoff));
+    floor_slot_ = cutoff;
   }
+}
+
+void ReplicaCore::take_checkpoint() {
+  last_checkpoint_slot_ = next_deliver_slot_;
+  if (checkpoint_hook_) checkpoint_hook_();
 }
 
 void ReplicaCore::arm_heartbeat_timer() {
   if (state_ != State::kLeading) return;
   for (ProcessId replica : topology_.group(group_).replicas) {
     if (replica == env_.self()) continue;
-    env_.send_message(replica,
-                      sim::make_message<Heartbeat>(group_, ballot_, next_slot_));
+    env_.send_message(replica, sim::make_message<Heartbeat>(
+                                   group_, ballot_, next_slot_, floor_slot_));
   }
   // Retransmit phase-2 messages for slots that have not gathered a quorum
   // within a heartbeat period (lost Accepts would otherwise stall the slot
@@ -338,25 +373,59 @@ void ReplicaCore::on_heartbeat(const Heartbeat& msg) {
     if (state_ != State::kFollower) state_ = State::kFollower;
   }
   last_leader_contact_ = env_.now();
-  maybe_request_catchup(msg.next_slot);
+  maybe_request_catchup(msg.next_slot, msg.floor_slot);
 }
 
-void ReplicaCore::maybe_request_catchup(Slot leader_next) {
+void ReplicaCore::maybe_request_catchup(Slot leader_next, Slot leader_floor) {
   if (next_deliver_slot_ >= leader_next || catchup_pending_) return;
   catchup_pending_ = true;
-  env_.start_timer(config_.catchup_delay, [this] {
+  const bool below_floor = next_deliver_slot_ < leader_floor;
+  env_.start_timer(config_.catchup_delay, [this, below_floor] {
     catchup_pending_ = false;
     if (state_ == State::kLeading) return;
-    env_.send_message(leader_hint(),
-                      sim::make_message<CatchupReq>(group_, next_deliver_slot_));
+    if (below_floor && snapshot_installer_) {
+      env_.send_message(leader_hint(), sim::make_message<InstallSnapshotReq>(
+                                           group_, next_deliver_slot_));
+    } else {
+      env_.send_message(
+          leader_hint(), sim::make_message<CatchupReq>(group_, next_deliver_slot_));
+    }
   });
 }
 
 void ReplicaCore::on_catchup(ProcessId from, const CatchupReq& msg) {
+  if (msg.from_slot < floor_slot_ && snapshot_provider_) {
+    // The requested prefix is gone; a snapshot covers it in one shot.
+    maybe_send_snapshot(from, msg.from_slot);
+    return;
+  }
   for (auto it = log_.lower_bound(msg.from_slot); it != log_.end(); ++it) {
     env_.send_message(from,
                       sim::make_message<Decision>(group_, it->first, it->second));
   }
+}
+
+void ReplicaCore::on_install_req(ProcessId from, const InstallSnapshotReq& msg) {
+  maybe_send_snapshot(from, msg.have_slot);
+}
+
+void ReplicaCore::maybe_send_snapshot(ProcessId to, Slot have_slot) {
+  if (!snapshot_provider_ || next_deliver_slot_ <= have_slot) return;
+  env_.send_message(to, sim::make_message<InstallSnapshotResp>(
+                            group_, next_deliver_slot_, snapshot_provider_()));
+}
+
+void ReplicaCore::on_install_resp(const InstallSnapshotResp& msg) {
+  // Stale or self-defeating installs are ignored: a leader never rolls its
+  // own state back, and a snapshot at or below our position adds nothing.
+  if (!snapshot_installer_ || state_ == State::kLeading) return;
+  if (msg.next_slot <= next_deliver_slot_) return;
+  if (!snapshot_installer_(msg.state)) return;
+  // The installer restored every layer, including our position (restore()),
+  // so next_deliver_slot_ == msg.next_slot here. Persist the installed state
+  // as the new durable checkpoint, then resume normal delivery.
+  take_checkpoint();
+  try_deliver();
 }
 
 void ReplicaCore::arm_election_timer() {

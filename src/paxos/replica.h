@@ -32,6 +32,25 @@ struct ReplicaConfig {
   SimTime phase1_timeout = milliseconds(50);
   /// Follower delay before requesting missing decisions from the leader.
   SimTime catchup_delay = milliseconds(10);
+  /// Applied log entries retained for serving CatchupReq beyond the last
+  /// checkpoint. A replica whose gap starts below a peer's retained log
+  /// pulls a full snapshot via InstallSnapshotReq instead of wedging.
+  Slot catchup_window = 16384;
+  /// Take an application checkpoint every this many applied slots (0
+  /// disables). The applied log is truncated up to the last checkpoint, so
+  /// log memory is bounded by max(checkpoint_interval, catchup_window)
+  /// retained entries once checkpoints start landing.
+  Slot checkpoint_interval = 4096;
+};
+
+/// The Paxos-level position captured in a checkpoint and restored on
+/// recovery: everything a replica needs to resume learning after its
+/// volatile state (log suffix, proposer bookkeeping) is discarded.
+struct ReplicaRestart {
+  Slot next_deliver_slot = 0;
+  std::uint64_t next_seq = 0;
+  Ballot ballot = 0;
+  Slot last_checkpoint_slot = 0;
 };
 
 class ReplicaCore {
@@ -54,13 +73,46 @@ class ReplicaCore {
   /// may have dropped.
   void set_on_lead(std::function<void()> fn) { on_lead_ = std::move(fn); }
 
+  /// Invoked right after the replica crosses a checkpoint boundary
+  /// (`last_checkpoint_slot()` is already advanced); the upper layer
+  /// captures its durable checkpoint synchronously. The hook must not
+  /// consume CPU, RNG draws, or timers.
+  void set_checkpoint_hook(std::function<void()> fn) {
+    checkpoint_hook_ = std::move(fn);
+  }
+
+  /// Produces an opaque snapshot of the upper layer's current state, shipped
+  /// to peers whose catch-up gap starts below our log floor.
+  void set_snapshot_provider(std::function<sim::MessagePtr()> fn) {
+    snapshot_provider_ = std::move(fn);
+  }
+
+  /// Installs a peer snapshot; must restore every layer including this
+  /// replica's position (via restore()). Returns false to reject a payload
+  /// it does not recognise.
+  void set_snapshot_installer(std::function<bool(const sim::MessagePtr&)> fn) {
+    snapshot_installer_ = std::move(fn);
+  }
+
   /// Starts timers; leader bootstrap for replica index 0.
   void start();
 
-  /// Re-establishes liveness after a crash/recover cycle: the previous
-  /// incarnation's timers never fire, so elections/batching/catchup must be
-  /// re-armed. Durable protocol state (ballot, log) is retained.
-  void on_recover();
+  /// Resets all volatile state to a checkpointed position. The applied log,
+  /// proposer bookkeeping, and stashed values are dropped; the suffix above
+  /// `s.next_deliver_slot` is re-learned via catch-up or snapshot install.
+  void restore(const ReplicaRestart& s);
+
+  /// Captures the Paxos-level position for a checkpoint.
+  [[nodiscard]] ReplicaRestart checkpoint_state() const {
+    return ReplicaRestart{next_deliver_slot_, next_seq_, ballot_,
+                          last_checkpoint_slot_};
+  }
+
+  /// Rejoins the group after restore(): arms liveness timers as a follower
+  /// and proactively asks the presumptive leader for the missing suffix.
+  /// Unlike start(), never bootstraps phase 1 immediately — a recovered
+  /// bootstrap replica must not duel the established leader.
+  void start_recovered();
 
   /// Submits a value for total ordering within this group. May be called by
   /// the co-located upper layer at any time.
@@ -75,6 +127,14 @@ class ReplicaCore {
   [[nodiscard]] ProcessId leader_hint() const;
   [[nodiscard]] std::uint64_t delivered_count() const { return next_seq_; }
   [[nodiscard]] GroupId group() const { return group_; }
+  [[nodiscard]] Slot next_deliver_slot() const { return next_deliver_slot_; }
+  /// Slots below this have been truncated from the applied log.
+  [[nodiscard]] Slot floor_slot() const { return floor_slot_; }
+  [[nodiscard]] Slot last_checkpoint_slot() const {
+    return last_checkpoint_slot_;
+  }
+  /// Retained applied-log entries (bounded-memory assertion hook).
+  [[nodiscard]] std::size_t applied_log_size() const { return log_.size(); }
 
  private:
   enum class State { kFollower, kPhase1, kLeading };
@@ -86,6 +146,10 @@ class ReplicaCore {
   void on_decision(const Decision& msg);
   void on_heartbeat(const Heartbeat& msg);
   void on_catchup(ProcessId from, const CatchupReq& msg);
+  void on_install_req(ProcessId from, const InstallSnapshotReq& msg);
+  void on_install_resp(const InstallSnapshotResp& msg);
+  void maybe_send_snapshot(ProcessId to, Slot have_slot);
+  void take_checkpoint();
 
   void start_phase1();
   void become_leader();
@@ -97,7 +161,7 @@ class ReplicaCore {
   void arm_election_timer();
   void arm_heartbeat_timer();
   void arm_stash_retry();
-  void maybe_request_catchup(Slot leader_next);
+  void maybe_request_catchup(Slot leader_next, Slot leader_floor);
   [[nodiscard]] Ballot next_owned_ballot(Ballot at_least) const;
   [[nodiscard]] std::size_t my_index() const { return my_index_; }
 
@@ -108,6 +172,9 @@ class ReplicaCore {
   DeliverFn deliver_;
   TraceCollector* trace_ = nullptr;
   std::function<void()> on_lead_;
+  std::function<void()> checkpoint_hook_;
+  std::function<sim::MessagePtr()> snapshot_provider_;
+  std::function<bool(const sim::MessagePtr&)> snapshot_installer_;
   std::size_t my_index_ = 0;
 
   State state_ = State::kFollower;
@@ -129,10 +196,13 @@ class ReplicaCore {
   std::vector<sim::MessagePtr> batch_;
   bool flush_scheduled_ = false;
 
-  // Learner state.
+  // Learner state. `floor_slot_` is the lowest slot still in log_; slots
+  // below it are only recoverable via snapshot transfer.
   std::map<Slot, sim::MessagePtr> log_;
   Slot next_deliver_slot_ = 0;
   std::uint64_t next_seq_ = 0;
+  Slot floor_slot_ = 0;
+  Slot last_checkpoint_slot_ = 0;
 
   // Liveness.
   SimTime last_leader_contact_ = 0;

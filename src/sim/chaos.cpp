@@ -29,21 +29,23 @@ void ChaosInjector::record(SimTime at, std::string what) {
 }
 
 void ChaosInjector::schedule_crashes() {
-  if (config_.crash_groups.empty() || config_.crash_events == 0) return;
+  if (config_.crash_groups.empty()) return;
+  if (config_.crash_events == 0 && config_.long_crash_events == 0) return;
   // Per-group "next free time": a group's windows never overlap, so at most
-  // one member of any replica group is down at once.
+  // one member of any replica group is down at once. Shared between the
+  // short- and long-downtime programs.
   std::vector<SimTime> free_at(config_.crash_groups.size(), config_.start);
-  for (std::size_t e = 0; e < config_.crash_events; ++e) {
+  const auto one_crash = [&](SimTime min_downtime, SimTime max_downtime) {
     const std::size_t g = static_cast<std::size_t>(
         rng_.uniform(0, config_.crash_groups.size() - 1));
     const auto& members = config_.crash_groups[g];
-    if (members.empty()) continue;
+    if (members.empty()) return;
     const ProcessId victim =
         members[static_cast<std::size_t>(rng_.uniform(0, members.size() - 1))];
     const SimTime downtime = static_cast<SimTime>(
-        rng_.uniform(static_cast<std::uint64_t>(config_.min_downtime),
-                     static_cast<std::uint64_t>(config_.max_downtime)));
-    SimTime at = random_time_in_horizon(config_.max_downtime);
+        rng_.uniform(static_cast<std::uint64_t>(min_downtime),
+                     static_cast<std::uint64_t>(max_downtime)));
+    SimTime at = random_time_in_horizon(max_downtime);
     at = std::max(at, free_at[g]);
     free_at[g] = at + downtime + milliseconds(100);
 
@@ -60,7 +62,11 @@ void ChaosInjector::schedule_crashes() {
       record(up_at, what.str());
       world_.recover(victim);
     });
-  }
+  };
+  for (std::size_t e = 0; e < config_.crash_events; ++e)
+    one_crash(config_.min_downtime, config_.max_downtime);
+  for (std::size_t e = 0; e < config_.long_crash_events; ++e)
+    one_crash(config_.long_min_downtime, config_.long_max_downtime);
 }
 
 void ChaosInjector::schedule_link_cuts() {

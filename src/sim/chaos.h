@@ -36,6 +36,15 @@ struct ChaosConfig {
   SimTime min_downtime = milliseconds(300);
   SimTime max_downtime = milliseconds(900);
 
+  /// Additional crash events with an independent (typically much longer)
+  /// downtime range — long enough that the victim's gap outruns its peers'
+  /// retained logs, forcing a snapshot install on recovery. Scheduled from
+  /// the same per-group occupancy as the regular crashes, so the
+  /// one-member-down-per-group invariant still holds.
+  std::size_t long_crash_events = 0;
+  SimTime long_min_downtime = seconds(2);
+  SimTime long_max_downtime = seconds(4);
+
   /// Pool of processes between which directed links may be cut and healed.
   std::vector<ProcessId> link_pool;
   std::size_t link_cut_events = 0;

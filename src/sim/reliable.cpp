@@ -6,62 +6,166 @@ namespace {
 // Retransmission cadence and budget. The interval is well above one network
 // round-trip (hundreds of microseconds), so in a loss-free run a message is
 // acked long before the first retry fires. ~5 simulated seconds of retries
-// outlives every crash window the chaos injector schedules.
+// outlives every crash window the chaos injector schedules; a peer that
+// stays down longer revives the buffer with a ResendReq when it returns.
 constexpr SimTime kRetryInterval = milliseconds(100);
 constexpr std::uint32_t kMaxTries = 50;
 }  // namespace
 
-void ReliableLink::send(ProcessId to, MessagePtr msg) {
-  const std::uint64_t token =
-      (env_.self().value() << 20) ^ ++next_token_;
+std::uint64_t ReliableLink::new_token() {
+  // Tokens must never collide across incarnations of the same process: a
+  // pre-crash message still in flight could otherwise ack a fresh entry
+  // that happens to reuse its token. The epoch (bumped on restore) salts
+  // the counter out of the old incarnation's token space.
+  return (epoch_ << 48) ^ (env_.self().value() << 20) ^ ++next_token_;
+}
+
+void ReliableLink::enqueue(ProcessId to, MessagePtr msg, bool control) {
+  const std::uint64_t token = new_token();
   MessagePtr wrapped = make_message<ReliableMsg>(token, std::move(msg));
   env_.send_message(to, wrapped);
-  pending_[token] = Pending{to, std::move(wrapped), env_.now(), 1};
+  Entry e;
+  e.to = to;
+  e.wrapped = std::move(wrapped);
+  e.last_tx = env_.now();
+  e.tries = 1;
+  e.control = control;
+  pending_.emplace(token, std::move(e));
   maybe_arm();
+}
+
+void ReliableLink::send(ProcessId to, MessagePtr msg) {
+  enqueue(to, std::move(msg), /*control=*/false);
 }
 
 bool ReliableLink::handle(ProcessId from, const MessagePtr& msg,
                           MessagePtr* inner) {
   if (inner != nullptr) *inner = nullptr;
   if (const auto* ack = dynamic_cast<const ReliableAck*>(msg.get())) {
-    pending_.erase(ack->token);
+    auto it = pending_.find(ack->token);
+    if (it != pending_.end()) {
+      if (it->second.control) {
+        pending_.erase(it);
+      } else if (!it->second.acked) {
+        it->second.acked = true;
+        it->second.acked_at = env_.now();
+      }
+    }
     return true;
   }
   if (const auto* wrapped = dynamic_cast<const ReliableMsg*>(msg.get())) {
     env_.send_message(from, make_message<ReliableAck>(wrapped->token));
+    if (dynamic_cast<const ResendReq*>(wrapped->inner.get()) != nullptr) {
+      redrive(from);
+      return true;
+    }
     if (inner != nullptr) *inner = wrapped->inner;
+    return true;
+  }
+  if (const auto* stable = dynamic_cast<const StableNotice*>(msg.get())) {
+    // An ack that arrived strictly before the peer's checkpoint capture
+    // implies the delivery happened before the capture, so the checkpoint
+    // covers it and the entry can never be needed again.
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      const Entry& e = it->second;
+      if (e.to == from && e.acked && !e.control &&
+          e.acked_at < stable->capture_time) {
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
     return true;
   }
   return false;
 }
 
-void ReliableLink::on_recover() {
-  armed_ = false;
+void ReliableLink::redrive(ProcessId peer) {
+  // The peer rolled back to its checkpoint; everything we retain for it may
+  // have been lost. Re-send the lot (its restored dedup state suppresses
+  // true duplicates) and restart the retry budget.
+  const SimTime now = env_.now();
+  for (auto& [token, e] : pending_) {
+    if (e.to != peer || e.control) continue;
+    e.acked = false;
+    e.tries = 1;
+    e.last_tx = now;
+    env_.send_message(e.to, e.wrapped);
+  }
   maybe_arm();
 }
 
+ReliableLink::State ReliableLink::capture() const {
+  State s;
+  for (const auto& [token, e] : pending_)
+    if (!e.control) s.pending.emplace(token, e);
+  s.next_token = next_token_;
+  s.epoch = epoch_;
+  return s;
+}
+
+void ReliableLink::restore(const State& s, const std::vector<ProcessId>& peers) {
+  pending_ = s.pending;
+  next_token_ = s.next_token;
+  epoch_ = s.epoch + 1;
+  armed_ = false;
+  // Anything acked after the checkpoint looks unacked again — that is the
+  // point: the ack bookkeeping died with the heap, so re-send everything
+  // and let acks re-accumulate. Tokens are unchanged (same content), so a
+  // stale ack from a pre-crash copy still lands correctly.
+  const SimTime now = env_.now();
+  for (auto& [token, e] : pending_) {
+    e.acked = false;
+    e.tries = 1;
+    e.last_tx = now;
+    env_.send_message(e.to, e.wrapped);
+  }
+  for (ProcessId peer : peers) {
+    if (peer == env_.self()) continue;
+    enqueue(peer, make_message<ResendReq>(), /*control=*/true);
+  }
+  maybe_arm();
+}
+
+void ReliableLink::note_checkpoint(SimTime capture_time,
+                                   const std::vector<ProcessId>& peers) {
+  for (ProcessId peer : peers) {
+    if (peer == env_.self()) continue;
+    // Raw send: a lost notice only delays pruning until the next checkpoint.
+    env_.send_message(peer, make_message<StableNotice>(capture_time));
+  }
+}
+
+std::size_t ReliableLink::unacked() const {
+  std::size_t n = 0;
+  for (const auto& [token, e] : pending_)
+    if (!e.acked) ++n;
+  return n;
+}
+
 void ReliableLink::maybe_arm() {
-  if (armed_ || pending_.empty()) return;
-  armed_ = true;
-  env_.start_timer(kRetryInterval, [this] { on_timer(); });
+  if (armed_) return;
+  for (const auto& [token, e] : pending_) {
+    if (!e.acked && e.tries < kMaxTries) {
+      armed_ = true;
+      env_.start_timer(kRetryInterval, [this] { on_timer(); });
+      return;
+    }
+  }
 }
 
 void ReliableLink::on_timer() {
   armed_ = false;
   const SimTime now = env_.now();
-  for (auto it = pending_.begin(); it != pending_.end();) {
-    auto& p = it->second;
-    if (now - p.last_tx >= kRetryInterval) {
-      if (p.tries >= kMaxTries) {
-        // Peer presumed permanently dead; drop rather than retry forever.
-        it = pending_.erase(it);
-        continue;
-      }
-      ++p.tries;
-      p.last_tx = now;
-      env_.send_message(p.to, p.wrapped);
+  for (auto& [token, e] : pending_) {
+    if (e.acked || e.tries >= kMaxTries) continue;
+    if (now - e.last_tx >= kRetryInterval) {
+      // Budget exhaustion keeps the entry (silent while the peer is
+      // presumed dead); its ResendReq on recovery resets the budget.
+      ++e.tries;
+      e.last_tx = now;
+      env_.send_message(e.to, e.wrapped);
     }
-    ++it;
   }
   maybe_arm();
 }

@@ -1,22 +1,38 @@
-// ReliableLink: ack + retransmit for point-to-point protocol messages.
+// ReliableLink: ack + retransmit for point-to-point protocol messages, with
+// crash-recovery support.
 //
 // The simulated network may drop messages; most protocol layers already
 // repair their own traffic (Paxos retries phase 2, the multicast repair
 // timer re-drives coordination), but the direct server-to-server messages
 // (variable transfers/returns, plan handoffs, abort notices) have no
 // retransmission path of their own — a single lost transfer would block a
-// partition's queue head forever. ReliableLink wraps such messages with a
-// per-sender token, acks on receipt, and retransmits unacked messages until
-// they are acked or a retry budget runs out (the peer is presumed dead; its
-// replica group peer holds a copy of every such message anyway).
+// partition's queue head forever.
 //
-// Receivers must be idempotent under duplicates: a retransmission whose ack
-// was lost is delivered twice. All wrapped DynaStar messages already dedupe
-// at the protocol level.
+// v1 semantics (retransmit until acked) are not enough once receivers can
+// lose state: a message acked by an incarnation that later crashes and rolls
+// back to a checkpoint taken BEFORE the delivery is gone on both sides. So:
+//
+//  - An ack only stops retransmission. The entry is RETAINED until the
+//    receiver's durable checkpoint provably covers the delivery: the
+//    receiver broadcasts a StableNotice carrying its checkpoint capture
+//    time, and the sender prunes entries whose ack arrived strictly before
+//    that time (ack receipt at t_a implies delivery at some t <= t_a).
+//  - On recovery, the restored receiver sends a ResendReq to every potential
+//    peer; each peer re-drives its full retained buffer for that receiver.
+//    ResendReq itself travels through the link (acked + retransmitted).
+//  - On recovery, the restored sender re-sends every retained entry — its
+//    own ack bookkeeping above the checkpoint is gone too.
+//  - A retry-budget exhaustion (peer presumed dead) stops retransmission
+//    but keeps the entry: the peer's eventual ResendReq revives it.
+//
+// Receivers must be idempotent under duplicates: recovery re-drives entire
+// buffers. All wrapped DynaStar messages already dedupe at the protocol
+// level, and that dedup state is part of the application checkpoint.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <vector>
 
 #include "common/ids.h"
 #include "sim/env.h"
@@ -41,38 +57,81 @@ struct ReliableAck final : Message {
   std::uint64_t token;
 };
 
+/// Recovered receiver -> peer: re-send everything you retain for me.
+/// Travels through the link itself (wrapped, acked, retransmitted).
+struct ResendReq final : Message {
+  const char* type_name() const override { return "sim.ResendReq"; }
+};
+
+/// Checkpointing receiver -> peers: my durable checkpoint was captured at
+/// `capture_time`; deliveries before it can never be rolled back.
+struct StableNotice final : Message {
+  explicit StableNotice(SimTime t) : capture_time(t) {}
+  const char* type_name() const override { return "sim.StableNotice"; }
+  SimTime capture_time;
+};
+
 class ReliableLink {
  public:
-  explicit ReliableLink(Env& env) : env_(env) {}
-
-  /// Sends `msg` to `to`, retransmitting until acked (or retries exhaust).
-  void send(ProcessId to, MessagePtr msg);
-
-  /// Consumes ReliableMsg/ReliableAck. For a ReliableMsg, acks the sender
-  /// and surfaces the payload via `*inner` for the caller to dispatch.
-  /// Returns false (and leaves `*inner` null) for any other message type.
-  bool handle(ProcessId from, const MessagePtr& msg, MessagePtr* inner);
-
-  /// Re-arms the retransmission timer after a crash/recover cycle (timers of
-  /// the previous incarnation never fire; pending sends are retained).
-  void on_recover();
-
-  [[nodiscard]] std::size_t unacked() const { return pending_.size(); }
-
- private:
-  struct Pending {
+  struct Entry {
     ProcessId to{0};
     MessagePtr wrapped;
     SimTime last_tx = 0;
     std::uint32_t tries = 0;
+    bool acked = false;
+    SimTime acked_at = 0;
+    bool control = false;  // link-internal (ResendReq); dropped on ack
   };
 
+  /// Sender-side state captured into a checkpoint. Control entries are
+  /// excluded (they are incarnation-local).
+  struct State {
+    std::map<std::uint64_t, Entry> pending;
+    std::uint64_t next_token = 0;
+    std::uint64_t epoch = 0;
+  };
+
+  explicit ReliableLink(Env& env) : env_(env) {}
+
+  /// Sends `msg` to `to`, retransmitting until acked; the entry is retained
+  /// past the ack until the receiver's checkpoint covers it.
+  void send(ProcessId to, MessagePtr msg);
+
+  /// Consumes ReliableMsg/ReliableAck/StableNotice (and link-internal
+  /// ResendReqs). For an application ReliableMsg, acks the sender and
+  /// surfaces the payload via `*inner` for the caller to dispatch. Returns
+  /// false (and leaves `*inner` null) for any other message type.
+  bool handle(ProcessId from, const MessagePtr& msg, MessagePtr* inner);
+
+  /// Captures retained sends for the owner's checkpoint.
+  [[nodiscard]] State capture() const;
+
+  /// Restores after a crash: re-sends every retained entry under a fresh
+  /// token epoch (acks above the checkpoint were lost with the heap) and
+  /// asks every potential peer to re-drive its buffer for us.
+  void restore(const State& s, const std::vector<ProcessId>& peers);
+
+  /// Announces a durable checkpoint captured at `capture_time` so peers can
+  /// prune entries this checkpoint covers.
+  void note_checkpoint(SimTime capture_time,
+                       const std::vector<ProcessId>& peers);
+
+  /// Entries still awaiting an ack (excludes acked-but-retained ones).
+  [[nodiscard]] std::size_t unacked() const;
+  /// Total retained entries, acked or not.
+  [[nodiscard]] std::size_t retained() const { return pending_.size(); }
+
+ private:
+  void enqueue(ProcessId to, MessagePtr msg, bool control);
+  void redrive(ProcessId peer);
   void maybe_arm();
   void on_timer();
+  [[nodiscard]] std::uint64_t new_token();
 
   Env& env_;
-  std::map<std::uint64_t, Pending> pending_;  // token -> in-flight send
+  std::map<std::uint64_t, Entry> pending_;  // token -> retained send
   std::uint64_t next_token_ = 0;
+  std::uint64_t epoch_ = 0;  // bumped per incarnation; salts tokens
   bool armed_ = false;
 };
 

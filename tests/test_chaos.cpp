@@ -185,6 +185,124 @@ TEST(Chaos, DifferentSeedGivesDifferentSchedule) {
   EXPECT_NE(a.fingerprint, b.fingerprint);
 }
 
+// Long-downtime variant: shrink the catch-up window and checkpoint interval
+// so a multi-second crash leaves the victim's gap strictly below its peers'
+// log floor — recovery then REQUIRES a snapshot install (plain replay would
+// wedge). Same liveness/safety/determinism bar as the short-crash scenario.
+ChaosRun run_long_downtime_scenario(std::uint64_t system_seed,
+                                    std::uint64_t chaos_seed) {
+  auto config = testutil::config_for(core::ExecutionMode::kDynaStar, 3);
+  config.seed = system_seed;
+  config.network.drop_probability = 0.01;
+  config.network.duplicate_probability = 0.01;
+  config.client_timeout_base = milliseconds(300);
+  config.client_timeout_jitter = milliseconds(20);
+  config.client_timeout_cap = seconds(2);
+  config.client_max_attempts = 0;  // retry forever: liveness is the property
+  config.paxos.checkpoint_interval = 32;
+  config.paxos.catchup_window = 8;
+
+  core::System system(config, workloads::kv_app_factory());
+  core::Assignment assignment;
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    const PartitionId p{k % config.num_partitions};
+    assignment[core::VertexId{k}] = p;
+    system.preload_object(ObjectId{k}, core::VertexId{k}, p,
+                          workloads::KvObject(1000 + k));
+  }
+  system.preload_assignment(assignment);
+
+  ChaosRun run;
+  for (int c = 0; c < kClients; ++c) {
+    system.add_client(std::make_unique<testutil::RecordingKvDriver>(
+        kKeys, kOpsPerClient, &run.history, &run.tally));
+  }
+
+  sim::ChaosConfig chaos;
+  chaos.seed = chaos_seed;
+  chaos.start = seconds(1);
+  chaos.horizon = seconds(8);
+  // Partition-server groups only: the asserted metric is the *server*
+  // snapshot-install counter.
+  for (std::uint32_t p = 0; p < config.num_partitions; ++p) {
+    chaos.crash_groups.push_back(
+        system.topology().group(core::group_of(PartitionId{p})).replicas);
+  }
+  chaos.crash_events = 0;
+  chaos.long_crash_events = 3;
+  chaos.long_min_downtime = milliseconds(1500);
+  chaos.long_max_downtime = milliseconds(2500);
+
+  sim::ChaosInjector injector(system.world(), chaos);
+  injector.arm();
+
+  system.run_until(seconds(50));
+
+  run.chaos_log = injector.log();
+  run.events_injected = injector.events_injected();
+
+  std::ostringstream fp;
+  fp << "events=" << system.world().sim().executed_events();
+  for (const char* name :
+       {"completed", "executed", "client.timeouts", "client.retransmits"}) {
+    const auto* series = system.metrics().find_series(name);
+    fp << ' ' << name << '=' << (series ? series->total() : 0.0);
+  }
+  for (const char* name :
+       {"server.reply_cache_hits", "server.checkpoints",
+        "server.snapshot_installs", "chaos.events"}) {
+    fp << ' ' << name << '=' << system.metrics().counter(name);
+  }
+  fp << " history=" << run.history.size() << '/' << std::hex
+     << history_hash(run.history);
+  for (const auto& line : run.chaos_log) fp << '|' << line;
+  run.fingerprint = fp.str();
+
+  // Stashed into the fingerprint above; also assertable by callers.
+  EXPECT_GE(system.metrics().counter("server.snapshot_installs"), 1.0)
+      << "downtime never outran the catch-up window: no snapshot install";
+  EXPECT_GE(system.metrics().counter("server.checkpoints"), 1.0);
+  return run;
+}
+
+TEST(Chaos, LongDowntimeForcesSnapshotInstallAndStaysLinearizable) {
+  const ChaosRun run =
+      run_long_downtime_scenario(/*system_seed=*/13, /*chaos_seed=*/57);
+
+  std::size_t crashes = 0, recovers = 0;
+  for (const auto& line : run.chaos_log) {
+    if (line.find("crash") != std::string::npos) ++crashes;
+    if (line.find("recover") != std::string::npos) ++recovers;
+  }
+  EXPECT_GE(crashes, 2u);
+  EXPECT_GE(recovers, 2u);
+
+  // Liveness: every command completes despite multi-second outages.
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(kClients) * kOpsPerClient;
+  EXPECT_EQ(run.tally.completions, expected)
+      << "clients hung across a long-downtime crash";
+  EXPECT_EQ(run.tally.ok, expected);
+  ASSERT_EQ(run.history.size(), expected);
+
+  // Safety: snapshot-install recovery preserves linearizability.
+  const auto full = testutil::with_initial_puts(run.history, kKeys, 1000);
+  const auto result = check_kv_linearizable(full);
+  EXPECT_TRUE(result.linearizable)
+      << "non-linearizable history after snapshot-install recovery; stuck op "
+      << (result.stuck_operation ? static_cast<long>(*result.stuck_operation)
+                                 : -1);
+}
+
+TEST(Chaos, LongDowntimeRunsAreBitIdentical) {
+  const ChaosRun a =
+      run_long_downtime_scenario(/*system_seed=*/13, /*chaos_seed=*/57);
+  const ChaosRun b =
+      run_long_downtime_scenario(/*system_seed=*/13, /*chaos_seed=*/57);
+  EXPECT_EQ(a.fingerprint, b.fingerprint)
+      << "checkpoint/snapshot recovery broke same-seed determinism";
+}
+
 TEST(Chaos, DuplicateExecutionServedFromReplyCache) {
   // At-most-once: execute a put, lose every reply to the client, and let the
   // client retransmit. The retransmitted command must be answered from the

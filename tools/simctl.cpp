@@ -52,6 +52,8 @@ struct Options {
   std::string report_json;            // write RunReport JSON here
   bool chaos = false;                 // arm the nemesis
   std::uint64_t chaos_seed = 42;
+  std::int64_t catchup_window = -1;      // -1 = keep preset default
+  std::int64_t checkpoint_interval = -1; // -1 = keep preset default
 };
 
 /// One command-line flag: spelling, value placeholder, help line, and the
@@ -99,6 +101,12 @@ std::vector<Flag> flag_table(Options* o) {
          o->chaos = true;
          o->chaos_seed = std::atoll(v);
        }},
+      {"--catchup-window=", "SLOTS",
+       "applied-log suffix retained for peer catch-up (0 = unbounded)",
+       [o](const char* v) { o->catchup_window = std::atoll(v); }},
+      {"--checkpoint-interval=", "SLOTS",
+       "decided slots between durable checkpoints (0 = disabled)",
+       [o](const char* v) { o->checkpoint_interval = std::atoll(v); }},
   };
 }
 
@@ -148,6 +156,12 @@ core::SystemConfig make_config(const Options& options) {
     std::fprintf(stderr, "unknown mode %s\n", options.mode.c_str());
     std::exit(2);
   }
+  if (options.catchup_window >= 0)
+    config.paxos.catchup_window =
+        static_cast<paxos::Slot>(options.catchup_window);
+  if (options.checkpoint_interval >= 0)
+    config.paxos.checkpoint_interval =
+        static_cast<paxos::Slot>(options.checkpoint_interval);
   return config;
 }
 
