@@ -13,9 +13,16 @@ Also validates kernel benchmark documents (bench/kernel_throughput's
 BENCH_kernel.json) with --bench: schema check plus an optional events/sec
 regression gate against a checked-in baseline.
 
+--bench dispatches on the document's "schema" field: kernel documents
+(dynastar-bench-kernel-v1) get the events/sec regression gate; overload
+documents (dynastar-bench-overload-v1, from bench/overload_goodput) get the
+goodput-under-surge and post-surge-recovery gates.
+
 Usage: check_report.py REPORT.json [--min-commands N]
        check_report.py --bench BENCH_kernel.json [--baseline FILE]
                        [--max-regression 0.25]
+       check_report.py --bench BENCH_overload.json [--baseline FILE]
+                       [--min-surge-ratio 0.5] [--min-recovery-ratio 0.9]
 Exit code 0 on success, 1 with a message per violation otherwise.
 """
 
@@ -105,10 +112,20 @@ def check(report, min_commands):
     if not any(name.startswith("server.executed{") for name in report["series"]):
         err("no labeled server.executed{...} series in report")
 
+    # Overload-protection counters are pre-registered by core::System, so
+    # every report must carry them (zero when no shedding happened).
+    for name in ("server.shed", "oracle.shed", "client.retries_exhausted"):
+        value = report["counters"].get(name)
+        if not isinstance(value, (int, float)):
+            err(f"counter {name!r} missing or non-numeric")
+        elif value < 0:
+            err(f"counter {name!r} is {value}, expected >= 0")
+
     return errors
 
 
 BENCH_SCHEMA = "dynastar-bench-kernel-v1"
+OVERLOAD_SCHEMA = "dynastar-bench-overload-v1"
 
 # section -> required numeric (strictly positive) fields
 BENCH_SECTIONS = {
@@ -178,6 +195,70 @@ def check_bench(report, baseline, max_regression):
     return errors
 
 
+OVERLOAD_WINDOWS = ["baseline", "surge", "recovery"]
+
+
+def check_overload_bench(report, baseline, max_regression,
+                         min_surge_ratio, min_recovery_ratio):
+    errors = []
+
+    def err(msg):
+        errors.append(msg)
+
+    for window in OVERLOAD_WINDOWS:
+        body = report.get(window)
+        if not isinstance(body, dict):
+            err(f"missing window {window!r}")
+            continue
+        for field in ("seconds", "ok_commands", "goodput_per_sec"):
+            value = body.get(field)
+            if not isinstance(value, (int, float)):
+                err(f"{window}.{field} missing or non-numeric")
+            elif value < 0:
+                err(f"{window}.{field} is {value}, expected >= 0")
+    for field in ("surge_ratio", "recovery_ratio"):
+        if not isinstance(report.get(field), (int, float)):
+            err(f"{field} missing or non-numeric")
+    if errors:
+        return errors
+
+    if report["baseline"]["goodput_per_sec"] <= 0:
+        err("baseline goodput is zero — the run produced no successful "
+            "commands before the surge")
+        return errors
+
+    # The whole point: shedding must keep goodput up during the surge
+    # (no metastable collapse) and let it recover afterwards.
+    if report["surge_ratio"] < min_surge_ratio:
+        err(f"goodput during surge dropped to {report['surge_ratio']:.0%} "
+            f"of baseline (floor {min_surge_ratio:.0%}) — queues are not "
+            f"shedding early enough")
+    if report["recovery_ratio"] < min_recovery_ratio:
+        err(f"goodput after surge recovered to only "
+            f"{report['recovery_ratio']:.0%} of baseline "
+            f"(floor {min_recovery_ratio:.0%}) — metastable failure")
+
+    shed = report.get("shed", {})
+    total_shed = shed.get("server", 0) + shed.get("oracle", 0)
+    if total_shed <= 0:
+        err("no commands were shed during a 2x-saturation surge — the "
+            "admission gates are not engaging")
+
+    if baseline is not None:
+        base_goodput = baseline.get("baseline", {}).get("goodput_per_sec")
+        if not isinstance(base_goodput, (int, float)) or base_goodput <= 0:
+            err("baseline file baseline.goodput_per_sec missing or "
+                "non-positive")
+        else:
+            goodput = report["baseline"]["goodput_per_sec"]
+            floor = base_goodput * (1.0 - max_regression)
+            if goodput < floor:
+                err(f"pre-surge goodput regressed: {goodput:.0f} < "
+                    f"{floor:.0f} ({base_goodput:.0f} baseline, "
+                    f"{max_regression:.0%} budget)")
+    return errors
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -191,6 +272,12 @@ def main():
     parser.add_argument("--max-regression", type=float, default=0.25,
                         help="events/sec regression budget vs baseline "
                              "(default 0.25)")
+    parser.add_argument("--min-surge-ratio", type=float, default=0.5,
+                        help="overload bench: goodput floor during the surge "
+                             "as a fraction of baseline (default 0.5)")
+    parser.add_argument("--min-recovery-ratio", type=float, default=0.9,
+                        help="overload bench: post-surge goodput floor as a "
+                             "fraction of baseline (default 0.9)")
     args = parser.parse_args()
 
     try:
@@ -210,6 +297,20 @@ def main():
                 print(f"check_report: cannot read {args.baseline}: {exc}",
                       file=sys.stderr)
                 return 1
+        if report.get("schema") == OVERLOAD_SCHEMA:
+            errors = check_overload_bench(report, baseline,
+                                          args.max_regression,
+                                          args.min_surge_ratio,
+                                          args.min_recovery_ratio)
+            if errors:
+                for msg in errors:
+                    print(f"check_report: {msg}", file=sys.stderr)
+                return 1
+            print(f"check_report: OK — goodput baseline "
+                  f"{report['baseline']['goodput_per_sec']:.0f}/s, surge "
+                  f"{report['surge_ratio']:.0%}, recovery "
+                  f"{report['recovery_ratio']:.0%}")
+            return 0
         errors = check_bench(report, baseline, args.max_regression)
         if errors:
             for msg in errors:

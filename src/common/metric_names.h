@@ -21,6 +21,12 @@ inline constexpr const char* kLatencyMulti = "latency_multi";
 inline constexpr const char* kClientRetries = "client.retries";
 inline constexpr const char* kClientTimeouts = "client.timeouts";
 inline constexpr const char* kClientRetransmits = "client.retransmits";
+/// Busy replies observed by clients (series; distinguishes shed from
+/// timeout in the retry accounting).
+inline constexpr const char* kClientShed = "client.shed";
+/// Commands completed kOverloaded after the retry budget ran dry (counter).
+inline constexpr const char* kClientRetriesExhausted =
+    "client.retries_exhausted";
 
 // --- partition servers (recorded by the primary replica) ---
 inline constexpr const char* kExecuted = "executed";
@@ -38,6 +44,8 @@ inline constexpr const char* kServerMultiPartition = "server.mpart";
 inline constexpr const char* kServerObjectsExchanged =
     "server.objects_exchanged";
 inline constexpr const char* kServerQueueDepth = "server.queue_depth";
+/// Client-facing commands shed at admission (counter + per-node series).
+inline constexpr const char* kServerShed = "server.shed";
 
 // --- recovery (checkpoints + snapshot state transfer) ---
 inline constexpr const char* kServerCheckpoints = "server.checkpoints";
@@ -52,6 +60,11 @@ inline constexpr const char* kOracleQueries = "oracle.queries";
 inline constexpr const char* kOracleRepartitions = "oracle.repartitions";
 inline constexpr const char* kOraclePlansApplied = "oracle.plans_applied";
 inline constexpr const char* kOracleReplyCacheHits = "oracle.reply_cache_hits";
+/// Cache-miss lookups shed before classification (counter).
+inline constexpr const char* kOracleShed = "oracle.shed";
+/// Oracle admission depth (inbox + unacked relays + pending creates),
+/// labeled {replica=R}.
+inline constexpr const char* kOracleQueueDepth = "oracle.queue_depth";
 
 // --- chaos ---
 inline constexpr const char* kChaosEvents = "chaos.events";

@@ -23,6 +23,9 @@ const char* TraceCollector::point_name(TracePoint point) {
     case TracePoint::kCheckpoint: return "checkpoint";
     case TracePoint::kRecoveryRestore: return "recovery_restore";
     case TracePoint::kSnapshotInstall: return "snapshot_install";
+    case TracePoint::kAdmit: return "admit";
+    case TracePoint::kShed: return "shed";
+    case TracePoint::kBusyReply: return "busy_reply";
   }
   return "unknown";
 }

@@ -30,7 +30,7 @@ enum class TracePoint : std::uint8_t {
   // --- command lifecycle: key = cmd_id, attempt = client attempt ---
   kClientIssue,       // client created the command; detail = CommandType
   kClientRoute,       // client routed an attempt; detail = 1 if via oracle
-  kClientRetry,       // re-resolution; detail = 0 timeout, 1 kRetry reply
+  kClientRetry,       // re-route; detail = 0 timeout, 1 kRetry, 2 kBusy
   kOracleRelay,       // oracle replica delivered + relayed; detail = target
   kServerDeliver,     // ExecCommand a-delivered; detail = partition
   kExecuteStart,      // app execution begins; detail = partition
@@ -50,6 +50,10 @@ enum class TracePoint : std::uint8_t {
   kCheckpoint,        // durable checkpoint captured; key = checkpoint slot
   kRecoveryRestore,   // recovered node restored its checkpoint; key = slot
   kSnapshotInstall,   // lagging replica installed a peer snapshot; key = slot
+  // --- admission control: key = cmd_id, attempt = client attempt ---
+  kAdmit,             // leader admitted past a configured gate; detail = depth
+  kShed,              // shed delivery processed; detail = admission depth
+  kBusyReply,         // Busy sent to the client; detail = retry_after (ns)
 };
 
 /// One fixed-width trace record. 40 bytes, trivially copyable; the collector

@@ -8,21 +8,62 @@
 
 namespace dynastar::core {
 
+namespace {
+/// How often an idle surge-only client re-checks the world surge flag.
+constexpr SimTime kSurgePollInterval = milliseconds(1);
+}  // namespace
+
 ClientCore::ClientCore(sim::Env& env, const paxos::Topology& topology,
                        const SystemConfig& config,
                        std::unique_ptr<ClientDriver> driver,
-                       MetricsRegistry* metrics, TraceCollector* trace)
+                       MetricsRegistry* metrics, TraceCollector* trace,
+                       bool surge_only)
     : env_(env),
       topology_(topology),
       config_(config),
       driver_(std::move(driver)),
       metrics_(metrics),
       trace_(trace),
-      sender_(env, topology) {}
+      sender_(env, topology),
+      surge_only_(surge_only),
+      retry_tokens_(config.client_retry_budget) {}
 
 void ClientCore::start() { issue_next(); }
 
+SimTime ClientCore::timeout_backoff(const SystemConfig& config,
+                                    std::uint32_t attempt) {
+  const double scaled =
+      static_cast<double>(config.client_timeout_base) *
+      std::pow(config.client_timeout_multiplier,
+               static_cast<double>(attempt - 1));
+  if (scaled < static_cast<double>(config.client_timeout_cap))
+    return static_cast<SimTime>(scaled);
+  return config.client_timeout_cap;
+}
+
+SimTime ClientCore::busy_backoff(const SystemConfig& config,
+                                 std::uint32_t busy_streak,
+                                 SimTime retry_after_hint) {
+  // Client-side exponential floor: the server's hint reflects *its* queue,
+  // but a client that keeps getting shed must still back off on its own so
+  // synchronized retries cannot re-saturate a recovering server.
+  const double scaled =
+      static_cast<double>(config.busy_retry_after_base) *
+      std::pow(config.client_timeout_multiplier,
+               static_cast<double>(busy_streak - 1));
+  SimTime floor = config.client_timeout_cap;
+  if (scaled < static_cast<double>(config.client_timeout_cap))
+    floor = static_cast<SimTime>(scaled);
+  return std::max(floor, retry_after_hint);
+}
+
 void ClientCore::issue_next() {
+  // Surge-only clients only generate load while the surge flag is up; while
+  // it is down they idle without consuming driver commands or RNG draws.
+  if (surge_only_ && !env_.surge_active()) {
+    env_.start_timer(kSurgePollInterval, [this] { issue_next(); });
+    return;
+  }
   auto spec = driver_->next(env_.random(), env_.now());
   if (!spec.has_value()) return;  // client done
   if (spec->objects.empty()) {
@@ -105,12 +146,7 @@ void ClientCore::arm_command_timer() {
   const Outstanding& out = *outstanding_;
   // Exponential backoff with jitter, capped:
   // min(cap, base * multiplier^(attempt-1)) + U[0, jitter].
-  double scaled = static_cast<double>(config_.client_timeout_base) *
-                  std::pow(config_.client_timeout_multiplier,
-                           static_cast<double>(out.attempt - 1));
-  SimTime delay = config_.client_timeout_cap;
-  if (scaled < static_cast<double>(config_.client_timeout_cap))
-    delay = static_cast<SimTime>(scaled);
+  SimTime delay = timeout_backoff(config_, out.attempt);
   if (config_.client_timeout_jitter > 0)
     delay += static_cast<SimTime>(env_.random().uniform(
         0, static_cast<std::uint64_t>(config_.client_timeout_jitter)));
@@ -188,6 +224,13 @@ void ClientCore::on_prophecy(const Prophecy& msg) {
     complete(ReplyStatus::kNok, nullptr);
     return;
   }
+  if (msg.status == ReplyStatus::kBusy) {
+    // A shedding oracle still answers from its location map (degraded
+    // service), so the cache refresh above already happened: the retry can
+    // often go partition-direct and skip the hot oracle entirely.
+    on_busy(msg.retry_after);
+    return;
+  }
   outstanding_->target = msg.target;
   outstanding_->multi = msg.locations.size() > 1 &&
                         [&] {
@@ -215,7 +258,62 @@ void ClientCore::on_reply(const CommandReply& msg) {
     route(/*force_oracle=*/true);
     return;
   }
+  if (msg.status == ReplyStatus::kBusy) {
+    on_busy(msg.retry_after);
+    return;
+  }
   complete(msg.status, msg.payload);
+}
+
+bool ClientCore::spend_retry_token() {
+  if (config_.client_retry_budget == 0) return true;  // budget disabled
+  const SimTime interval = config_.client_retry_token_interval;
+  if (interval > 0) {
+    const std::uint64_t earned =
+        static_cast<std::uint64_t>(env_.now() - last_refill_) /
+        static_cast<std::uint64_t>(interval);
+    if (earned > 0) {
+      retry_tokens_ = std::min<std::uint64_t>(config_.client_retry_budget,
+                                              retry_tokens_ + earned);
+      last_refill_ += static_cast<SimTime>(earned) * interval;
+    }
+  }
+  if (retry_tokens_ == 0) return false;
+  --retry_tokens_;
+  return true;
+}
+
+void ClientCore::on_busy(SimTime retry_after) {
+  Outstanding& out = *outstanding_;
+  ++busy_replies_;
+  ++out.busy_streak;
+  if (metrics_) metrics_->series(metric::kClientShed).add(env_.now(), 1.0);
+  if (trace_)
+    trace_->record(TracePoint::kClientRetry, env_.now(), out.cmd->cmd_id,
+                   out.attempt, env_.self().value(), /*kBusy reply=*/2);
+  if (!spend_retry_token()) {
+    // Budget exhausted: fail fast instead of adding retry pressure. The
+    // command was shed before execution, so kOverloaded is a clean no-op.
+    ++overloaded_;
+    if (metrics_) metrics_->add_counter(metric::kClientRetriesExhausted);
+    complete(ReplyStatus::kOverloaded, nullptr);
+    return;
+  }
+  // Bump the attempt immediately so the old attempt's timeout timer and any
+  // straggler replies are invalidated while we wait out the backoff.
+  ++out.attempt;
+  const SimTime delay = busy_backoff(config_, out.busy_streak, retry_after);
+  const std::uint64_t cmd_id = out.cmd->cmd_id;
+  const std::uint32_t attempt = out.attempt;
+  // No cache clear: Busy means overload, not stale addressing. The retry
+  // re-routes normally and may hit the partitions directly via the cache.
+  env_.start_timer(delay, [this, cmd_id, attempt] {
+    if (!outstanding_.has_value() || outstanding_->cmd->cmd_id != cmd_id ||
+        outstanding_->attempt != attempt) {
+      return;
+    }
+    route(/*force_oracle=*/false);
+  });
 }
 
 void ClientCore::complete(ReplyStatus status, const sim::MessagePtr& payload) {

@@ -64,7 +64,8 @@ class ClientCore {
  public:
   ClientCore(sim::Env& env, const paxos::Topology& topology,
              const SystemConfig& config, std::unique_ptr<ClientDriver> driver,
-             MetricsRegistry* metrics, TraceCollector* trace = nullptr);
+             MetricsRegistry* metrics, TraceCollector* trace = nullptr,
+             bool surge_only = false);
 
   void start();
   bool handle(ProcessId from, const sim::MessagePtr& msg);
@@ -74,6 +75,21 @@ class ClientCore {
   [[nodiscard]] std::uint64_t oracle_queries() const { return oracle_queries_; }
   [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
   [[nodiscard]] std::uint64_t retransmits() const { return retransmits_; }
+  [[nodiscard]] std::uint64_t busy_replies() const { return busy_replies_; }
+  [[nodiscard]] std::uint64_t overloaded() const { return overloaded_; }
+
+  // --- pure backoff arithmetic (unit-tested in isolation) ---
+  /// Timeout backoff for `attempt` (1-based), jitter excluded:
+  /// min(cap, base * multiplier^(attempt-1)).
+  [[nodiscard]] static SimTime timeout_backoff(const SystemConfig& config,
+                                               std::uint32_t attempt);
+  /// Wait before re-routing after the `busy_streak`-th consecutive Busy
+  /// (1-based) on one command: the server's retry-after hint, floored by an
+  /// exponential client-side backoff — the hint can only lengthen the wait,
+  /// never shorten it below min(cap, busy_base * multiplier^(streak-1)).
+  [[nodiscard]] static SimTime busy_backoff(const SystemConfig& config,
+                                            std::uint32_t busy_streak,
+                                            SimTime retry_after_hint);
 
  private:
   struct Outstanding {
@@ -83,6 +99,7 @@ class ClientCore {
     SimTime start_time = 0;
     bool multi = false;
     PartitionId target = kNoPartition;
+    std::uint32_t busy_streak = 0;  // consecutive Busy replies this command
   };
 
   void issue_next();
@@ -91,6 +108,10 @@ class ClientCore {
   void on_command_timeout(std::uint64_t cmd_id, std::uint32_t attempt);
   void on_prophecy(const Prophecy& msg);
   void on_reply(const CommandReply& msg);
+  void on_busy(SimTime retry_after);
+  /// Spends one retry-budget token (lazy token-bucket refill); false means
+  /// the budget is exhausted and the command must complete kOverloaded.
+  bool spend_retry_token();
   void complete(ReplyStatus status, const sim::MessagePtr& payload);
 
   sim::Env& env_;
@@ -112,6 +133,18 @@ class ClientCore {
   std::uint64_t oracle_queries_ = 0;
   std::uint64_t timeouts_ = 0;
   std::uint64_t retransmits_ = 0;
+  std::uint64_t busy_replies_ = 0;
+  std::uint64_t overloaded_ = 0;
+
+  /// Surge-only clients issue commands only while the world-level surge flag
+  /// is raised; otherwise they idle on a short poll timer. Used by the chaos
+  /// injector and benches to model open-loop load bursts.
+  bool surge_only_ = false;
+
+  /// Retry-budget token bucket (disabled when client_retry_budget == 0).
+  /// Refilled lazily at one token per client_retry_token_interval.
+  std::uint64_t retry_tokens_ = 0;
+  SimTime last_refill_ = 0;
 };
 
 }  // namespace dynastar::core

@@ -67,6 +67,30 @@ struct SystemConfig {
   /// Attempts before the command completes with kTimeout (0 = retry forever).
   std::uint32_t client_max_attempts = 10;
 
+  // --- Overload protection (0 = disabled; defaults keep behavior
+  // bit-identical to a build without this subsystem) ---
+  /// High-water mark for a partition server's admission queue (inbox +
+  /// execution queue). Above it, the group leader orders client-facing
+  /// ExecCommands as shed entries answered with kBusy instead of executing
+  /// them. Protocol-internal traffic (borrows, returns, Paxos, multicast
+  /// coordination, snapshots, plans) is never gated.
+  std::size_t server_queue_cap = 0;
+  /// High-water mark for the oracle's inflight set (inbox + unacked relays +
+  /// pending creates). Above it, cache-miss lookups are shed before
+  /// classification with a kBusy prophecy that still carries any cached
+  /// locations, so a hot oracle degrades to a location cache.
+  std::size_t oracle_inflight_cap = 0;
+  /// Retry-after hint carried in Busy replies: base + depth * per_item.
+  SimTime busy_retry_after_base = milliseconds(2);
+  SimTime busy_retry_after_per_item = microseconds(50);
+  /// Client retry budget for Busy replies: a token bucket holding at most
+  /// `client_retry_budget` tokens, refilled one per
+  /// `client_retry_token_interval`. Each Busy-triggered retry spends one
+  /// token; an empty bucket completes the command kOverloaded. 0 disables
+  /// (Busy retries are then unbounded, like timeouts with max_attempts=0).
+  std::uint32_t client_retry_budget = 0;
+  SimTime client_retry_token_interval = milliseconds(250);
+
   // --- Oracle plan computation model ---
   /// Simulated METIS runtime: base + per (V+E) element cost.
   SimTime plan_compute_base = milliseconds(50);

@@ -131,10 +131,11 @@ class OracleNode final : public sim::Process {
 class ClientNode final : public sim::Process {
  public:
   ClientNode(ProcessId id, sim::World& world, const paxos::Topology& topology,
-             const SystemConfig& config, std::unique_ptr<ClientDriver> driver)
+             const SystemConfig& config, std::unique_ptr<ClientDriver> driver,
+             bool surge_only = false)
       : sim::Process(id, world),
         core_(*this, topology, config, std::move(driver), &world.metrics(),
-              &world.trace()) {
+              &world.trace(), surge_only) {
     set_message_service_time(config.client_service_time);
   }
 

@@ -31,9 +31,35 @@ OracleCore::OracleCore(sim::Env& env, const paxos::Topology& topology,
       trace_(trace),
       member_(env, topology, kOracleGroup, config.paxos),
       plan_sender_(env, topology) {
+  const auto& replicas = topology.group(kOracleGroup).replicas;
+  for (std::size_t i = 0; i < replicas.size(); ++i)
+    if (replicas[i] == env.self()) replica_label_ = std::to_string(i);
   member_.set_trace(trace);
   member_.set_deliver(
       [this](const multicast::McastData& data) { on_adeliver(data); });
+  if (config_.oracle_inflight_cap > 0) {
+    // Oracle self-protection: shed client lookups before classification when
+    // the inflight set crosses the cap, so a hot oracle degrades to serving
+    // cached locations instead of collapsing. Group-sender traffic (hints,
+    // plans, relayed deletes) is exempt via the sender-key check; multi-group
+    // messages are never gated by the member.
+    member_.set_admission_gate([this](const multicast::McastData& data) {
+      if (data.sender >= (1ULL << 40)) return false;
+      const auto* req =
+          dynamic_cast<const OracleRequest*>(data.payload.get());
+      if (req == nullptr) return false;
+      const std::size_t depth = queue_depth();
+      if (depth < config_.oracle_inflight_cap) {
+        if (trace_)
+          trace_->record(TracePoint::kAdmit, env_.now(), req->cmd->cmd_id,
+                         req->attempt, env_.self().value(), depth);
+        return false;
+      }
+      return true;
+    });
+    member_.set_shed_deliver(
+        [this](const multicast::McastData& data) { on_shed_deliver(data); });
+  }
   member_.replica().set_checkpoint_hook([this] { on_checkpoint_boundary(); });
   member_.replica().set_snapshot_provider([this] {
     return sim::make_message<OracleSnapshotMsg>(capture_snapshot());
@@ -144,6 +170,12 @@ PartitionId OracleCore::lookup(VertexId v) const {
 }
 
 void OracleCore::on_adeliver(const multicast::McastData& data) {
+  if (metrics_) {
+    // Admission depth sampled at each delivery (mirrors the servers'
+    // server.queue_depth series; mean per bucket = sum / delivery count).
+    metrics_->series(metric::kOracleQueueDepth, {{"replica", replica_label_}})
+        .add(env_.now(), static_cast<double>(queue_depth()));
+  }
   if (auto req = sim::dyn_ref_cast<const OracleRequest>(data.payload)) {
     on_request(*req);
   } else if (auto exec =
@@ -162,11 +194,40 @@ void OracleCore::on_adeliver(const multicast::McastData& data) {
 
 void OracleCore::send_prophecy(
     const OracleRequest& request, ReplyStatus status, PartitionId target,
-    std::vector<std::pair<VertexId, PartitionId>> locations) {
+    std::vector<std::pair<VertexId, PartitionId>> locations,
+    SimTime retry_after) {
   env_.send_message(request.cmd->client,
                     sim::make_message<Prophecy>(
                         request.cmd->cmd_id, request.attempt, status, target,
-                        epoch_, std::move(locations)));
+                        epoch_, std::move(locations), retry_after));
+}
+
+void OracleCore::on_shed_deliver(const multicast::McastData& data) {
+  auto req = sim::dyn_ref_cast<const OracleRequest>(data.payload);
+  if (!req) return;
+  const std::size_t depth = queue_depth();
+  if (trace_)
+    trace_->record(TracePoint::kShed, env_.now(), req->cmd->cmd_id,
+                   req->attempt, env_.self().value(), depth);
+  // Degraded service: answer from the location map without classifying or
+  // relaying. The kBusy prophecy still refreshes the client's cache with
+  // every resolvable vertex, so the retry can often go partition-direct and
+  // skip the hot oracle entirely.
+  std::vector<std::pair<VertexId, PartitionId>> locations;
+  for (VertexId v : req->cmd->vertices) {
+    const PartitionId p = lookup(v);
+    if (p != kNoPartition) locations.emplace_back(v, p);
+  }
+  const SimTime retry_after =
+      config_.busy_retry_after_base +
+      static_cast<SimTime>(depth) * config_.busy_retry_after_per_item;
+  if (trace_)
+    trace_->record(TracePoint::kBusyReply, env_.now(), req->cmd->cmd_id,
+                   req->attempt, env_.self().value(),
+                   static_cast<std::uint64_t>(retry_after));
+  send_prophecy(*req, ReplyStatus::kBusy, kNoPartition, std::move(locations),
+                retry_after);
+  if (record_metrics_ && metrics_) metrics_->add_counter(metric::kOracleShed);
 }
 
 void OracleCore::on_request(const OracleRequest& request) {

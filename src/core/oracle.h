@@ -80,6 +80,15 @@ class OracleCore {
   [[nodiscard]] const Assignment& location_map() const { return map_; }
   multicast::MemberCore& member() { return member_; }
 
+  /// Load signal driving the oracle's admission gate: messages waiting in
+  /// the node's CPU queue, relays not yet acked by their destination groups
+  /// (genuine backpressure from saturated partitions), and creates whose
+  /// Task-2 delivery is still in flight.
+  [[nodiscard]] std::size_t queue_depth() const {
+    return env_.inbox_depth() + member_.outbox_depth() +
+           pending_creates_.size();
+  }
+
   /// Forces a repartition on the next hint delivery (used by benches that
   /// reproduce a specific repartition time).
   void request_repartition() { repartition_requested_ = true; }
@@ -87,6 +96,7 @@ class OracleCore {
  private:
   void on_checkpoint_boundary();
   void on_adeliver(const multicast::McastData& data);
+  void on_shed_deliver(const multicast::McastData& data);
   void on_request(const OracleRequest& request);
   void on_create_apply(const ExecCommand& exec);
   void on_hint(const HintReport& hint);
@@ -99,7 +109,8 @@ class OracleCore {
                               snapshot);
   void send_prophecy(const OracleRequest& request, ReplyStatus status,
                      PartitionId target,
-                     std::vector<std::pair<VertexId, PartitionId>> locations);
+                     std::vector<std::pair<VertexId, PartitionId>> locations,
+                     SimTime retry_after = 0);
   [[nodiscard]] PartitionId lookup(VertexId v) const;
 
   sim::Env& env_;
@@ -109,6 +120,8 @@ class OracleCore {
   bool record_metrics_;
   TraceCollector* trace_;
   std::function<void(SnapshotPtr)> checkpoint_sink_;
+  /// Label identifying this replica in per-node metrics.
+  std::string replica_label_;
 
   multicast::MemberCore member_;
   multicast::McastClient plan_sender_;  // per-replica sender for PlanMsg

@@ -142,13 +142,15 @@ struct LocationUpdate final : sim::Message {
 /// cache.
 struct Prophecy final : sim::Message {
   Prophecy(std::uint64_t id, std::uint32_t a, ReplyStatus s, PartitionId t,
-           Epoch e, std::vector<std::pair<VertexId, PartitionId>> locs)
+           Epoch e, std::vector<std::pair<VertexId, PartitionId>> locs,
+           SimTime retry = 0)
       : cmd_id(id),
         attempt(a),
         status(s),
         target(t),
         epoch(e),
-        locations(std::move(locs)) {}
+        locations(std::move(locs)),
+        retry_after(retry) {}
   const char* type_name() const override { return "core.Prophecy"; }
   std::size_t size_bytes() const override {
     return 40 + locations.size() * 16;
@@ -159,14 +161,20 @@ struct Prophecy final : sim::Message {
   PartitionId target;
   Epoch epoch;
   std::vector<std::pair<VertexId, PartitionId>> locations;
+  /// On kBusy: server-computed minimum wait before the client retries.
+  SimTime retry_after;
 };
 
 /// Partition replica -> client: execution result (kOk) or kRetry when the
 /// command's addressing was computed against a stale epoch/map.
 struct CommandReply final : sim::Message {
   CommandReply(std::uint64_t id, std::uint32_t a, ReplyStatus s,
-               sim::MessagePtr p)
-      : cmd_id(id), attempt(a), status(s), payload(std::move(p)) {}
+               sim::MessagePtr p, SimTime retry = 0)
+      : cmd_id(id),
+        attempt(a),
+        status(s),
+        payload(std::move(p)),
+        retry_after(retry) {}
   const char* type_name() const override { return "core.CommandReply"; }
   std::size_t size_bytes() const override {
     return 24 + (payload ? payload->size_bytes() : 0);
@@ -175,6 +183,8 @@ struct CommandReply final : sim::Message {
   std::uint32_t attempt;
   ReplyStatus status;
   sim::MessagePtr payload;
+  /// On kBusy: server-computed minimum wait before the client retries.
+  SimTime retry_after;
 };
 
 /// Source partition replica -> target partition replicas: the omega objects

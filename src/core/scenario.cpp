@@ -24,7 +24,15 @@ ScenarioBuilder& ScenarioBuilder::preload(std::function<void(System&)> fn) {
 
 ScenarioBuilder& ScenarioBuilder::clients(std::size_t count,
                                           DriverFactory factory) {
-  client_batches_.push_back(ClientBatch{count, std::move(factory)});
+  client_batches_.push_back(
+      ClientBatch{count, std::move(factory), /*surge_only=*/false});
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::surge_clients(std::size_t count,
+                                                DriverFactory factory) {
+  client_batches_.push_back(
+      ClientBatch{count, std::move(factory), /*surge_only=*/true});
   return *this;
 }
 
@@ -46,7 +54,7 @@ std::unique_ptr<System> ScenarioBuilder::build() const {
   std::size_t index = 0;
   for (const ClientBatch& batch : client_batches_) {
     for (std::size_t i = 0; i < batch.count; ++i)
-      system->add_client(batch.factory(index++));
+      system->add_client(batch.factory(index++), batch.surge_only);
   }
 
   if (trace_) system->world().trace().enable();

@@ -91,6 +91,20 @@ class ScenarioBuilder {
   /// Adds `count` clients; `factory(i)` supplies each driver.
   ScenarioBuilder& clients(std::size_t count, DriverFactory factory);
 
+  /// Adds `count` surge-only clients: they issue commands only while the
+  /// world's surge flag is raised (ChaosInjector surge windows or explicit
+  /// World::begin_surge), modeling an open-loop load burst.
+  ScenarioBuilder& surge_clients(std::size_t count, DriverFactory factory);
+
+  /// Enables admission control on both tiers: sets the partition servers'
+  /// admission-queue high-water mark and the oracle's inflight cap to `n`.
+  /// 0 disables shedding (the default).
+  ScenarioBuilder& queue_cap(std::size_t n) {
+    config_.server_queue_cap = n;
+    config_.oracle_inflight_cap = n;
+    return *this;
+  }
+
   /// Arms the world's lifecycle TraceCollector from the start of the run.
   ScenarioBuilder& trace(bool enabled = true) {
     trace_ = enabled;
@@ -109,6 +123,7 @@ class ScenarioBuilder {
   struct ClientBatch {
     std::size_t count = 0;
     DriverFactory factory;
+    bool surge_only = false;
   };
 
   SystemConfig config_;

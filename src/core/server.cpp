@@ -60,6 +60,28 @@ PartitionServerCore::PartitionServerCore(
   member_.set_trace(trace);
   member_.set_deliver(
       [this](const multicast::McastData& data) { on_adeliver(data); });
+  if (config_.server_queue_cap > 0) {
+    // Admission gate (leader-side): shed client-facing single-partition
+    // ExecCommands when the admission depth crosses the high-water mark.
+    // Protocol-internal traffic is exempt — group-sender multicasts (oracle
+    // relays, plans, hints) carry sender keys >= 2^40, and multi-group
+    // messages are never gated by the member (see MemberCore::GateFn).
+    member_.set_admission_gate([this](const multicast::McastData& data) {
+      if (data.sender >= (1ULL << 40)) return false;
+      const auto* exec = dynamic_cast<const ExecCommand*>(data.payload.get());
+      if (exec == nullptr) return false;
+      const std::size_t depth = admission_depth();
+      if (depth < config_.server_queue_cap) {
+        if (trace_)
+          trace_->record(TracePoint::kAdmit, env_.now(), exec->cmd->cmd_id,
+                         exec->attempt, env_.self().value(), depth);
+        return false;
+      }
+      return true;
+    });
+    member_.set_shed_deliver(
+        [this](const multicast::McastData& data) { on_shed_deliver(data); });
+  }
   member_.replica().set_checkpoint_hook([this] { on_checkpoint_boundary(); });
   member_.replica().set_snapshot_provider([this] {
     return sim::make_message<ServerSnapshotMsg>(capture_snapshot());
@@ -255,16 +277,48 @@ void PartitionServerCore::on_adeliver(const multicast::McastData& data) {
     return;  // oracle-only payloads multicast to every group are ignored here
   }
   if (metrics_) {
-    // Queue depth sampled at each delivery; mean depth per bucket is this
-    // sum divided by that bucket's delivery count (see common/report.cpp).
-    // Per-node labeled series are recorded by every replica (no double
-    // counting: the labels make each node's series distinct).
+    // Admission depth sampled at each delivery; mean depth per bucket is
+    // this sum divided by that bucket's delivery count (see
+    // common/report.cpp). Per-node labeled series are recorded by every
+    // replica (no double counting: the labels make each node's series
+    // distinct).
     metrics_
         ->series(metric::kServerQueueDepth, {{"partition", partition_label_},
                                              {"replica", replica_label_}})
-        .add(env_.now(), static_cast<double>(queue_.size()));
+        .add(env_.now(), static_cast<double>(admission_depth()));
   }
   if (!blocked_) pump();
+}
+
+std::size_t PartitionServerCore::admission_depth() const {
+  return env_.inbox_depth() + queue_.size();
+}
+
+void PartitionServerCore::on_shed_deliver(const multicast::McastData& data) {
+  auto exec = sim::dyn_ref_cast<const ExecCommand>(data.payload);
+  if (!exec) return;
+  const std::size_t depth = admission_depth();
+  trace_cmd(TracePoint::kShed, *exec, depth);
+  // At-most-once first: a retransmission of an already-executed command is
+  // answered from the reply cache even under shedding — never with Busy,
+  // which would send the client into a retry loop for a finished command.
+  if (serve_cached_duplicate(*exec)) return;
+  const SimTime retry_after =
+      config_.busy_retry_after_base +
+      static_cast<SimTime>(depth) * config_.busy_retry_after_per_item;
+  trace_cmd(TracePoint::kBusyReply, *exec,
+            static_cast<std::uint64_t>(retry_after));
+  env_.send_message(exec->cmd->client, sim::make_message<CommandReply>(
+                                           exec->cmd->cmd_id, exec->attempt,
+                                           ReplyStatus::kBusy, nullptr,
+                                           retry_after));
+  if (metrics_) {
+    if (record_metrics_) metrics_->add_counter(metric::kServerShed);
+    metrics_
+        ->series(metric::kServerShed, {{"partition", partition_label_},
+                                       {"replica", replica_label_}})
+        .add(env_.now());
+  }
 }
 
 void PartitionServerCore::pump() {

@@ -107,6 +107,12 @@ class PartitionServerCore {
 
   // Delivery / queue pump.
   void on_adeliver(const multicast::McastData& data);
+  void on_shed_deliver(const multicast::McastData& data);
+  /// Load signal driving the admission gate: messages still waiting in the
+  /// node's CPU queue plus the execution queue. The protocol queue alone
+  /// stays near zero under saturation (it drains synchronously at
+  /// delivery) — the real backlog accumulates in the inbox.
+  [[nodiscard]] std::size_t admission_depth() const;
   void pump();
   bool dispatch_direct(ProcessId from, const sim::MessagePtr& msg);
   bool serve_cached_duplicate(const ExecCommand& ec);

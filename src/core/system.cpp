@@ -2,12 +2,19 @@
 
 #include <cassert>
 
+#include "common/metric_names.h"
+
 namespace dynastar::core {
 
 System::System(SystemConfig config, AppFactory app_factory)
     : config_(std::move(config)),
       world_(config_.network, config_.seed),
       app_factory_(std::move(app_factory)) {
+  // Pre-register the overload counters so every run report carries them —
+  // the report schema check requires their presence even when zero.
+  world_.metrics().add_counter(metric::kServerShed, 0.0);
+  world_.metrics().add_counter(metric::kOracleShed, 0.0);
+  world_.metrics().add_counter(metric::kClientRetriesExhausted, 0.0);
   const std::uint32_t replicas = config_.replicas_per_partition;
   const std::uint32_t acceptors = config_.acceptors_per_partition;
   const std::uint32_t groups = config_.num_partitions + 1;  // + oracle
@@ -63,8 +70,10 @@ System::System(SystemConfig config, AppFactory app_factory)
   }
 }
 
-ClientNode& System::add_client(std::unique_ptr<ClientDriver> driver) {
-  auto& node = world_.spawn<ClientNode>(topology_, config_, std::move(driver));
+ClientNode& System::add_client(std::unique_ptr<ClientDriver> driver,
+                               bool surge_only) {
+  auto& node = world_.spawn<ClientNode>(topology_, config_, std::move(driver),
+                                        surge_only);
   clients_.push_back(&node);
   return node;
 }

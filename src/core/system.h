@@ -26,8 +26,11 @@ class System {
   System(const System&) = delete;
   System& operator=(const System&) = delete;
 
-  /// Adds a closed-loop client with the given command generator.
-  ClientNode& add_client(std::unique_ptr<ClientDriver> driver);
+  /// Adds a closed-loop client with the given command generator. With
+  /// surge_only, the client issues commands only while the world's surge
+  /// flag is raised (World::begin_surge / ChaosInjector surge windows).
+  ClientNode& add_client(std::unique_ptr<ClientDriver> driver,
+                         bool surge_only = false);
 
   // --- pre-run state loading (must happen before run_until) ---
   /// Installs `object` (cloned per replica) at `partition` under `vertex`.

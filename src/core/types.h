@@ -55,12 +55,16 @@ struct Command final : sim::Message {
 
 using CommandPtr = sim::Ref<const Command>;
 
-/// Outcome status carried in replies to the client.
+/// Outcome status carried in replies to the client. New values append at
+/// the end — the numeric value rides in trace `detail` fields and must stay
+/// stable.
 enum class ReplyStatus : std::uint8_t {
   kOk,
-  kRetry,    // stale addressing/epoch: re-resolve via the oracle
-  kNok,      // oracle rejected the command (e.g., unknown variable)
-  kTimeout,  // client-side: retransmission attempts exhausted
+  kRetry,       // stale addressing/epoch: re-resolve via the oracle
+  kNok,         // oracle rejected the command (e.g., unknown variable)
+  kTimeout,     // client-side: retransmission attempts exhausted
+  kBusy,        // shed at admission; retry after the carried hint
+  kOverloaded,  // client-side: retry budget exhausted on Busy replies
 };
 
 /// Plan epochs: each partitioning plan gets a monotonically increasing id;

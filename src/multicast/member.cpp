@@ -122,6 +122,16 @@ void MemberCore::on_send(ProcessId from, const McastSend& msg) {
   // been lost, and it keeps retransmitting until one arrives.
   env_.send_message(from, sim::make_message<McastAck>(uid, group_));
   if (seen_.contains(uid) || unstarted_.contains(uid)) return;
+  if (gate_ && replica_.is_leader() && groups.size() == 1 &&
+      gate_(*msg.data)) {
+    // Shed at admission: order a shed-flagged Start so every replica makes
+    // the identical decision from the log. Not stashed in unstarted_ — if
+    // this submit is lost (leader crash), followers hold the send in their
+    // own unstarted_ and the repair timer re-drives a plain Start, which is
+    // a benign late admission.
+    replica_.submit(sim::make_message<StartEntry>(msg.data, /*shed=*/true));
+    return;
+  }
   unstarted_[uid] = Unstarted{msg.data, env_.now()};
   if (replica_.is_leader())
     replica_.submit(sim::make_message<StartEntry>(msg.data));
@@ -168,7 +178,7 @@ void MemberCore::on_ts_proposal(const TsProposal& msg) {
 void MemberCore::on_log_entry(const sim::MessagePtr& value) {
   env_.consume_cpu(kEntryCost);
   if (auto* start = dynamic_cast<const StartEntry*>(value.get())) {
-    process_start(start->data);
+    process_start(start->data, start->shed);
     return;
   }
   if (auto* final_entry = dynamic_cast<const FinalEntry*>(value.get())) {
@@ -178,7 +188,7 @@ void MemberCore::on_log_entry(const sim::MessagePtr& value) {
   // Unknown entries are no-ops (e.g., gap-filling empty batches).
 }
 
-void MemberCore::process_start(const McastDataPtr& data) {
+void MemberCore::process_start(const McastDataPtr& data, bool shed) {
   if (seen_.contains(data->uid)) {
     unstarted_.erase(data->uid);
     return;
@@ -186,15 +196,19 @@ void MemberCore::process_start(const McastDataPtr& data) {
   auto& channel = channels_[data->sender];
   const std::uint64_t seq = data->seq_for(group_);
   if (seq != channel.next_seq) {
-    if (seq > channel.next_seq) channel.held[seq] = data;
+    if (seq > channel.next_seq) channel.held[seq] = HeldStart{data, shed};
     return;
   }
   McastDataPtr current = data;
+  bool current_shed = shed;
   while (true) {
-    // Admit `current`: assign the group-local timestamp.
+    // Admit `current`: assign the group-local timestamp. Shed messages still
+    // take a timestamp and advance the FIFO channel — the shed flag only
+    // changes which delivery callback fires.
     unstarted_.erase(current->uid);
     Pending pending;
     pending.data = current;
+    pending.shed = current_shed;
     pending.local_ts = ++clock_;
     seen_.emplace(current->uid, pending.local_ts);
     pending.proposals.emplace(group_, pending.local_ts);
@@ -216,7 +230,8 @@ void MemberCore::process_start(const McastDataPtr& data) {
     ++channel.next_seq;
     auto next = channel.held.find(channel.next_seq);
     if (next == channel.held.end()) break;
-    current = next->second;
+    current = next->second.data;
+    current_shed = next->second.shed;
     channel.held.erase(next);
   }
   try_deliver();
@@ -270,6 +285,7 @@ void MemberCore::try_deliver() {
     }
     if (!min_it->second.final_ts.has_value()) return;
     McastDataPtr data = min_it->second.data;
+    const bool shed = min_it->second.shed;
     final_submitted_.erase(min_it->first);
     early_proposals_.erase(min_it->first);
     pending_.erase(min_it);
@@ -277,7 +293,11 @@ void MemberCore::try_deliver() {
     if (trace_)
       trace_->record(TracePoint::kMcastDelivered, env_.now(), data->uid, 0,
                      env_.self().value(), group_.value());
-    if (deliver_) deliver_(*data);
+    if (shed) {
+      if (shed_deliver_) shed_deliver_(*data);
+    } else if (deliver_) {
+      deliver_(*data);
+    }
   }
 }
 

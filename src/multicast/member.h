@@ -29,11 +29,21 @@ class MemberCore {
   /// order.
   using DeliverFn = std::function<void(const McastData&)>;
 
+  /// Admission gate consulted by the *leader* before ordering a single-group
+  /// message. Returning true sheds the message: it is still ordered (as a
+  /// shed-flagged Start entry, so every replica advances the sender's FIFO
+  /// channel and clock identically) but delivery routes to the shed handler
+  /// instead of the application. Multi-group messages are never gated —
+  /// shedding at one group would wedge peer groups waiting on timestamp
+  /// proposals.
+  using GateFn = std::function<bool(const McastData&)>;
+
   struct Pending {
     McastDataPtr data;
     Timestamp local_ts = 0;
     std::map<GroupId, Timestamp> proposals;
     std::optional<Timestamp> final_ts;
+    bool shed = false;
   };
 
   struct OutEntry {
@@ -42,10 +52,15 @@ class MemberCore {
     SimTime last_tx = 0;
   };
 
-  // FIFO holdback: per sender, next expected seq and messages waiting.
+  // FIFO holdback: per sender, next expected seq and messages waiting. Each
+  // held message carries its log-ordered shed flag.
+  struct HeldStart {
+    McastDataPtr data;
+    bool shed = false;
+  };
   struct SenderChannel {
     std::uint64_t next_seq = 1;
-    std::map<std::uint64_t, McastDataPtr> held;
+    std::map<std::uint64_t, HeldStart> held;
   };
 
   // McastSends received but not yet seen as Start entries (see unstarted_).
@@ -74,6 +89,14 @@ class MemberCore {
              paxos::ReplicaConfig paxos_config = {});
 
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Installs the admission gate (see GateFn). Null disables gating.
+  void set_admission_gate(GateFn fn) { gate_ = std::move(fn); }
+
+  /// Called (in delivery order) for messages shed at admission. A shed
+  /// delivery replaces the app delivery; with no handler installed the
+  /// message is silently consumed.
+  void set_shed_deliver(DeliverFn fn) { shed_deliver_ = std::move(fn); }
 
   /// Optional lifecycle trace sink (propagated to the owned Paxos replica);
   /// records one kMcastDelivered event per a-delivery. Null disables.
@@ -115,9 +138,14 @@ class MemberCore {
   [[nodiscard]] const paxos::ReplicaCore& replica() const { return replica_; }
   [[nodiscard]] std::uint64_t delivered_count() const { return delivered_count_; }
 
+  /// Group-sender multicasts awaiting acks from destination groups. Grows
+  /// when a destination is saturated or down — a backpressure signal the
+  /// oracle's admission gate folds into its load estimate.
+  [[nodiscard]] std::size_t outbox_depth() const { return outbox_.size(); }
+
  private:
   void on_log_entry(const sim::MessagePtr& value);
-  void process_start(const McastDataPtr& data);
+  void process_start(const McastDataPtr& data, bool shed);
   void process_final(Uid uid, Timestamp ts);
   void on_send(ProcessId from, const McastSend& msg);
   bool on_ack(const McastAck& msg);
@@ -134,6 +162,8 @@ class MemberCore {
   GroupId group_;
   paxos::ReplicaCore replica_;
   DeliverFn deliver_;
+  GateFn gate_;
+  DeliverFn shed_deliver_;
   TraceCollector* trace_ = nullptr;
 
   Timestamp clock_ = 0;

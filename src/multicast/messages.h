@@ -99,12 +99,18 @@ struct TsProposal final : sim::Message {
 };
 
 /// Log entry: the group ordered this multicast (assigns the local timestamp
-/// deterministically at processing time).
+/// deterministically at processing time). `shed` bakes an admission-control
+/// decision into the log: the message still advances the sender's FIFO
+/// channel and the group clock at every replica, but delivery routes to the
+/// shed handler instead of the application — so shedding is replicated
+/// state, never a replica-local divergence.
 struct StartEntry final : sim::Message {
-  explicit StartEntry(McastDataPtr d) : data(std::move(d)) {}
+  explicit StartEntry(McastDataPtr d, bool s = false)
+      : data(std::move(d)), shed(s) {}
   const char* type_name() const override { return "mcast.Start"; }
   std::size_t size_bytes() const override { return data->size_bytes(); }
   McastDataPtr data;
+  bool shed;
 };
 
 /// Log entry: the final (max) timestamp for `uid` is known; bump the group

@@ -11,6 +11,7 @@ void ChaosInjector::arm() {
   schedule_crashes();
   schedule_link_cuts();
   schedule_network_windows();
+  schedule_surges();  // last: may pin a window to a scheduled recovery
 }
 
 SimTime ChaosInjector::random_time_in_horizon(SimTime latest_margin) {
@@ -56,6 +57,7 @@ void ChaosInjector::schedule_crashes() {
       world_.crash(victim);
     });
     const SimTime up_at = at + downtime;
+    recovery_times_.push_back(up_at);
     world_.sim().schedule_at(up_at, [this, victim, up_at] {
       std::ostringstream what;
       what << "recover p" << victim;
@@ -143,6 +145,33 @@ void ChaosInjector::schedule_network_windows() {
       record(at + duration, "latency spike end");
       if (--latency_windows_ == 0)
         world_.network().config().base_latency = steady_latency_;
+    });
+  }
+}
+
+void ChaosInjector::schedule_surges() {
+  if (config_.surge_events == 0) return;
+  for (std::size_t e = 0; e < config_.surge_events; ++e) {
+    const SimTime duration = static_cast<SimTime>(
+        rng_.uniform(static_cast<std::uint64_t>(config_.surge_min_duration),
+                     static_cast<std::uint64_t>(config_.surge_max_duration)));
+    // Draw the random start unconditionally so the Rng stream — and thus the
+    // rest of the fault program — is identical whether or not the first
+    // window ends up pinned to a recovery instant.
+    SimTime at = random_time_in_horizon(config_.surge_max_duration);
+    const bool pinned =
+        e == 0 && config_.surge_with_recovery && !recovery_times_.empty();
+    if (pinned) at = recovery_times_.front();
+    world_.sim().schedule_at(at, [this, at, pinned] {
+      std::ostringstream what;
+      what << "surge begin" << (pinned ? " (at recovery)" : "");
+      record(at, what.str());
+      world_.begin_surge();
+    });
+    const SimTime end_at = at + duration;
+    world_.sim().schedule_at(end_at, [this, end_at] {
+      record(end_at, "surge end");
+      world_.end_surge();
     });
   }
 }

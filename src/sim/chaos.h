@@ -56,6 +56,16 @@ struct ChaosConfig {
   std::size_t latency_spike_events = 0;
   SimTime spike_latency = milliseconds(2);
   SimTime max_window = milliseconds(400);
+
+  /// Load-surge windows: each raises the world's refcounted surge flag
+  /// (World::begin_surge/end_surge), waking any surge-only clients. With
+  /// surge_with_recovery, one window is pinned to start right at a scheduled
+  /// crash recovery, so the burst coincides with snapshot install + catch-up
+  /// — the metastable-failure scenario overload tests target.
+  std::size_t surge_events = 0;
+  SimTime surge_min_duration = milliseconds(400);
+  SimTime surge_max_duration = milliseconds(900);
+  bool surge_with_recovery = false;
 };
 
 class ChaosInjector {
@@ -74,6 +84,7 @@ class ChaosInjector {
   void schedule_crashes();
   void schedule_link_cuts();
   void schedule_network_windows();
+  void schedule_surges();
   SimTime random_time_in_horizon(SimTime latest_margin);
   void record(SimTime at, std::string what);
 
@@ -87,6 +98,10 @@ class ChaosInjector {
   int latency_windows_ = 0;
   double steady_drop_ = 0.0;
   SimTime steady_latency_ = 0;
+  /// Recovery instants produced by schedule_crashes(), in schedule order;
+  /// schedule_surges() pins one surge window to the first of these when
+  /// surge_with_recovery is set.
+  std::vector<SimTime> recovery_times_;
 };
 
 }  // namespace dynastar::sim

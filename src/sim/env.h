@@ -36,6 +36,15 @@ class Env {
 
   /// Node-local deterministic randomness.
   virtual Rng& random() = 0;
+
+  /// Messages waiting in this node's CPU queue — the true backlog under
+  /// saturation (protocol-level queues drain synchronously at delivery).
+  /// Admission gates read it as their load signal; mock Envs report 0.
+  [[nodiscard]] virtual std::size_t inbox_depth() const { return 0; }
+
+  /// True while a load surge is active in the hosting world (surge-only
+  /// clients poll this). Mock Envs report false.
+  [[nodiscard]] virtual bool surge_active() const { return false; }
 };
 
 }  // namespace dynastar::sim

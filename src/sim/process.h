@@ -50,6 +50,12 @@ class Process : public Env {
   void start_timer(SimTime delay, std::function<void()> fn) override;
   void consume_cpu(SimTime amount) override { pending_work_ += amount; }
   Rng& random() override { return rng_; }
+  [[nodiscard]] std::size_t inbox_depth() const override {
+    return inbox_.size();
+  }
+  [[nodiscard]] bool surge_active() const override {
+    return world_.surge_active();
+  }
 
  protected:
   World& world() { return world_; }

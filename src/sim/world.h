@@ -67,6 +67,15 @@ class World {
   /// allocate from their own slabs).
   MessagePool& message_pool() { return message_pool_; }
 
+  /// Load-surge flag, refcounted so overlapping surge windows compose.
+  /// Surge-only clients (ClientCore) poll it via Env::surge_active() and
+  /// issue commands only while it is raised.
+  void begin_surge() { ++surge_level_; }
+  void end_surge() {
+    if (surge_level_ > 0) --surge_level_;
+  }
+  [[nodiscard]] bool surge_active() const { return surge_level_ > 0; }
+
  private:
   void attach(std::unique_ptr<Process> proc);
   void deliver(ProcessId from, ProcessId to, const MessagePtr& msg);
@@ -83,6 +92,7 @@ class World {
   std::vector<std::unique_ptr<Process>> processes_;  // index == ProcessId
   std::uint64_t next_process_id_ = 0;
   bool started_ = false;
+  int surge_level_ = 0;
 };
 
 }  // namespace dynastar::sim

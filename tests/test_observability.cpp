@@ -11,6 +11,7 @@
 #include "common/report.h"
 #include "common/trace.h"
 #include "core/scenario.h"
+#include "tests/test_util.h"
 #include "workloads/kv.h"
 #include "workloads/kv_drivers.h"
 
@@ -191,6 +192,97 @@ TEST(Observability, PointNamesAreStable) {
                "oracle_relay");
   EXPECT_STREQ(TraceCollector::point_name(TracePoint::kChaosEvent),
                "chaos_event");
+  EXPECT_STREQ(TraceCollector::point_name(TracePoint::kAdmit), "admit");
+  EXPECT_STREQ(TraceCollector::point_name(TracePoint::kShed), "shed");
+  EXPECT_STREQ(TraceCollector::point_name(TracePoint::kBusyReply),
+               "busy_reply");
+}
+
+TEST(Observability, AdmissionTraceIsWellFormed) {
+  // Tight caps on a loss-free network force the admission gates to engage.
+  // Every gate decision must surface in the trace, and the admit / shed /
+  // busy_reply events for one attempt must be mutually consistent:
+  //   * an attempt is either admitted or shed, never both (loss-free runs
+  //     order exactly one StartEntry per attempt);
+  //   * every busy_reply follows a shed of the same (command, attempt) and
+  //     carries a positive retry-after hint;
+  //   * every command that was ever shed still completes (Busy is a
+  //     deferral, not a verdict).
+  std::vector<KvOperation> history;
+  testutil::StatusTally tally;
+  constexpr std::size_t kTraceClients = 16;
+  constexpr int kTraceOps = 25;
+  auto system =
+      core::ScenarioBuilder()
+          .mode(core::ExecutionMode::kDynaStar)
+          .partitions(2)
+          .seed(13)
+          .repartitioning(false)
+          .app(workloads::kv_app_factory())
+          .preload_kv(12, workloads::KvObject(0))
+          .queue_cap(4)
+          .clients(kTraceClients,
+                   [&](std::size_t) {
+                     return std::make_unique<testutil::RecordingKvDriver>(
+                         12, kTraceOps, &history, &tally);
+                   })
+          .trace()
+          .build();
+  system->run_until(seconds(20));
+  ASSERT_EQ(tally.completions, kTraceClients * kTraceOps)
+      << "shed commands must eventually complete";
+
+  struct Attempt {
+    bool admitted = false;
+    bool shed = false;
+    SimTime first_shed = 0;
+  };
+  std::map<std::pair<std::uint64_t, std::uint32_t>, Attempt> attempts;
+  std::map<std::uint64_t, SimTime> completed;
+  std::size_t admits = 0, sheds = 0, busy_replies = 0;
+  for (const TraceEvent& ev : system->world().trace().events()) {
+    const auto id = std::make_pair(ev.key, ev.attempt);
+    switch (ev.point) {
+      case TracePoint::kAdmit: {
+        ++admits;
+        attempts[id].admitted = true;
+        break;
+      }
+      case TracePoint::kShed: {
+        ++sheds;
+        Attempt& a = attempts[id];
+        if (!a.shed) a.first_shed = ev.time;
+        a.shed = true;
+        break;
+      }
+      case TracePoint::kBusyReply: {
+        ++busy_replies;
+        auto it = attempts.find(id);
+        ASSERT_NE(it, attempts.end()) << "busy_reply without a shed";
+        EXPECT_TRUE(it->second.shed) << "busy_reply without a shed";
+        EXPECT_GE(ev.time, it->second.first_shed);
+        EXPECT_GT(ev.detail, 0u) << "busy_reply without a retry-after hint";
+        break;
+      }
+      case TracePoint::kClientComplete:
+        completed[ev.key] = ev.time;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_GT(admits, 0u);
+  EXPECT_GT(sheds, 0u);
+  EXPECT_GT(busy_replies, 0u);
+  for (const auto& [id, a] : attempts) {
+    EXPECT_FALSE(a.admitted && a.shed)
+        << "attempt " << id.second << " of command " << id.first
+        << " was both admitted and shed";
+    if (a.shed) {
+      EXPECT_TRUE(completed.count(id.first))
+          << "shed command " << id.first << " never completed";
+    }
+  }
 }
 
 TEST(Observability, LabeledMetricNamesAreCanonical) {

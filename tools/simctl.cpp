@@ -54,7 +54,23 @@ struct Options {
   std::uint64_t chaos_seed = 42;
   std::int64_t catchup_window = -1;      // -1 = keep preset default
   std::int64_t checkpoint_interval = -1; // -1 = keep preset default
+  std::string surge_spec;                // "N@START+DUR" (empty = no surge)
+  std::int64_t queue_cap = -1;           // -1 = keep preset default (off)
 };
+
+/// Parsed --surge=N@START+DUR: N extra surge-only clients active during
+/// [START, START+DUR) simulated seconds.
+struct SurgeSpec {
+  std::uint32_t clients = 0;
+  std::uint32_t start_s = 0;
+  std::uint32_t duration_s = 0;
+};
+
+bool parse_surge(const std::string& spec, SurgeSpec* out) {
+  return std::sscanf(spec.c_str(), "%u@%u+%u", &out->clients, &out->start_s,
+                     &out->duration_s) == 3 &&
+         out->clients > 0 && out->duration_s > 0;
+}
 
 /// One command-line flag: spelling, value placeholder, help line, and the
 /// action run on its value. --help is generated from this table, so adding
@@ -107,6 +123,12 @@ std::vector<Flag> flag_table(Options* o) {
       {"--checkpoint-interval=", "SLOTS",
        "decided slots between durable checkpoints (0 = disabled)",
        [o](const char* v) { o->checkpoint_interval = std::atoll(v); }},
+      {"--surge=", "N@START+DUR",
+       "N surge clients active [START, START+DUR) seconds (e.g. 24@8+4)",
+       [o](const char* v) { o->surge_spec = v; }},
+      {"--queue-cap=", "N",
+       "admission high-water mark for servers + oracle (0 = shedding off)",
+       [o](const char* v) { o->queue_cap = std::atoll(v); }},
   };
 }
 
@@ -162,16 +184,24 @@ core::SystemConfig make_config(const Options& options) {
   if (options.checkpoint_interval >= 0)
     config.paxos.checkpoint_interval =
         static_cast<paxos::Slot>(options.checkpoint_interval);
+  if (options.queue_cap >= 0) {
+    config.server_queue_cap = static_cast<std::size_t>(options.queue_cap);
+    config.oracle_inflight_cap = static_cast<std::size_t>(options.queue_cap);
+  }
   return config;
 }
 
 std::unique_ptr<core::System> make_system(const Options& options,
-                                          std::uint32_t clients) {
+                                          std::uint32_t clients,
+                                          std::uint32_t surge_clients) {
   core::ScenarioBuilder builder;
   builder.config(make_config(options));
   if (!options.trace_file.empty() || !options.report_json.empty())
     builder.trace();
 
+  // Each workload contributes an app + preload + a driver factory; the
+  // factory is shared by the regular clients and any --surge clients.
+  core::ScenarioBuilder::DriverFactory factory;
   if (options.workload == "kv") {
     builder.app(workloads::kv_app_factory())
         .preload([&](core::System& system) {
@@ -186,11 +216,11 @@ std::unique_ptr<core::System> make_system(const Options& options,
             system.preload_object(ObjectId{k}, core::VertexId{k}, p, zero);
           }
           system.preload_assignment(assignment);
-        })
-        .clients(clients, [&](std::size_t) {
-          return std::make_unique<workloads::RandomKvDriver>(options.keys, 0.5,
-                                                             0.2);
         });
+    factory = [&](std::size_t) {
+      return std::make_unique<workloads::RandomKvDriver>(options.keys, 0.5,
+                                                         0.2);
+    };
   } else if (options.workload == "tpcc") {
     workloads::tpcc::Scale scale;
     builder.app(workloads::tpcc::tpcc_app_factory(scale))
@@ -201,13 +231,13 @@ std::unique_ptr<core::System> make_system(const Options& options,
                   ? workloads::tpcc::Placement::kWarehousePerPartition
                   : workloads::tpcc::Placement::kRandom,
               options.seed);
-        })
-        .clients(clients, [&, scale](std::size_t c) {
-          return std::make_unique<workloads::tpcc::TpccDriver>(
-              scale, options.partitions,
-              static_cast<std::uint32_t>(c) % options.partitions + 1,
-              static_cast<std::uint32_t>(c) / options.partitions % 10 + 1);
         });
+    factory = [&, scale](std::size_t c) {
+      return std::make_unique<workloads::tpcc::TpccDriver>(
+          scale, options.partitions,
+          static_cast<std::uint32_t>(c) % options.partitions + 1,
+          static_cast<std::uint32_t>(c) / options.partitions % 10 + 1);
+    };
   } else if (options.workload == "chirper") {
     auto graph = std::make_shared<workloads::SocialGraph>(
         workloads::generate_social_graph(options.users, 4, options.seed));
@@ -224,25 +254,27 @@ std::unique_ptr<core::System> make_system(const Options& options,
                   ? workloads::chirper::Placement::kOptimized
                   : workloads::chirper::Placement::kRandom,
               options.seed);
-        })
-        .clients(clients, [directory, mix, zipf](std::size_t) {
-          return std::make_unique<workloads::chirper::ChirperDriver>(*directory,
-                                                                     mix, zipf);
         });
+    factory = [directory, mix, zipf](std::size_t) {
+      return std::make_unique<workloads::chirper::ChirperDriver>(*directory,
+                                                                 mix, zipf);
+    };
   } else if (options.workload == "smallbank") {
     builder.app(workloads::smallbank::smallbank_app_factory())
         .preload([&](core::System& system) {
           workloads::smallbank::setup(
               system, static_cast<std::uint32_t>(options.keys));
-        })
-        .clients(clients, [&](std::size_t) {
-          return std::make_unique<workloads::smallbank::SmallBankDriver>(
-              static_cast<std::uint32_t>(options.keys));
         });
+    factory = [&](std::size_t) {
+      return std::make_unique<workloads::smallbank::SmallBankDriver>(
+          static_cast<std::uint32_t>(options.keys));
+    };
   } else {
     std::fprintf(stderr, "unknown workload %s\n", options.workload.c_str());
     return nullptr;
   }
+  builder.clients(clients, factory);
+  if (surge_clients > 0) builder.surge_clients(surge_clients, factory);
   return builder.build();
 }
 
@@ -258,10 +290,25 @@ int main(int argc, char** argv) {
   const std::uint32_t clients =
       options.clients != 0 ? options.clients : options.partitions * 12;
 
-  auto system = make_system(options, clients);
+  SurgeSpec surge;
+  if (!options.surge_spec.empty() && !parse_surge(options.surge_spec, &surge)) {
+    std::fprintf(stderr, "bad --surge spec: %s (want N@START+DUR)\n",
+                 options.surge_spec.c_str());
+    return 2;
+  }
+
+  auto system = make_system(options, clients, surge.clients);
   if (system == nullptr) {
     usage(flags);
     return 2;
+  }
+
+  if (surge.clients > 0) {
+    sim::World& world = system->world();
+    world.sim().schedule_at(seconds(surge.start_s),
+                            [&world] { world.begin_surge(); });
+    world.sim().schedule_at(seconds(surge.start_s + surge.duration_s),
+                            [&world] { world.end_surge(); });
   }
 
   std::unique_ptr<sim::ChaosInjector> injector;
@@ -320,6 +367,10 @@ int main(int argc, char** argv) {
   std::printf("reply cache hits   : server %.0f, oracle %.0f\n",
               metrics.counter(metric::kServerReplyCacheHits),
               metrics.counter(metric::kOracleReplyCacheHits));
+  std::printf("shed at admission  : server %.0f, oracle %.0f (budgets exhausted %.0f)\n",
+              metrics.counter(metric::kServerShed),
+              metrics.counter(metric::kOracleShed),
+              metrics.counter(metric::kClientRetriesExhausted));
   if (injector != nullptr) {
     std::printf("chaos events       : %.0f\n",
                 metrics.counter(metric::kChaosEvents));
