@@ -21,7 +21,7 @@ struct Variant {
 };
 
 void run(const Variant& variant) {
-  auto config = baselines::dynastar_config(4);
+  auto config = baselines::config_for("dynastar", 4);
   config.eager_plan_transfer = variant.eager;
   config.strict_epoch_validation = variant.strict;
   config.repartition_hint_threshold = variant.threshold;

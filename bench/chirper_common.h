@@ -4,7 +4,7 @@
 
 #include <memory>
 
-#include "baselines/presets.h"
+#include "baselines/registry.h"
 #include "bench/bench_common.h"
 #include "core/scenario.h"
 #include "workloads/chirper.h"

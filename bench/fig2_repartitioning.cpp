@@ -13,7 +13,7 @@
 // throughput + low multi-partition after.
 #include <cstdio>
 
-#include "baselines/presets.h"
+#include "baselines/registry.h"
 #include "bench/bench_common.h"
 #include "workloads/tpcc.h"
 
@@ -24,7 +24,7 @@ int main() {
   const std::size_t duration = bench::full_mode() ? 120 : 60;
   const std::uint32_t warehouses = 4;
 
-  auto config = baselines::dynastar_config(warehouses);
+  auto config = baselines::config_for("dynastar", warehouses);
   // The paper's oracle fires after a hint threshold (~t=50s there). We pin
   // the trigger at duration/3 so the before/after phases are clearly
   // visible regardless of the load level.

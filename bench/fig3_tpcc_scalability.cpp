@@ -11,7 +11,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "baselines/presets.h"
+#include "baselines/registry.h"
 #include "bench/bench_common.h"
 #include "workloads/tpcc.h"
 
@@ -22,8 +22,8 @@ namespace {
 
 bench::Measured run(core::ExecutionMode mode, std::uint32_t partitions) {
   auto config = mode == core::ExecutionMode::kDynaStar
-                    ? baselines::dynastar_config(partitions)
-                    : baselines::ssmr_config(partitions);
+                    ? baselines::config_for("dynastar", partitions)
+                    : baselines::config_for("ssmr", partitions);
   tpcc::Scale scale;
   core::System system(config, tpcc::tpcc_app_factory(scale));
   tpcc::setup(system, scale, partitions,

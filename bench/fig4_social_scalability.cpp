@@ -33,8 +33,8 @@ Row run(core::ExecutionMode mode, std::uint32_t partitions,
                              : bench::chirper::Placement::kOptimized;
   auto make_config = [&] {
     auto config = mode == core::ExecutionMode::kDynaStar
-                      ? baselines::dynastar_config(partitions)
-                      : baselines::ssmr_config(partitions);
+                      ? baselines::config_for("dynastar", partitions)
+                      : baselines::config_for("ssmr", partitions);
     // Measure DynaStar's converged steady state (no plan churn mid-window).
     config.repartition_hint_threshold = 1'000'000'000;
     return config;

@@ -17,8 +17,8 @@ namespace {
 std::vector<Histogram::CdfPoint> run_cdf(core::ExecutionMode mode,
                                          std::uint32_t partitions) {
   auto config = mode == core::ExecutionMode::kDynaStar
-                    ? baselines::dynastar_config(partitions)
-                    : baselines::ssmr_config(partitions);
+                    ? baselines::config_for("dynastar", partitions)
+                    : baselines::config_for("ssmr", partitions);
   config.repartition_hint_threshold = 1'000'000'000;
   bench::ChirperParams params;
   params.clients_per_partition = 7;  // ~75% of saturation

@@ -25,8 +25,8 @@ void run(core::ExecutionMode mode, const char* label) {
   const std::uint32_t partitions = 4;
 
   auto config = mode == core::ExecutionMode::kDynaStar
-                    ? baselines::dynastar_config(partitions)
-                    : baselines::ssmr_config(partitions);
+                    ? baselines::config_for("dynastar", partitions)
+                    : baselines::config_for("ssmr", partitions);
   config.repartition_hint_threshold =
       bench::env_u64("DYNASTAR_FIG6_THRESHOLD", 60'000);
 

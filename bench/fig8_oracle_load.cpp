@@ -13,7 +13,7 @@ int main() {
   const std::size_t duration = bench::full_mode() ? 160 : 80;
   const std::size_t trigger_at = duration / 2;
 
-  auto config = baselines::dynastar_config(4);
+  auto config = baselines::config_for("dynastar", 4);
   config.repartition_hint_threshold = 1'000'000'000;  // manual trigger below
 
   bench::ChirperParams params;

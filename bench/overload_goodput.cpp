@@ -118,7 +118,7 @@ int main(int argc, char** argv) {
 
   auto system =
       core::ScenarioBuilder()
-          .mode(core::ExecutionMode::kDynaStar)
+          .execution_mode(core::ExecutionMode::kDynaStar)
           .partitions(3)
           .seed(42)
           .queue_cap(8)

@@ -15,7 +15,7 @@ using namespace dynastar;
 
 int main() {
   const std::uint32_t partitions = 4;
-  auto config = baselines::dynastar_config(partitions);
+  auto config = baselines::config_for("dynastar", partitions);
   config.repartition_hint_threshold = 1'000'000'000;
 
   bench::ChirperParams params;

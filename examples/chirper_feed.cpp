@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <memory>
 
-#include "baselines/presets.h"
+#include "baselines/registry.h"
 #include "core/system.h"
 #include "workloads/chirper.h"
 #include "workloads/social_graph.h"
@@ -23,7 +23,7 @@ int main() {
   std::printf("social graph: %zu users, %zu follow edges, max followers %u\n",
               graph.num_users(), graph.num_edges(), graph.max_followers());
 
-  auto config = baselines::dynastar_config(4);
+  auto config = baselines::config_for("dynastar", 4);
   config.repartition_hint_threshold = 40'000;
   config.min_repartition_interval = seconds(8);
   core::System system(config, chirper::chirper_app_factory());

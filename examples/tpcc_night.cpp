@@ -5,7 +5,7 @@
 #include <cstdio>
 #include <memory>
 
-#include "baselines/presets.h"
+#include "baselines/registry.h"
 #include "core/system.h"
 #include "workloads/tpcc.h"
 
@@ -14,7 +14,7 @@ namespace tpcc = workloads::tpcc;
 
 int main() {
   const std::uint32_t warehouses = 4;
-  auto config = baselines::dynastar_config(warehouses);
+  auto config = baselines::config_for("dynastar", warehouses);
   config.repartition_hint_threshold = UINT64_MAX;  // we trigger explicitly
 
   tpcc::Scale scale;  // scaled-down tables, standard transaction mix

@@ -16,13 +16,18 @@ regression gate against a checked-in baseline.
 --bench dispatches on the document's "schema" field: kernel documents
 (dynastar-bench-kernel-v1) get the events/sec regression gate; overload
 documents (dynastar-bench-overload-v1, from bench/overload_goodput) get the
-goodput-under-surge and post-surge-recovery gates.
+goodput-under-surge and post-surge-recovery gates; STAR sweep documents
+(dynastar-bench-star-v1, from bench/fig34_star_sweep) get the crossover
+gate — DynaStar must beat STAR at the lowest multi-partition ratio and STAR
+must beat DynaStar at the highest, each by the --min-crossover-margin.
 
 Usage: check_report.py REPORT.json [--min-commands N]
        check_report.py --bench BENCH_kernel.json [--baseline FILE]
                        [--max-regression 0.25]
        check_report.py --bench BENCH_overload.json [--baseline FILE]
                        [--min-surge-ratio 0.5] [--min-recovery-ratio 0.9]
+       check_report.py --bench BENCH_star.json [--baseline FILE]
+                       [--min-crossover-margin 1.05]
 Exit code 0 on success, 1 with a message per violation otherwise.
 """
 
@@ -126,6 +131,7 @@ def check(report, min_commands):
 
 BENCH_SCHEMA = "dynastar-bench-kernel-v1"
 OVERLOAD_SCHEMA = "dynastar-bench-overload-v1"
+STAR_SCHEMA = "dynastar-bench-star-v1"
 
 # section -> required numeric (strictly positive) fields
 BENCH_SECTIONS = {
@@ -259,6 +265,81 @@ def check_overload_bench(report, baseline, max_regression,
     return errors
 
 
+def check_star_bench(report, baseline, max_regression, min_crossover_margin):
+    errors = []
+
+    def err(msg):
+        errors.append(msg)
+
+    sweep = report.get("sweep")
+    if not isinstance(sweep, list) or len(sweep) < 2:
+        err("sweep missing or has fewer than 2 points")
+        return errors
+    fractions = []
+    for i, point in enumerate(sweep):
+        frac = point.get("multi_fraction")
+        if not isinstance(frac, (int, float)) or not 0 <= frac <= 1:
+            err(f"sweep[{i}].multi_fraction missing or outside [0, 1]")
+            continue
+        fractions.append(frac)
+        for system in ("dynastar", "star"):
+            body = point.get(system)
+            if not isinstance(body, dict):
+                err(f"sweep[{i}] (multi={frac}) missing curve {system!r}")
+                continue
+            tps = body.get("tps")
+            if not isinstance(tps, (int, float)) or tps <= 0:
+                err(f"sweep[{i}].{system}.tps missing or non-positive")
+    if errors:
+        return errors
+    if fractions != sorted(fractions) or len(set(fractions)) != len(fractions):
+        err(f"multi_fraction values {fractions} are not strictly increasing")
+        return errors
+
+    low, high = sweep[0], sweep[-1]
+    # The crossover: each design must win its end of the sweep by a real
+    # margin, proving the asymmetric mode is a trade and not a strict win.
+    low_dyna, low_star = low["dynastar"]["tps"], low["star"]["tps"]
+    if low_dyna < low_star * min_crossover_margin:
+        err(f"at multi={low['multi_fraction']} dynastar ({low_dyna:.0f}/s) "
+            f"does not beat star ({low_star:.0f}/s) by "
+            f"{min_crossover_margin:.2f}x — the partitioned fast path lost "
+            f"its advantage on single-partition work")
+    high_dyna, high_star = high["dynastar"]["tps"], high["star"]["tps"]
+    if high_star < high_dyna * min_crossover_margin:
+        err(f"at multi={high['multi_fraction']} star ({high_star:.0f}/s) "
+            f"does not beat dynastar ({high_dyna:.0f}/s) by "
+            f"{min_crossover_margin:.2f}x — deferred master epochs lost to "
+            f"borrow/return")
+    # The deferred path must actually have run at the multi-heavy end.
+    if high["star"].get("epochs", 0) <= 0 or high["star"].get("deferred", 0) <= 0:
+        err(f"at multi={high['multi_fraction']} star reported no epochs or "
+            f"deferred commands — the asymmetric path never executed")
+
+    if baseline is not None:
+        base_sweep = baseline.get("sweep")
+        if not isinstance(base_sweep, list) or not base_sweep:
+            err("baseline file has no sweep")
+        else:
+            base_by_frac = {p.get("multi_fraction"): p for p in base_sweep}
+            for point in sweep:
+                base = base_by_frac.get(point["multi_fraction"])
+                if base is None:
+                    continue
+                for system in ("dynastar", "star"):
+                    base_tps = base.get(system, {}).get("tps")
+                    if not isinstance(base_tps, (int, float)) or base_tps <= 0:
+                        continue
+                    tps = point[system]["tps"]
+                    floor = base_tps * (1.0 - max_regression)
+                    if tps < floor:
+                        err(f"{system} tps at multi="
+                            f"{point['multi_fraction']} regressed: "
+                            f"{tps:.0f} < {floor:.0f} ({base_tps:.0f} "
+                            f"baseline, {max_regression:.0%} budget)")
+    return errors
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -278,6 +359,10 @@ def main():
     parser.add_argument("--min-recovery-ratio", type=float, default=0.9,
                         help="overload bench: post-surge goodput floor as a "
                              "fraction of baseline (default 0.9)")
+    parser.add_argument("--min-crossover-margin", type=float, default=1.05,
+                        help="star bench: factor by which each system must "
+                             "beat the other at its end of the sweep "
+                             "(default 1.05)")
     args = parser.parse_args()
 
     try:
@@ -310,6 +395,23 @@ def main():
                   f"{report['baseline']['goodput_per_sec']:.0f}/s, surge "
                   f"{report['surge_ratio']:.0%}, recovery "
                   f"{report['recovery_ratio']:.0%}")
+            return 0
+        if report.get("schema") == STAR_SCHEMA:
+            errors = check_star_bench(report, baseline, args.max_regression,
+                                      args.min_crossover_margin)
+            if errors:
+                for msg in errors:
+                    print(f"check_report: {msg}", file=sys.stderr)
+                return 1
+            sweep = report["sweep"]
+            print(f"check_report: OK — star sweep over "
+                  f"{len(sweep)} multi-partition ratios; at "
+                  f"{sweep[0]['multi_fraction']} dynastar leads "
+                  f"{sweep[0]['dynastar']['tps']:.0f}/s vs "
+                  f"{sweep[0]['star']['tps']:.0f}/s, at "
+                  f"{sweep[-1]['multi_fraction']} star leads "
+                  f"{sweep[-1]['star']['tps']:.0f}/s vs "
+                  f"{sweep[-1]['dynastar']['tps']:.0f}/s")
             return 0
         errors = check_bench(report, baseline, args.max_regression)
         if errors:

@@ -1,0 +1,105 @@
+#include "baselines/registry.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/scenario.h"
+
+namespace dynastar::baselines {
+
+core::SystemConfig baseline_common(std::uint32_t partitions,
+                                   std::uint64_t seed) {
+  core::SystemConfig config;
+  config.num_partitions = partitions;
+  config.seed = seed;
+  return config;
+}
+
+core::SystemConfig Baseline::config(std::uint32_t partitions,
+                                    std::uint64_t seed) const {
+  core::SystemConfig c = baseline_common(partitions, seed);
+  c.mode = mode;
+  protocol_knobs(c);
+  return c;
+}
+
+namespace {
+
+void dynastar_knobs(core::SystemConfig& config) {
+  config.repartitioning_enabled = true;
+}
+
+void static_knobs(core::SystemConfig& config) {
+  // Static placement: the benchmark setup installs the (workload-optimized
+  // or naive) assignment; the run never re-plans.
+  config.repartitioning_enabled = false;
+}
+
+void star_knobs(core::SystemConfig& config) {
+  // STAR keeps placement static too; multi-partition commands run in
+  // log-ordered master epochs instead of borrow/return round-trips.
+  config.repartitioning_enabled = false;
+}
+
+}  // namespace
+
+const std::vector<Baseline>& registry() {
+  static const std::vector<Baseline> kBaselines = {
+      {"dynastar",
+       "DynaStar as evaluated in the paper: oracle repartitioning on, "
+       "borrow/return execution, optimized plans",
+       core::ExecutionMode::kDynaStar, dynastar_knobs},
+      {"ssmr",
+       "S-SMR* (paper §5.5): static workload-optimized placement; "
+       "multi-partition commands execute at every involved partition",
+       core::ExecutionMode::kSSMR, static_knobs},
+      {"dssmr",
+       "DS-SMR (Le et al., DSN'16): every multi-partition command "
+       "permanently moves its variables to the target; no workload graph",
+       core::ExecutionMode::kDSSMR, static_knobs},
+      {"star",
+       "STAR-style asymmetric execution: singles run partitioned, "
+       "multi-partition commands defer to periodic full-replica master epochs",
+       core::ExecutionMode::kStar, star_knobs},
+  };
+  return kBaselines;
+}
+
+const Baseline* find_baseline(std::string_view name) {
+  for (const Baseline& b : registry())
+    if (name == b.name) return &b;
+  return nullptr;
+}
+
+core::SystemConfig config_for(std::string_view name, std::uint32_t partitions,
+                              std::uint64_t seed) {
+  const Baseline* baseline = find_baseline(name);
+  if (baseline == nullptr) {
+    std::fprintf(stderr, "unknown baseline '%.*s' (expected %s)\n",
+                 static_cast<int>(name.size()), name.data(),
+                 baseline_names().c_str());
+    std::abort();
+  }
+  return baseline->config(partitions, seed);
+}
+
+std::string baseline_names(const char* sep) {
+  std::string out;
+  for (const Baseline& b : registry()) {
+    if (!out.empty()) out += sep;
+    out += b.name;
+  }
+  return out;
+}
+
+}  // namespace dynastar::baselines
+
+namespace dynastar::core {
+
+ScenarioBuilder& ScenarioBuilder::system_preset(std::string_view name) {
+  const std::uint32_t partitions = current_config().num_partitions;
+  const std::uint64_t seed = current_config().seed;
+  return config(baselines::config_for(name, partitions, seed));
+}
+
+}  // namespace dynastar::core

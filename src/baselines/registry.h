@@ -1,0 +1,55 @@
+// Baseline registry: the four systems the repo evaluates — DynaStar,
+// S-SMR* (static, workload-optimized placement), DS-SMR (naive dynamic
+// relocation), and STAR (asymmetric partitioned/replicated execution) —
+// expressed as named configurations of one seam. Every comparison resolves
+// through baseline_common(), so the systems provably share network/CPU/Paxos
+// parameters and differ only in protocol knobs (asserted in tests).
+//
+// Benches, examples, tests, core::ScenarioBuilder::system_preset() and
+// `simctl --system=<name>` all resolve names through this table, so adding a
+// baseline here surfaces it everywhere at once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/config.h"
+
+namespace dynastar::baselines {
+
+/// The parameters every baseline shares: identical network, CPU, Paxos, and
+/// partitioner settings for the requested deployment size. Baselines layer
+/// only protocol knobs on top of this.
+core::SystemConfig baseline_common(std::uint32_t partitions,
+                                   std::uint64_t seed = 1);
+
+/// One registered system. `protocol_knobs` is the complete delta from
+/// baseline_common() besides the execution mode itself.
+struct Baseline {
+  const char* name;     // registry key ("dynastar", "ssmr", ...)
+  const char* summary;  // one-liner for --help / docs
+  core::ExecutionMode mode;
+  void (*protocol_knobs)(core::SystemConfig&);
+
+  /// baseline_common(partitions, seed) + mode + protocol_knobs.
+  core::SystemConfig config(std::uint32_t partitions,
+                            std::uint64_t seed = 1) const;
+};
+
+/// All registered baselines, in presentation order.
+const std::vector<Baseline>& registry();
+
+/// Looks a baseline up by name; nullptr if unknown.
+const Baseline* find_baseline(std::string_view name);
+
+/// find_baseline(name)->config(...); aborts with a message listing the
+/// registered names when `name` is unknown (bench/example convenience).
+core::SystemConfig config_for(std::string_view name, std::uint32_t partitions,
+                              std::uint64_t seed = 1);
+
+/// Registered names joined by `sep` — for generated --help text.
+std::string baseline_names(const char* sep = " | ");
+
+}  // namespace dynastar::baselines

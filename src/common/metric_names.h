@@ -47,6 +47,12 @@ inline constexpr const char* kServerQueueDepth = "server.queue_depth";
 /// Client-facing commands shed at admission (counter + per-node series).
 inline constexpr const char* kServerShed = "server.shed";
 
+// --- STAR asymmetric execution (mode == kStar only) ---
+/// Epoch switches executed at the master (counter).
+inline constexpr const char* kStarEpochs = "star.epochs";
+/// Multi-partition commands executed in deferred epoch batches (counter).
+inline constexpr const char* kStarDeferred = "star.deferred";
+
 // --- recovery (checkpoints + snapshot state transfer) ---
 inline constexpr const char* kServerCheckpoints = "server.checkpoints";
 inline constexpr const char* kServerSnapshotInstalls =

@@ -26,6 +26,7 @@ const char* TraceCollector::point_name(TracePoint point) {
     case TracePoint::kAdmit: return "admit";
     case TracePoint::kShed: return "shed";
     case TracePoint::kBusyReply: return "busy_reply";
+    case TracePoint::kStarEpoch: return "star_epoch";
   }
   return "unknown";
 }

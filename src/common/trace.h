@@ -54,6 +54,8 @@ enum class TracePoint : std::uint8_t {
   kAdmit,             // leader admitted past a configured gate; detail = depth
   kShed,              // shed delivery processed; detail = admission depth
   kBusyReply,         // Busy sent to the client; detail = retry_after (ns)
+  // --- STAR asymmetric execution ---
+  kStarEpoch,         // epoch switch applied; key = epoch, detail = batch size
 };
 
 /// One fixed-width trace record. 40 bytes, trivially copyable; the collector

@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "common/metric_names.h"
-#include "core/server.h"  // choose_target, group_of
+#include "core/server.h"  // group_of, kOracleGroup
 
 namespace dynastar::core {
 
@@ -121,22 +121,24 @@ void ClientCore::route(bool force_oracle) {
     return;
   }
 
-  std::vector<PartitionId> dests = owners;
-  std::sort(dests.begin(), dests.end());
-  dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
-  out.multi = dests.size() > 1;
-  const PartitionId target = choose_target(cmd.objects, owners);
-  out.target = target;
+  // The mode seam: the cache-hit path computes the same addressing as the
+  // oracle would (STAR pins the master; the partitioned modes address the
+  // distinct owners).
+  Route r = route_command(config_.mode,
+                          PartitionId{config_.star_master_partition},
+                          cmd.objects, owners);
+  out.multi = r.multi;
+  out.target = r.target;
 
   if (trace_)
     trace_->record(TracePoint::kClientRoute, env_.now(), cmd.cmd_id,
                    out.attempt, env_.self().value(), /*via oracle=*/0);
   std::vector<GroupId> groups;
-  groups.reserve(dests.size());
-  for (PartitionId p : dests) groups.push_back(group_of(p));
+  groups.reserve(r.dests.size());
+  for (PartitionId p : r.dests) groups.push_back(group_of(p));
   sender_.amcast(std::move(groups),
-                 sim::make_message<ExecCommand>(out.cmd, std::move(dests),
-                                                std::move(owners), target,
+                 sim::make_message<ExecCommand>(out.cmd, std::move(r.dests),
+                                                std::move(owners), r.target,
                                                 cache_epoch_, out.attempt));
   arm_command_timer();
 }

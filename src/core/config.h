@@ -4,24 +4,12 @@
 #include <cstdint>
 
 #include "common/ids.h"
+#include "core/execution.h"
 #include "partitioning/partitioner.h"
 #include "paxos/replica.h"
 #include "sim/network.h"
 
 namespace dynastar::core {
-
-/// Which protocol the partition servers run.
-enum class ExecutionMode : std::uint8_t {
-  /// DynaStar (the paper): borrow omega to one target partition, execute
-  /// once, return the variables; periodic METIS repartitioning.
-  kDynaStar,
-  /// S-SMR (Bezerra et al., DSN'14): static partitioning; every involved
-  /// partition executes the command after exchanging copies of state.
-  kSSMR,
-  /// DS-SMR (Le et al., DSN'16): dynamic, but variables move permanently to
-  /// the target on every multi-partition command; no workload graph.
-  kDSSMR,
-};
 
 struct SystemConfig {
   ExecutionMode mode = ExecutionMode::kDynaStar;
@@ -51,6 +39,15 @@ struct SystemConfig {
   /// Multiplies the workload graph's weights by this factor at every plan
   /// computation, so stale access patterns fade (1.0 = never forget).
   double workload_graph_decay = 1.0;
+
+  // --- STAR asymmetric execution (mode == kStar only) ---
+  /// The partition holding the full replica and executing deferred
+  /// multi-partition commands at each epoch switch.
+  std::uint32_t star_master_partition = 0;
+  /// Master replicas poll their deferred queue at this interval and emit an
+  /// epoch-switch marker when work is pending. Shorter = lower multi-command
+  /// latency, more marker/update traffic.
+  SimTime star_epoch_interval = milliseconds(1);
 
   // --- Client ---
   /// Maximum entries in a client's location cache (0 = unbounded). When

@@ -1,0 +1,71 @@
+#include "core/execution.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace dynastar::core {
+
+const char* mode_name(ExecutionMode mode) {
+  switch (mode) {
+    case ExecutionMode::kDynaStar: return "dynastar";
+    case ExecutionMode::kSSMR: return "ssmr";
+    case ExecutionMode::kDSSMR: return "dssmr";
+    case ExecutionMode::kStar: return "star";
+  }
+  return "unknown";
+}
+
+std::optional<ExecutionMode> parse_mode(std::string_view name) {
+  for (ExecutionMode mode : kAllModes)
+    if (name == mode_name(mode)) return mode;
+  return std::nullopt;
+}
+
+PartitionId choose_target([[maybe_unused]] const std::vector<ObjectId>& objects,
+                          const std::vector<PartitionId>& owner_per_object) {
+  assert(!objects.empty() && objects.size() == owner_per_object.size());
+  // Count objects per owner; winner = most objects, ties -> lowest id.
+  std::map<PartitionId, std::size_t> counts;
+  for (PartitionId p : owner_per_object) counts[p]++;
+  PartitionId best = owner_per_object[0];
+  std::size_t best_count = 0;
+  for (const auto& [p, count] : counts) {
+    if (count > best_count) {
+      best = p;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+Route route_command(ExecutionMode mode, PartitionId star_master,
+                    const std::vector<ObjectId>& objects,
+                    const std::vector<PartitionId>& owner_per_object) {
+  Route route;
+  route.dests = owner_per_object;
+  std::sort(route.dests.begin(), route.dests.end());
+  route.dests.erase(std::unique(route.dests.begin(), route.dests.end()),
+                    route.dests.end());
+  route.multi = route.dests.size() > 1;
+  route.target = choose_target(objects, owner_per_object);
+  if (mode == ExecutionMode::kStar) {
+    if (route.multi) {
+      // Deferred to the master's next fully-replicated epoch; the owners
+      // never see the command — they receive the master's state update at
+      // the epoch switch instead.
+      route.dests.assign(1, star_master);
+      route.target = star_master;
+    } else {
+      // The owner executes and replies; the master applies silently so its
+      // full replica stays fresh for the next epoch.
+      route.dests.push_back(star_master);
+      std::sort(route.dests.begin(), route.dests.end());
+      route.dests.erase(std::unique(route.dests.begin(), route.dests.end()),
+                        route.dests.end());
+    }
+  }
+  return route;
+}
+
+}  // namespace dynastar::core

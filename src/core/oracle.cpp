@@ -247,16 +247,28 @@ void OracleCore::on_request(const OracleRequest& request) {
       pending_creates_.emplace(vertex, target);
     }
     // Retransmitted creates resolve to the already-placed vertex, so the
-    // same target is addressed again and its reply cache answers.
+    // same target is addressed again and its reply cache answers. STAR also
+    // addresses the master partition, which applies the create silently to
+    // keep its full replica complete.
+    std::vector<PartitionId> dests{target};
+    std::vector<GroupId> groups{kOracleGroup, group_of(target)};
+    if (config_.mode == ExecutionMode::kStar) {
+      const PartitionId master{config_.star_master_partition};
+      if (master != target) {
+        dests.push_back(master);
+        std::sort(dests.begin(), dests.end());
+        groups.push_back(group_of(master));
+      }
+    }
     auto exec = sim::make_message<ExecCommand>(
-        request.cmd, std::vector<PartitionId>{target},
-        std::vector<PartitionId>{target}, target, epoch_, request.attempt);
+        request.cmd, std::move(dests), std::vector<PartitionId>{target},
+        target, epoch_, request.attempt);
     relay_cache_[cmd.client.value()] = exec;
     if (trace_)
       trace_->record(TracePoint::kOracleRelay, env_.now(), cmd.cmd_id,
                      request.attempt, env_.self().value(), target.value());
     member_.amcast_as_group(oracle_uid(/*purpose=*/1, ++relays_emitted_),
-                            {kOracleGroup, group_of(target)}, exec);
+                            std::move(groups), exec);
     send_prophecy(request, ReplyStatus::kOk, target, {{vertex, target}});
     return;
   }
@@ -301,26 +313,27 @@ void OracleCore::on_request(const OracleRequest& request) {
     owners.push_back(p);
     locations.emplace_back(v, p);
   }
-  std::vector<PartitionId> dests = owners;
-  std::sort(dests.begin(), dests.end());
-  dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
-  const PartitionId target = choose_target(cmd.objects, owners);
+  // The mode seam: DynaStar/S-SMR*/DS-SMR address the distinct owners; STAR
+  // additionally pins the master (singles) or defers to it (multi-owner).
+  Route route =
+      route_command(config_.mode, PartitionId{config_.star_master_partition},
+                    cmd.objects, owners);
 
   std::vector<GroupId> groups;
-  groups.reserve(dests.size() + 1);
-  for (PartitionId p : dests) groups.push_back(group_of(p));
+  groups.reserve(route.dests.size() + 1);
+  for (PartitionId p : route.dests) groups.push_back(group_of(p));
   if (cmd.type == CommandType::kDelete) groups.push_back(kOracleGroup);
 
-  auto exec = sim::make_message<ExecCommand>(request.cmd, std::move(dests),
-                                                  std::move(owners), target,
-                                                  epoch_, request.attempt);
+  auto exec = sim::make_message<ExecCommand>(
+      request.cmd, std::move(route.dests), std::move(owners), route.target,
+      epoch_, request.attempt);
   relay_cache_[cmd.client.value()] = exec;
   if (trace_)
     trace_->record(TracePoint::kOracleRelay, env_.now(), cmd.cmd_id,
-                   request.attempt, env_.self().value(), target.value());
+                   request.attempt, env_.self().value(), route.target.value());
   member_.amcast_as_group(oracle_uid(/*purpose=*/1, ++relays_emitted_),
                           std::move(groups), exec);
-  send_prophecy(request, ReplyStatus::kOk, target, std::move(locations));
+  send_prophecy(request, ReplyStatus::kOk, route.target, std::move(locations));
 }
 
 void OracleCore::on_create_apply(const ExecCommand& exec) {

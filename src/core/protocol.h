@@ -133,6 +133,18 @@ struct LocationUpdate final : sim::Message {
   std::vector<std::pair<VertexId, PartitionId>> moves;
 };
 
+/// STAR only: master replica -> all partition groups, "switch to epoch
+/// `epoch` here". Log-ordered like a PlanMsg: any master replica may emit
+/// it (timer-driven, so emission is replica-local), the first delivered
+/// marker for an epoch wins and duplicates are ignored, so every replica
+/// of every partition phase-switches at the same point of its delivery
+/// order.
+struct StarEpochMsg final : sim::Message {
+  explicit StarEpochMsg(Epoch e) : epoch(e) {}
+  const char* type_name() const override { return "core.StarEpochMsg"; }
+  Epoch epoch;
+};
+
 // ---------------------------------------------------------------------------
 // Direct (unordered) messages
 // ---------------------------------------------------------------------------
@@ -243,6 +255,26 @@ struct FetchVertex final : sim::Message {
   Epoch epoch;
   PartitionId from;
   VertexId vertex;
+};
+
+/// STAR only: master replica -> one non-master partition's replicas, the
+/// post-batch state of every vertex owned by that partition which the
+/// deferred batch of `epoch` touched. Non-masters block at the epoch's
+/// marker until this arrives, then install it and switch — so their state
+/// at the switch equals the master's, regardless of marker/update race.
+struct StarEpochUpdate final : sim::Message {
+  StarEpochUpdate(Epoch e, PartitionId f,
+                  std::vector<std::pair<VertexId, std::vector<ObjectEnvelope>>> v)
+      : epoch(e), from(f), vertices(std::move(v)) {}
+  const char* type_name() const override { return "core.StarEpochUpdate"; }
+  std::size_t size_bytes() const override {
+    std::size_t total = 32;
+    for (const auto& [vertex, objs] : vertices) total += 8 + envelopes_bytes(objs);
+    return total;
+  }
+  Epoch epoch;
+  PartitionId from;
+  std::vector<std::pair<VertexId, std::vector<ObjectEnvelope>>> vertices;
 };
 
 /// Involved partition -> other involved partitions: I rejected this command

@@ -3,7 +3,7 @@
 // boilerplate that every bench and system test used to repeat:
 //
 //   auto system = core::ScenarioBuilder()
-//                     .mode(core::ExecutionMode::kDynaStar)
+//                     .execution_mode(core::ExecutionMode::kDynaStar)
 //                     .partitions(4)
 //                     .app(workloads::kv_app_factory())
 //                     .preload_kv(1024, workloads::KvObject(0))
@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "core/object.h"
@@ -33,10 +34,15 @@ class ScenarioBuilder {
   /// Per-client driver factory; called once per client with its index.
   using DriverFactory = std::function<std::unique_ptr<ClientDriver>(std::size_t)>;
 
-  ScenarioBuilder& mode(ExecutionMode m) {
+  ScenarioBuilder& execution_mode(ExecutionMode m) {
     config_.mode = m;
     return *this;
   }
+  /// Replaces the whole config with a registered baseline's ("dynastar",
+  /// "ssmr", "dssmr", "star"), keeping the current partition count and seed.
+  /// Aborts on an unknown name. Defined in src/baselines/registry.cpp —
+  /// callers must link dynastar_baselines (every bench/test/tool does).
+  ScenarioBuilder& system_preset(std::string_view name);
   ScenarioBuilder& partitions(std::uint32_t n) {
     config_.num_partitions = n;
     return *this;

@@ -20,24 +20,17 @@ std::uint64_t group_uid(GroupId g, std::uint64_t purpose,
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
   return x | (1ULL << 63);  // avoid colliding with client uids
 }
-}  // namespace
 
-PartitionId choose_target([[maybe_unused]] const std::vector<ObjectId>& objects,
-                          const std::vector<PartitionId>& owner_per_object) {
-  assert(!objects.empty() && objects.size() == owner_per_object.size());
-  // Count objects per owner; winner = most objects, ties -> lowest id.
-  std::map<PartitionId, std::size_t> counts;
-  for (PartitionId p : owner_per_object) counts[p]++;
-  PartitionId best = owner_per_object[0];
-  std::size_t best_count = 0;
-  for (const auto& [p, count] : counts) {
-    if (count > best_count) {
-      best = p;
-      best_count = count;
-    }
-  }
-  return best;
+/// STAR: true when the command spans more than one owner (its addressing is
+/// {master} only, and the master executes it at the next epoch switch).
+/// dests.size() can't distinguish this — a master-owned single is also
+/// addressed to exactly {master}.
+bool star_multi_owner(const ExecCommand& ec) {
+  for (PartitionId o : ec.owners)
+    if (o != ec.owners.front()) return true;
+  return false;
 }
+}  // namespace
 
 PartitionServerCore::PartitionServerCore(
     sim::Env& env, const paxos::Topology& topology, PartitionId partition,
@@ -53,7 +46,8 @@ PartitionServerCore::PartitionServerCore(
       trace_(trace),
       partition_label_(std::to_string(partition.value())),
       member_(env, topology, group_of(partition), config.paxos),
-      reliable_(env) {
+      reliable_(env),
+      star_sender_(env, topology) {
   const auto& replicas = topology.group(group_of(partition)).replicas;
   for (std::size_t i = 0; i < replicas.size(); ++i)
     if (replicas[i] == env.self()) replica_label_ = std::to_string(i);
@@ -99,7 +93,10 @@ PartitionServerCore::PartitionServerCore(
   });
 }
 
-void PartitionServerCore::start() { member_.start(); }
+void PartitionServerCore::start() {
+  member_.start();
+  if (is_star_master()) arm_star_epoch_timer();
+}
 
 std::vector<ProcessId> PartitionServerCore::reliable_peers() const {
   // Every process that may hold (or need) retained direct coordination
@@ -159,6 +156,10 @@ PartitionServerCore::SnapshotPtr PartitionServerCore::capture_snapshot()
   snap->hint_emissions = hint_emissions_;
   snap->location_updates_emitted = location_updates_emitted_;
   snap->dssmr_moves = dssmr_moves_;
+  snap->star_sender = star_sender_.capture();
+  snap->star_epoch = star_epoch_;
+  snap->star_deferred = star_deferred_;
+  snap->star_updates = star_updates_;
   return snap;
 }
 
@@ -193,6 +194,13 @@ void PartitionServerCore::restore_snapshot(const Snapshot& snapshot) {
   hint_emissions_ = snapshot.hint_emissions;
   location_updates_emitted_ = snapshot.location_updates_emitted;
   dssmr_moves_ = snapshot.dssmr_moves;
+  star_sender_.restore(snapshot.star_sender);
+  star_epoch_ = snapshot.star_epoch;
+  star_deferred_ = snapshot.star_deferred;
+  star_updates_ = snapshot.star_updates;
+  // Replica-local marker throttle: any marker in flight at the crash died
+  // with the old incarnation's timer; the next timer tick may re-emit.
+  star_marker_inflight_ = snapshot.star_epoch;
 }
 
 void PartitionServerCore::start_recovered() {
@@ -201,6 +209,11 @@ void PartitionServerCore::start_recovered() {
                    member_.replica().next_deliver_slot(), 0,
                    env_.self().value(), partition_.value());
   member_.start_recovered();
+  if (is_star_master()) {
+    // Re-drive unacked marker sends immediately, then keep the epoch cadence.
+    star_sender_.retransmit_unacked();
+    arm_star_epoch_timer();
+  }
 }
 
 bool PartitionServerCore::is_primary_replica() const {
@@ -225,7 +238,9 @@ bool PartitionServerCore::handle(ProcessId from, const sim::MessagePtr& msg) {
     if (inner) dispatch_direct(from, inner);
     return true;
   }
-  // A McastAck for an entry the member already pruned (late duplicate).
+  // McastAcks for this replica's own epoch-marker sends (STAR), or for an
+  // entry the member already pruned (late duplicate).
+  if (star_sender_.handle(msg)) return true;
   if (dynamic_cast<const multicast::McastAck*>(msg.get()) != nullptr)
     return true;
   return dispatch_direct(from, msg);
@@ -249,6 +264,10 @@ bool PartitionServerCore::dispatch_direct(ProcessId /*from*/,
     on_fetch(*m);
     return true;
   }
+  if (auto m = sim::dyn_ref_cast<const StarEpochUpdate>(msg)) {
+    on_star_update(m);
+    return true;
+  }
   if (auto* m = dynamic_cast<const AbortNotice*>(msg.get())) {
     on_abort(*m);
     return true;
@@ -269,10 +288,13 @@ void PartitionServerCore::send_to_partition(PartitionId p,
 void PartitionServerCore::on_adeliver(const multicast::McastData& data) {
   if (auto exec = sim::dyn_ref_cast<const ExecCommand>(data.payload)) {
     trace_cmd(TracePoint::kServerDeliver, *exec, partition_.value());
-    queue_.push_back(QueueItem{std::move(exec), nullptr});
+    queue_.push_back(QueueItem{std::move(exec), nullptr, nullptr});
   } else if (auto plan =
                  sim::dyn_ref_cast<const PlanMsg>(data.payload)) {
-    queue_.push_back(QueueItem{nullptr, std::move(plan)});
+    queue_.push_back(QueueItem{nullptr, std::move(plan), nullptr});
+  } else if (auto star =
+                 sim::dyn_ref_cast<const StarEpochMsg>(data.payload)) {
+    queue_.push_back(QueueItem{nullptr, nullptr, std::move(star)});
   } else {
     return;  // oracle-only payloads multicast to every group are ignored here
   }
@@ -331,6 +353,32 @@ void PartitionServerCore::pump() {
       apply_plan(*plan);
       continue;
     }
+    if (item.star) {
+      sim::Ref<const StarEpochMsg> marker = item.star;
+      if (marker->epoch <= star_epoch_) {
+        // The other master replica's copy of an already-applied switch.
+        queue_.pop_front();
+        continue;
+      }
+      if (is_star_master()) {
+        queue_.pop_front();
+        star_execute_batch(marker->epoch);
+        continue;
+      }
+      auto update = star_updates_.find(marker->epoch);
+      if (update == star_updates_.end()) {
+        // The marker's log position is the switch point, but the master's
+        // state update travels the direct plane and may still be in flight.
+        blocked_ = true;
+        return;
+      }
+      sim::Ref<const StarEpochUpdate> state = update->second;
+      star_updates_.erase(update);
+      queue_.pop_front();
+      apply_star_update(*state);
+      star_epoch_ = marker->epoch;
+      continue;
+    }
     ExecCommandPtr ec = item.exec;
     if (serve_cached_duplicate(*ec)) {
       queue_.pop_front();
@@ -343,6 +391,14 @@ void PartitionServerCore::pump() {
     }
     if (ec->cmd->type == CommandType::kDelete) {
       execute_delete(*ec);
+      queue_.pop_front();
+      continue;
+    }
+    if (config_.mode == ExecutionMode::kStar && star_multi_owner(*ec)) {
+      // Multi-partition command: only the master group is addressed; defer
+      // it (in delivery order) to the next epoch switch, where it executes
+      // against the full replica without borrow/return round-trips.
+      star_deferred_.push_back(ec);
       queue_.pop_front();
       continue;
     }
@@ -359,7 +415,14 @@ void PartitionServerCore::pump() {
         queue_.pop_front();
         continue;
       case Classification::kInvalid:
-        reject(*ec, /*notify_peers=*/true);
+        if (config_.mode == ExecutionMode::kStar) {
+          // Deterministic at owner and master (their verdicts are a function
+          // of the same pairwise-ordered delivery sequence); only the owner
+          // replies, and there are no transfers to abort.
+          if (ec->target == partition_) reject(*ec, /*notify_peers=*/false);
+        } else {
+          reject(*ec, /*notify_peers=*/true);
+        }
         queue_.pop_front();
         continue;
       case Classification::kBlocked:
@@ -367,6 +430,12 @@ void PartitionServerCore::pump() {
         return;
       case Classification::kReady:
         break;
+    }
+
+    if (config_.mode == ExecutionMode::kStar) {
+      execute_star_single(*ec);
+      queue_.pop_front();
+      continue;
     }
 
     const bool multi = ec->dests.size() > 1;
@@ -446,6 +515,12 @@ bool PartitionServerCore::serve_cached_duplicate(const ExecCommand& ec) {
     ssmr_sent_.erase(key);
     return true;
   }
+  if (config_.mode == ExecutionMode::kStar) {
+    // No transfers ever ship under STAR, so there is nothing to bounce (and
+    // no resolved_ entry to create — star singles have two dests but the
+    // peer is the silently-applying master, not a variable source).
+    return true;
+  }
   if (ec.dests.size() > 1 && ec.target == partition_) {
     auto& sources = resolved_[key];
     auto tstate = transfers_.find(key);
@@ -495,6 +570,13 @@ PartitionServerCore::Classification PartitionServerCore::classify(
 
   if (!objects_available(ec, /*claimed_mine_only=*/true))
     return Classification::kBlocked;
+
+  if (config_.mode == ExecutionMode::kStar) {
+    // Star singles never wait for transfers: the owner and the master each
+    // execute on the state they hold. (Without this the two-dest addressing
+    // below would wait for a VarTransfer nobody ships.)
+    return Classification::kReady;
+  }
 
   const bool multi = ec.dests.size() > 1;
   if (multi && ec.target == partition_ &&
@@ -673,19 +755,27 @@ void PartitionServerCore::execute_create(const ExecCommand& ec) {
   // executable regardless of the epoch (Algorithm 2, Tasks 2/3).
   const ObjectId id = ec.cmd->objects.front();
   const VertexId vertex = ec.cmd->vertices.front();
+  // STAR: creates are also addressed to the master, which applies them
+  // silently (records the owner, not itself, and leaves replying to the
+  // owner) so its full replica tracks every vertex.
+  const bool silent =
+      config_.mode == ExecutionMode::kStar && ec.target != partition_;
   trace_cmd(TracePoint::kExecuteStart, ec, partition_.value());
   if (store_.contains(id)) {
     remember_reply(ec, ReplyStatus::kNok, nullptr);
-    send_reply(ec, ReplyStatus::kNok, nullptr);
+    if (!silent) send_reply(ec, ReplyStatus::kNok, nullptr);
     return;
   }
   store_.put(id, vertex, app_->make_object(*ec.cmd));
-  map_[vertex] = partition_;
+  map_[vertex] =
+      config_.mode == ExecutionMode::kStar ? ec.target : partition_;
   remember_reply(ec, ReplyStatus::kOk, nullptr);
-  send_reply(ec, ReplyStatus::kOk, nullptr);
+  if (!silent) {
+    send_reply(ec, ReplyStatus::kOk, nullptr);
+    note_command_metrics(ec, /*multi=*/false);
+  }
   if (config_.mode == ExecutionMode::kDynaStar)
     record_hints(*ec.cmd, /*multi_partition=*/false);
-  note_command_metrics(ec, /*multi=*/false);
 }
 
 void PartitionServerCore::execute_delete(const ExecCommand& ec) {
@@ -693,12 +783,16 @@ void PartitionServerCore::execute_delete(const ExecCommand& ec) {
   // mapping. The oracle removed the vertex from its own map/graph when it
   // delivered its copy of this multicast (it is a destination).
   const VertexId vertex = ec.cmd->vertices.front();
+  const bool silent =
+      config_.mode == ExecutionMode::kStar && ec.target != partition_;
   trace_cmd(TracePoint::kExecuteStart, ec, partition_.value());
   for (ObjectId id : store_.objects_of_vertex(vertex)) store_.take(id);
   map_.erase(vertex);
   remember_reply(ec, ReplyStatus::kOk, nullptr);
-  send_reply(ec, ReplyStatus::kOk, nullptr);
-  note_command_metrics(ec, /*multi=*/false);
+  if (!silent) {
+    send_reply(ec, ReplyStatus::kOk, nullptr);
+    note_command_metrics(ec, /*multi=*/false);
+  }
 }
 
 void PartitionServerCore::execute_non_target(const ExecCommand& ec) {
@@ -813,8 +907,156 @@ void PartitionServerCore::execute_ssmr(const ExecCommand& ec) {
   note_command_metrics(ec, multi);
 }
 
-void PartitionServerCore::reject(const ExecCommand& ec, bool notify_peers) {
+// ---------------------------------------------------------------------------
+// STAR asymmetric execution
+// ---------------------------------------------------------------------------
+
+void PartitionServerCore::arm_star_epoch_timer() {
+  env_.start_timer(config_.star_epoch_interval, [this] {
+    maybe_emit_star_marker();
+    arm_star_epoch_timer();
+  });
+}
+
+void PartitionServerCore::maybe_emit_star_marker() {
+  // Re-drive marker multicasts a destination group never acked, then emit
+  // the next epoch's marker if deferred work is waiting and the previous
+  // marker already applied. Emission is replica-local (each master replica
+  // runs its own timer); receivers dedupe by epoch, first delivered wins —
+  // exactly the PlanMsg discipline.
+  star_sender_.retransmit_unacked();
+  if (star_deferred_.empty()) return;
+  if (star_marker_inflight_ > star_epoch_) return;
+  star_marker_inflight_ = star_epoch_ + 1;
+  std::vector<GroupId> groups;
+  groups.reserve(config_.num_partitions);
+  for (std::uint32_t p = 0; p < config_.num_partitions; ++p)
+    groups.push_back(group_of(PartitionId{p}));
+  star_sender_.amcast(std::move(groups),
+                      sim::make_message<StarEpochMsg>(star_epoch_ + 1));
+}
+
+void PartitionServerCore::execute_star_single(const ExecCommand& ec) {
+  // Both the owner (the target) and the master deliver the command; each
+  // executes on its own copy so the master's full replica stays fresh, but
+  // only the owner replies and records metrics. Both cache the reply, so a
+  // retransmission is answered from either side.
+  trace_cmd(TracePoint::kExecuteStart, ec, partition_.value());
+  ExecResult result = app_->execute(*ec.cmd, store_);
+  env_.consume_cpu(result.cpu_cost);
+  sim::MessagePtr reply_payload = std::move(result.reply);
+  remember_reply(ec, ReplyStatus::kOk, reply_payload);
   if (ec.target == partition_) {
+    send_reply(ec, ReplyStatus::kOk, std::move(reply_payload));
+    note_command_metrics(ec, /*multi=*/false);
+  }
+}
+
+void PartitionServerCore::star_execute_batch(Epoch epoch) {
+  star_epoch_ = epoch;
+  auto deferred = std::move(star_deferred_);
+  star_deferred_.clear();
+  // Vertices owned by other partitions that this batch read or wrote; their
+  // post-batch state ships to the owners below.
+  std::map<PartitionId, std::set<VertexId>> touched;
+  std::uint64_t executed = 0;
+  for (const ExecCommandPtr& ec : deferred) {
+    if (serve_cached_duplicate(*ec)) continue;
+    // Re-validate the sender's ownership claims against the master's map at
+    // the switch position — a vertex deleted (or re-homed by a create race)
+    // since the addressing was computed makes the command stale.
+    bool valid = true;
+    for (std::size_t i = 0; i < ec->cmd->vertices.size(); ++i) {
+      auto it = map_.find(ec->cmd->vertices[i]);
+      const PartitionId actual = it == map_.end() ? kNoPartition : it->second;
+      if (actual != ec->owners[i]) {
+        valid = false;
+        break;
+      }
+    }
+    if (!valid) {
+      reject(*ec, /*notify_peers=*/false);
+      continue;
+    }
+    trace_cmd(TracePoint::kExecuteStart, *ec, partition_.value());
+    ExecResult result = app_->execute(*ec->cmd, store_);
+    env_.consume_cpu(result.cpu_cost);
+    sim::MessagePtr reply_payload = std::move(result.reply);
+    remember_reply(*ec, ReplyStatus::kOk, reply_payload);
+    send_reply(*ec, ReplyStatus::kOk, std::move(reply_payload));
+    for (std::size_t i = 0; i < ec->cmd->vertices.size(); ++i) {
+      if (ec->owners[i] == partition_ || ec->owners[i] == kNoPartition)
+        continue;
+      touched[ec->owners[i]].insert(ec->cmd->vertices[i]);
+    }
+    note_command_metrics(*ec, /*multi=*/true);
+    ++executed;
+  }
+
+  // Ship every non-master partition its touched vertices' post-batch state.
+  // Empty updates are sent too: non-masters block at the marker until their
+  // update arrives, whatever it contains.
+  std::size_t shipped = 0;
+  for (std::uint32_t p = 0; p < config_.num_partitions; ++p) {
+    const PartitionId dest{p};
+    if (dest == partition_) continue;
+    std::vector<std::pair<VertexId, std::vector<ObjectEnvelope>>> vertices;
+    if (auto it = touched.find(dest); it != touched.end()) {
+      vertices.reserve(it->second.size());
+      for (VertexId v : it->second) {
+        std::vector<ObjectEnvelope> envs;
+        for (ObjectId id : store_.objects_of_vertex(v)) {
+          const PRObject* obj = store_.find(id);
+          envs.push_back(ObjectEnvelope{
+              id, v,
+              obj ? std::shared_ptr<const PRObject>(obj->clone()) : nullptr});
+        }
+        shipped += envs.size();
+        vertices.emplace_back(v, std::move(envs));
+      }
+    }
+    send_to_partition(dest, sim::make_message<StarEpochUpdate>(
+                                epoch, partition_, std::move(vertices)));
+  }
+  env_.consume_cpu(kPerObjectMoveCost * static_cast<SimTime>(shipped + 1));
+  if (record_metrics_ && metrics_) {
+    note_objects_exchanged(static_cast<double>(shipped));
+    metrics_->add_counter(metric::kStarEpochs);
+    metrics_->add_counter(metric::kStarDeferred,
+                          static_cast<double>(executed));
+  }
+  if (trace_)
+    trace_->record(TracePoint::kStarEpoch, env_.now(), epoch, 0,
+                   env_.self().value(), deferred.size());
+}
+
+void PartitionServerCore::apply_star_update(const StarEpochUpdate& update) {
+  std::size_t received = 0;
+  for (const auto& [vertex, envelopes] : update.vertices) {
+    // Replace the vertex's whole state with the master's post-batch state —
+    // objects the batch deleted must disappear here too.
+    for (ObjectId id : store_.objects_of_vertex(vertex)) store_.take(id);
+    insert_envelopes(envelopes);
+    received += envelopes.size();
+  }
+  env_.consume_cpu(kPerObjectMoveCost * static_cast<SimTime>(received));
+  if (trace_)
+    trace_->record(TracePoint::kStarEpoch, env_.now(), update.epoch, 0,
+                   env_.self().value(), update.vertices.size());
+}
+
+void PartitionServerCore::on_star_update(
+    const sim::Ref<const StarEpochUpdate>& msg) {
+  if (msg->epoch <= star_epoch_) return;  // duplicate of an applied epoch
+  star_updates_.emplace(msg->epoch, msg);  // first sender replica wins
+  if (blocked_) {
+    blocked_ = false;
+    pump();
+  }
+}
+
+void PartitionServerCore::reject(const ExecCommand& ec, bool notify_peers) {
+  if (ec.target == partition_ && config_.mode != ExecutionMode::kStar) {
     auto& sources = resolved_[CmdKey{ec.cmd->cmd_id, ec.attempt}];
     auto tstate = transfers_.find(CmdKey{ec.cmd->cmd_id, ec.attempt});
     if (tstate != transfers_.end())
@@ -897,7 +1139,7 @@ void PartitionServerCore::apply_plan(const PlanMsg& plan) {
   // Re-enqueue the commands that were waiting for this epoch, ahead of
   // everything delivered after the plan.
   for (auto it = future_.rbegin(); it != future_.rend(); ++it)
-    queue_.push_front(QueueItem{*it, nullptr});
+    queue_.push_front(QueueItem{*it, nullptr, nullptr});
   future_.clear();
 }
 

@@ -25,6 +25,7 @@
 #include "core/object.h"
 #include "core/protocol.h"
 #include "core/types.h"
+#include "multicast/client.h"
 #include "multicast/member.h"
 #include "paxos/topology.h"
 #include "sim/env.h"
@@ -37,11 +38,6 @@ namespace dynastar::core {
 inline GroupId group_of(PartitionId p) { return GroupId{p.value() + 1}; }
 inline PartitionId partition_of(GroupId g) { return PartitionId{g.value() - 1}; }
 constexpr GroupId kOracleGroup{0};
-
-/// Deterministic choice of the execution target: the partition owning the
-/// most of omega's objects; ties broken by lowest partition id (§4.2.2).
-PartitionId choose_target(const std::vector<ObjectId>& objects,
-                          const std::vector<PartitionId>& owner_per_object);
 
 class PartitionServerCore {
  public:
@@ -99,8 +95,9 @@ class PartitionServerCore {
   using PlanMsgPtr = sim::Ref<const PlanMsg>;
 
   struct QueueItem {
-    ExecCommandPtr exec;  // exactly one of exec/plan set
+    ExecCommandPtr exec;  // exactly one of exec/plan/star set
     PlanMsgPtr plan;
+    sim::Ref<const StarEpochMsg> star;
   };
 
   enum class Classification { kReady, kBlocked, kFuture, kStale, kInvalid };
@@ -128,6 +125,24 @@ class PartitionServerCore {
   void execute_ssmr(const ExecCommand& ec);
   void reject(const ExecCommand& ec, bool notify_peers);
   void apply_plan(const PlanMsg& plan);
+
+  // STAR asymmetric execution (config_.mode == kStar).
+  [[nodiscard]] PartitionId star_master() const {
+    return PartitionId{config_.star_master_partition};
+  }
+  [[nodiscard]] bool is_star_master() const {
+    return config_.mode == ExecutionMode::kStar && partition_ == star_master();
+  }
+  void arm_star_epoch_timer();
+  void maybe_emit_star_marker();
+  void execute_star_single(const ExecCommand& ec);
+  /// Master, at a marker's log position: execute every deferred
+  /// multi-partition command against the full replica and ship each other
+  /// partition's touched vertices as a StarEpochUpdate.
+  void star_execute_batch(Epoch epoch);
+  /// Non-master, at a marker's log position: install the master's update.
+  void apply_star_update(const StarEpochUpdate& update);
+  void on_star_update(const sim::Ref<const StarEpochUpdate>& msg);
 
   // Direct message handlers.
   void on_var_transfer(const VarTransfer& msg);
@@ -249,6 +264,22 @@ class PartitionServerCore {
     std::vector<std::pair<VertexId, PartitionId>> previous_owner;
   };
   std::map<CmdKey, MoveRecord> dssmr_moves_;
+
+  // STAR state. The epoch-switch markers are emitted by master replicas via
+  // a per-replica McastClient (timer emission is replica-local, like the
+  // oracle's plan_sender_) and deduplicated by epoch at every receiver, so
+  // the first delivered marker defines each group's switch position.
+  multicast::McastClient star_sender_;
+  Epoch star_epoch_ = 0;
+  /// Highest epoch this replica has emitted a marker for; replica-local
+  /// (deliberately not snapshotted) — it only throttles duplicate emission.
+  Epoch star_marker_inflight_ = 0;
+  /// Master: multi-partition commands awaiting the next epoch switch, in
+  /// delivery order. Non-masters never queue here (they are not addressed).
+  std::deque<ExecCommandPtr> star_deferred_;
+  /// Non-master: per-epoch updates that arrived before (or while blocked at)
+  /// the epoch's marker. First sender wins; monotone epochs only.
+  std::map<Epoch, sim::Ref<const StarEpochUpdate>> star_updates_;
 };
 
 /// Defined out of line so it can name the core's private bookkeeping types.
@@ -284,6 +315,10 @@ struct PartitionServerCore::Snapshot {
   std::uint64_t hint_emissions = 0;
   std::uint64_t location_updates_emitted = 0;
   std::map<CmdKey, MoveRecord> dssmr_moves;
+  multicast::McastClient::State star_sender;
+  Epoch star_epoch = 0;
+  std::deque<ExecCommandPtr> star_deferred;
+  std::map<Epoch, sim::Ref<const StarEpochUpdate>> star_updates;
 };
 
 /// Carrier for a server snapshot travelling as an InstallSnapshotResp

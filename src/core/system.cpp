@@ -15,6 +15,10 @@ System::System(SystemConfig config, AppFactory app_factory)
   world_.metrics().add_counter(metric::kServerShed, 0.0);
   world_.metrics().add_counter(metric::kOracleShed, 0.0);
   world_.metrics().add_counter(metric::kClientRetriesExhausted, 0.0);
+  if (config_.mode == ExecutionMode::kStar) {
+    world_.metrics().add_counter(metric::kStarEpochs, 0.0);
+    world_.metrics().add_counter(metric::kStarDeferred, 0.0);
+  }
   const std::uint32_t replicas = config_.replicas_per_partition;
   const std::uint32_t acceptors = config_.acceptors_per_partition;
   const std::uint32_t groups = config_.num_partitions + 1;  // + oracle
@@ -82,6 +86,14 @@ void System::preload_object(ObjectId id, VertexId vertex, PartitionId partition,
                             const PRObject& object) {
   for (ServerNode* node : server_nodes_[partition.value()])
     node->core().preload_object(id, vertex, ObjectPtr(object.clone()));
+  // STAR: the master partition is a full replica, so preloaded state must
+  // exist there too (the run keeps it fresh by addressing every command to
+  // the master as well).
+  const PartitionId master{config_.star_master_partition};
+  if (config_.mode == ExecutionMode::kStar && partition != master) {
+    for (ServerNode* node : server_nodes_[master.value()])
+      node->core().preload_object(id, vertex, ObjectPtr(object.clone()));
+  }
 }
 
 void System::preload_assignment(const Assignment& assignment) {

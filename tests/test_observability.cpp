@@ -20,7 +20,7 @@ namespace {
 
 core::ScenarioBuilder kv_scenario(std::uint64_t seed) {
   return core::ScenarioBuilder()
-      .mode(core::ExecutionMode::kDynaStar)
+      .execution_mode(core::ExecutionMode::kDynaStar)
       .partitions(2)
       .seed(seed)
       .repartitioning(false)
@@ -214,7 +214,7 @@ TEST(Observability, AdmissionTraceIsWellFormed) {
   constexpr int kTraceOps = 25;
   auto system =
       core::ScenarioBuilder()
-          .mode(core::ExecutionMode::kDynaStar)
+          .execution_mode(core::ExecutionMode::kDynaStar)
           .partitions(2)
           .seed(13)
           .repartitioning(false)

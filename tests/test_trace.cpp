@@ -13,7 +13,7 @@ namespace {
 
 core::ScenarioBuilder scenario_for(core::ExecutionMode mode) {
   return core::ScenarioBuilder()
-      .mode(mode)
+      .execution_mode(mode)
       .partitions(2)
       .repartitioning(false)
       .app(workloads::kv_app_factory())

@@ -1,16 +1,18 @@
 // simctl: command-line driver for the DynaStar simulator.
 //
-// Runs one configuration of {workload, execution mode, partitions, clients,
+// Runs one configuration of {workload, system, partitions, clients,
 // duration, placement} and prints either a human summary or CSV time series
 // (for plotting the paper's figures from custom sweeps). With --trace/--report
 // it also exports the command-lifecycle trace and a RunReport JSON document
-// (see docs/OBSERVABILITY.md).
+// (see docs/OBSERVABILITY.md). Systems are resolved through the baseline
+// registry (src/baselines/registry.h), so --system accepts exactly the
+// registered names and --help enumerates them.
 //
 // Examples:
-//   simctl --workload=chirper --mode=dynastar --partitions=4 --duration=30
-//   simctl --workload=tpcc --mode=ssmr --partitions=8 --clients=96
+//   simctl --workload=chirper --system=dynastar --partitions=4 --duration=30
+//   simctl --workload=tpcc --system=ssmr --partitions=8 --clients=96
 //          --placement=optimized --csv=series.csv
-//   simctl --workload=kv --duration=5 --trace=trace.csv --report=report.json
+//   simctl --workload=kv --system=star --duration=5 --report=report.json
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,7 +21,7 @@
 #include <string>
 #include <vector>
 
-#include "baselines/presets.h"
+#include "baselines/registry.h"
 #include "common/metric_names.h"
 #include "common/report.h"
 #include "core/scenario.h"
@@ -37,7 +39,7 @@ namespace {
 
 struct Options {
   std::string workload = "chirper";   // kv | tpcc | chirper | smallbank
-  std::string mode = "dynastar";      // dynastar | ssmr | dssmr
+  std::string system = "dynastar";    // a baseline-registry name
   std::string placement = "random";   // random | optimized
   std::uint32_t partitions = 4;
   std::uint32_t clients = 0;          // 0 = 12 per partition
@@ -78,7 +80,7 @@ bool parse_surge(const std::string& spec, SurgeSpec* out) {
 struct Flag {
   const char* name;   // including "--" and trailing "="
   const char* value;  // metavariable shown in --help
-  const char* help;
+  std::string help;   // may embed generated text (e.g. the baseline names)
   std::function<void(const char*)> apply;
 };
 
@@ -86,8 +88,10 @@ std::vector<Flag> flag_table(Options* o) {
   return {
       {"--workload=", "NAME", "kv | tpcc | chirper | smallbank",
        [o](const char* v) { o->workload = v; }},
-      {"--mode=", "NAME", "dynastar | ssmr | dssmr",
-       [o](const char* v) { o->mode = v; }},
+      {"--system=", "NAME", baselines::baseline_names(),
+       [o](const char* v) { o->system = v; }},
+      {"--mode=", "NAME", "alias for --system",
+       [o](const char* v) { o->system = v; }},
       {"--placement=", "NAME", "random | optimized initial placement",
        [o](const char* v) { o->placement = v; }},
       {"--partitions=", "N", "number of partitions",
@@ -136,7 +140,7 @@ void usage(const std::vector<Flag>& flags) {
   std::puts("usage: simctl [flags]\n");
   for (const auto& flag : flags) {
     std::string spelling = std::string(flag.name) + flag.value;
-    std::printf("  %-22s %s\n", spelling.c_str(), flag.help);
+    std::printf("  %-22s %s\n", spelling.c_str(), flag.help.c_str());
   }
   std::puts("  --help                 show this message");
 }
@@ -166,18 +170,16 @@ bool parse(int argc, char** argv, const std::vector<Flag>& flags) {
 }
 
 core::SystemConfig make_config(const Options& options) {
-  core::SystemConfig config;
-  if (options.mode == "dynastar") {
-    config = baselines::dynastar_config(options.partitions, options.seed);
-    config.repartition_hint_threshold = options.repartition_threshold;
-  } else if (options.mode == "ssmr") {
-    config = baselines::ssmr_config(options.partitions, options.seed);
-  } else if (options.mode == "dssmr") {
-    config = baselines::dssmr_config(options.partitions, options.seed);
-  } else {
-    std::fprintf(stderr, "unknown mode %s\n", options.mode.c_str());
+  const baselines::Baseline* baseline = baselines::find_baseline(options.system);
+  if (baseline == nullptr) {
+    std::fprintf(stderr, "unknown system %s (expected %s)\n",
+                 options.system.c_str(), baselines::baseline_names().c_str());
     std::exit(2);
   }
+  core::SystemConfig config = baseline->config(options.partitions, options.seed);
+  // The hint threshold only matters to the system that re-plans.
+  if (config.mode == core::ExecutionMode::kDynaStar)
+    config.repartition_hint_threshold = options.repartition_threshold;
   if (options.catchup_window >= 0)
     config.paxos.catchup_window =
         static_cast<paxos::Slot>(options.catchup_window);
@@ -347,8 +349,8 @@ int main(int argc, char** argv) {
   const auto& exchanged = metrics.series(metric::kObjectsExchanged);
   const auto* latency = metrics.find_histogram(metric::kLatency);
 
-  std::printf("workload=%s mode=%s partitions=%u clients=%u duration=%us seed=%llu\n",
-              options.workload.c_str(), options.mode.c_str(),
+  std::printf("workload=%s system=%s partitions=%u clients=%u duration=%us seed=%llu\n",
+              options.workload.c_str(), options.system.c_str(),
               options.partitions, clients, options.duration,
               static_cast<unsigned long long>(options.seed));
   std::printf("completed commands : %.0f (%.0f/s)\n", completed.total(),
@@ -426,7 +428,7 @@ int main(int argc, char** argv) {
   if (!options.report_json.empty()) {
     RunInfo info;
     info.workload = options.workload;
-    info.mode = options.mode;
+    info.mode = options.system;
     info.seed = options.seed;
     info.duration_s = options.duration;
     info.partitions = options.partitions;
