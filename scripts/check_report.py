@@ -14,7 +14,9 @@ BENCH_kernel.json) with --bench: schema check plus an optional events/sec
 regression gate against a checked-in baseline.
 
 --bench dispatches on the document's "schema" field: kernel documents
-(dynastar-bench-kernel-v1) get the events/sec regression gate; overload
+(dynastar-bench-kernel-v1, or -v2 which adds the parallel-executor
+conflict-free speedup and conflict-heavy regression gates) get the
+events/sec regression gate; overload
 documents (dynastar-bench-overload-v1, from bench/overload_goodput) get the
 goodput-under-surge and post-surge-recovery gates; STAR sweep documents
 (dynastar-bench-star-v1, from bench/fig34_star_sweep) get the crossover
@@ -129,7 +131,9 @@ def check(report, min_commands):
     return errors
 
 
-BENCH_SCHEMA = "dynastar-bench-kernel-v1"
+BENCH_SCHEMA_V1 = "dynastar-bench-kernel-v1"
+BENCH_SCHEMA_V2 = "dynastar-bench-kernel-v2"
+BENCH_SCHEMAS = (BENCH_SCHEMA_V1, BENCH_SCHEMA_V2)
 OVERLOAD_SCHEMA = "dynastar-bench-overload-v1"
 STAR_SCHEMA = "dynastar-bench-star-v1"
 
@@ -141,15 +145,89 @@ BENCH_SECTIONS = {
     "full_stack": ["commands", "wall_seconds", "commands_per_sec"],
 }
 
+# v2 adds the parallel-executor sections (bench/kernel_throughput's
+# conflict-free vs conflict-heavy lane gates).
+PARALLEL_SIM_SECTIONS = ("sim_conflict_free", "sim_conflict_heavy")
+PARALLEL_THREAD_SECTIONS = ("threads_conflict_free", "threads_conflict_heavy")
 
-def check_bench(report, baseline, max_regression):
+
+def check_parallel_exec(report, baseline, err,
+                        min_lane_speedup, max_conflict_regression):
+    """Gates for the v2 parallel_exec section.
+
+    * sim_conflict_free.speedup: the deterministic modeled speedup of N
+      simulated lanes over serial apply — machine-independent, so the
+      1.5x floor holds everywhere.
+    * threads_conflict_free.speedup: the wall-clock speedup of the real
+      std::thread backend; only gated when the machine actually has at
+      least `lanes` hardware threads to run them on.
+    * sim_conflict_heavy.lanes_cps vs baseline: simulated commands/sec are
+      bit-deterministic, so a conflict-heavy regression beyond the budget
+      is a real scheduling/batching change, not noise.
+    """
+    parallel = report.get("parallel_exec")
+    if not isinstance(parallel, dict):
+        err("missing section 'parallel_exec' (required by schema v2)")
+        return
+    lanes = parallel.get("lanes")
+    if not isinstance(lanes, (int, float)) or lanes < 2:
+        err(f"parallel_exec.lanes is {lanes!r}, expected >= 2")
+        return
+    for section in PARALLEL_SIM_SECTIONS:
+        body = parallel.get(section)
+        if not isinstance(body, dict):
+            err(f"missing section parallel_exec.{section}")
+            return
+        for field in ("serial_cps", "lanes_cps", "speedup"):
+            if not isinstance(body.get(field), (int, float)) or body[field] <= 0:
+                err(f"parallel_exec.{section}.{field} missing or non-positive")
+                return
+    for section in PARALLEL_THREAD_SECTIONS:
+        body = parallel.get(section)
+        if not isinstance(body, dict):
+            err(f"missing section parallel_exec.{section}")
+            return
+        for field in ("serial_wall_s", "lanes_wall_s", "speedup"):
+            if not isinstance(body.get(field), (int, float)) or body[field] <= 0:
+                err(f"parallel_exec.{section}.{field} missing or non-positive")
+                return
+
+    sim_free = parallel["sim_conflict_free"]["speedup"]
+    if sim_free < min_lane_speedup:
+        err(f"simulated {lanes:.0f}-lane conflict-free speedup is "
+            f"{sim_free:.2f}x, below the {min_lane_speedup:.2f}x floor — "
+            f"the executor is not extracting the declared parallelism")
+
+    cores = parallel.get("hardware_concurrency", 0)
+    thr_free = parallel["threads_conflict_free"]["speedup"]
+    if isinstance(cores, (int, float)) and cores >= lanes:
+        if thr_free < min_lane_speedup:
+            err(f"thread-backend conflict-free speedup is {thr_free:.2f}x "
+                f"at {lanes:.0f} lanes on {cores:.0f} cores, below the "
+                f"{min_lane_speedup:.2f}x floor")
+
+    if baseline is not None:
+        base = baseline.get("parallel_exec", {}).get("sim_conflict_heavy", {})
+        base_cps = base.get("lanes_cps")
+        if isinstance(base_cps, (int, float)) and base_cps > 0:
+            cps = parallel["sim_conflict_heavy"]["lanes_cps"]
+            floor = base_cps * (1.0 - max_conflict_regression)
+            if cps < floor:
+                err(f"conflict-heavy throughput with lanes regressed: "
+                    f"{cps:.0f} < {floor:.0f} commands/sec ({base_cps:.0f} "
+                    f"baseline, {max_conflict_regression:.0%} budget)")
+
+
+def check_bench(report, baseline, max_regression,
+                min_lane_speedup, max_conflict_regression):
     errors = []
 
     def err(msg):
         errors.append(msg)
 
-    if report.get("schema") != BENCH_SCHEMA:
-        err(f"schema is {report.get('schema')!r}, expected {BENCH_SCHEMA!r}")
+    schema = report.get("schema")
+    if schema not in BENCH_SCHEMAS:
+        err(f"schema is {schema!r}, expected one of {BENCH_SCHEMAS!r}")
         return errors
     for section, fields in BENCH_SECTIONS.items():
         body = report.get(section)
@@ -187,6 +265,10 @@ def check_bench(report, baseline, max_regression):
             err(f"checkpointing costs too much: full_stack "
                 f"{cps:.0f} commands/sec < 95% of no-checkpoint "
                 f"{base_cps:.0f} commands/sec")
+
+    if schema == BENCH_SCHEMA_V2:
+        check_parallel_exec(report, baseline, err,
+                            min_lane_speedup, max_conflict_regression)
 
     if baseline is not None:
         base_eps = baseline.get("kernel", {}).get("events_per_sec")
@@ -363,6 +445,15 @@ def main():
                         help="star bench: factor by which each system must "
                              "beat the other at its end of the sweep "
                              "(default 1.05)")
+    parser.add_argument("--min-lane-speedup", type=float, default=1.5,
+                        help="kernel bench v2: conflict-free speedup floor "
+                             "for the parallel executor, simulated lanes "
+                             "always and the thread backend when the machine "
+                             "has enough cores (default 1.5)")
+    parser.add_argument("--max-conflict-regression", type=float, default=0.05,
+                        help="kernel bench v2: budget for conflict-heavy "
+                             "commands/sec with lanes vs the checked-in "
+                             "baseline (default 0.05)")
     args = parser.parse_args()
 
     try:
@@ -413,7 +504,9 @@ def main():
                   f"{sweep[-1]['star']['tps']:.0f}/s vs "
                   f"{sweep[-1]['dynastar']['tps']:.0f}/s")
             return 0
-        errors = check_bench(report, baseline, args.max_regression)
+        errors = check_bench(report, baseline, args.max_regression,
+                             args.min_lane_speedup,
+                             args.max_conflict_regression)
         if errors:
             for msg in errors:
                 print(f"check_report: {msg}", file=sys.stderr)

@@ -53,6 +53,17 @@ inline constexpr const char* kStarEpochs = "star.epochs";
 /// Multi-partition commands executed in deferred epoch batches (counter).
 inline constexpr const char* kStarDeferred = "star.deferred";
 
+// --- intra-partition parallel executor (exec_lanes > 1 only) ---
+/// Batches flushed through the conflict-graph executor (counter).
+inline constexpr const char* kExecBatches = "executor.batches";
+/// Commands executed via batches (counter; singles flushed alone count 1).
+inline constexpr const char* kExecBatchedCommands =
+    "executor.batched_commands";
+/// Slot-order conflict edges across all batches (counter).
+inline constexpr const char* kExecConflictEdges = "executor.conflict_edges";
+/// Per-batch lane occupancy, serial_cost / (lanes * makespan) (series).
+inline constexpr const char* kExecLaneOccupancy = "executor.lane_occupancy";
+
 // --- recovery (checkpoints + snapshot state transfer) ---
 inline constexpr const char* kServerCheckpoints = "server.checkpoints";
 inline constexpr const char* kServerSnapshotInstalls =

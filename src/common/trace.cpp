@@ -27,6 +27,7 @@ const char* TraceCollector::point_name(TracePoint point) {
     case TracePoint::kShed: return "shed";
     case TracePoint::kBusyReply: return "busy_reply";
     case TracePoint::kStarEpoch: return "star_epoch";
+    case TracePoint::kExecParallel: return "exec_parallel";
   }
   return "unknown";
 }

@@ -56,6 +56,8 @@ enum class TracePoint : std::uint8_t {
   kBusyReply,         // Busy sent to the client; detail = retry_after (ns)
   // --- STAR asymmetric execution ---
   kStarEpoch,         // epoch switch applied; key = epoch, detail = batch size
+  kExecParallel,      // parallel batch flushed; key = makespan ns,
+                      // attempt = waves, detail = batch size
 };
 
 /// One fixed-width trace record. 40 bytes, trivially copyable; the collector

@@ -80,9 +80,9 @@ void ClientCore::issue_next() {
     vertices.push_back(vertex);
   }
   const std::uint64_t cmd_id = (env_.self().value() << 32) | ++next_cmd_;
-  auto cmd = sim::make_message<Command>(cmd_id, env_.self(), spec->type,
-                                             std::move(objects),
-                                             std::move(vertices), spec->payload);
+  auto cmd = sim::make_message<Command>(
+      cmd_id, env_.self(), spec->type, std::move(objects), std::move(vertices),
+      spec->payload, spec->read_only);
   outstanding_ = Outstanding{std::move(*spec), std::move(cmd), 1, env_.now(),
                              false};
   if (trace_)

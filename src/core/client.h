@@ -31,6 +31,8 @@ struct CommandSpec {
   /// omega with home vertices: (object, vertex) pairs.
   std::vector<std::pair<ObjectId, VertexId>> objects;
   sim::MessagePtr payload;
+  /// Declares the command mutates nothing (see Command::read_only).
+  bool read_only = false;
   SimTime pause = milliseconds(10);
 
   static CommandSpec pause_for(SimTime duration) {

@@ -94,6 +94,21 @@ struct SystemConfig {
   double plan_compute_ns_per_element = 200.0;
   partitioning::PartitionerConfig partitioner;
 
+  // --- Intra-partition parallel execution (core/parallel_exec.h) ---
+  // Defaults keep behavior bit-identical to the serial apply path.
+  /// Worker lanes for the deterministic conflict-graph executor; 1 disables
+  /// batching entirely (the serial path is untouched).
+  std::uint32_t exec_lanes = 1;
+  /// Execute batches on a real std::thread lane pool instead of simulated
+  /// lanes. State evolution and sim timing are identical; only host wall
+  /// clock changes. Meant for wall-clock bench numbers.
+  bool exec_real_threads = false;
+  /// Micro-batch window: a delivered command waits at most this long for
+  /// companions before the executor flushes.
+  SimTime exec_batch_window = microseconds(200);
+  /// Flush as soon as this many commands are pending.
+  std::size_t exec_batch_max = 64;
+
   // --- Node CPU costs (drive saturation / peak throughput) ---
   SimTime server_service_time = microseconds(4);
   SimTime oracle_service_time = microseconds(3);

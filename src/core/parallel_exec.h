@@ -1,0 +1,114 @@
+// Deterministic intra-partition parallel command execution (P-SMR style).
+//
+// Commands already declare their full vertex sets for the borrow protocol,
+// which is exactly the dependency information Rethinking State-Machine
+// Replication for Parallelism uses to execute non-conflicting commands
+// concurrently: two commands conflict iff their vertex sets intersect and
+// they are not both read-only. Per batch of decided commands we build that
+// conflict graph and derive a wave schedule from slot order + conflict edges
+// alone (never wall clock):
+//
+//   wave(i) = 0 if i has no conflicting predecessor in slot order,
+//             1 + max(wave(j)) over conflicting predecessors j < i otherwise
+//
+// and round-robin the commands of each wave across N lanes in slot order.
+// Every replica computes the same schedule from the same decided prefix, so
+// the schedule itself is replicated state — no coordination needed.
+//
+// Two backends share the scheduler:
+//  - simulated lanes (default): commands run in slot order on the sim
+//    thread (trivially serial-equivalent), and the batch charges the
+//    *schedule makespan* to the sim CPU instead of the serial sum. Runs
+//    stay bit-deterministic and replayable.
+//  - a real std::thread lane pool (`exec_real_threads`): waves execute with
+//    a barrier between them; within a wave commands are pairwise
+//    non-conflicting, so the result is equivalent to slot order. Used for
+//    wall-clock bench numbers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "core/types.h"
+
+namespace dynastar::core {
+
+/// Sorted, deduplicated read/write vertex sets of one command.
+struct ExecIntent {
+  std::vector<VertexId> reads;
+  std::vector<VertexId> writes;
+};
+
+/// Derives the intent from a command's declared vertex set: read-only
+/// commands read every vertex they name, everything else writes them.
+[[nodiscard]] ExecIntent intent_for(const Command& cmd);
+
+/// Conflict graph over one batch, edges restricted to slot-order
+/// predecessors (i conflicts with some j < i).
+struct ConflictGraph {
+  std::size_t commands = 0;
+  std::size_t edges = 0;
+  /// preds[i] = conflicting j < i, ascending.
+  std::vector<std::vector<std::uint32_t>> preds;
+};
+
+[[nodiscard]] ConflictGraph build_conflict_graph(
+    const std::vector<ExecIntent>& intents);
+
+/// Deterministic wave/lane assignment for a conflict graph.
+struct LaneSchedule {
+  std::uint32_t lanes = 1;
+  std::uint32_t waves = 0;
+  std::vector<std::uint32_t> wave_of;
+  std::vector<std::uint32_t> lane_of;
+};
+
+[[nodiscard]] LaneSchedule build_schedule(const ConflictGraph& graph,
+                                          std::uint32_t lanes);
+
+/// Accounting for one executed batch.
+struct BatchStats {
+  std::size_t commands = 0;
+  std::size_t conflict_edges = 0;
+  std::uint32_t waves = 0;
+  /// Sum of per-command CPU costs (what serial execution would charge).
+  SimTime serial_cost = 0;
+  /// Schedule cost: sum over waves of the busiest lane in that wave.
+  SimTime makespan = 0;
+  /// serial_cost / (lanes * makespan) — 1.0 means perfectly packed lanes.
+  double lane_occupancy = 1.0;
+};
+
+/// Batch executor: owns the lane count, the backend choice, and (lazily)
+/// the real-thread pool. `run` executes every item exactly once and returns
+/// the deterministic schedule accounting.
+class ParallelExecutor {
+ public:
+  ParallelExecutor(std::uint32_t lanes, bool real_threads);
+  ~ParallelExecutor();
+
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  [[nodiscard]] std::uint32_t lanes() const { return lanes_; }
+  [[nodiscard]] bool real_threads() const { return real_threads_; }
+
+  /// Executes one batch. `execute_item(i)` must run item i and return its
+  /// CPU cost; with the thread backend it may be called from worker threads
+  /// (concurrently only for items with no conflict edge between them).
+  BatchStats run(const std::vector<ExecIntent>& intents,
+                 const std::function<SimTime(std::size_t)>& execute_item);
+
+ private:
+  class LanePool;
+
+  std::uint32_t lanes_;
+  bool real_threads_;
+  std::unique_ptr<LanePool> pool_;  // lazily created, thread backend only
+};
+
+}  // namespace dynastar::core

@@ -67,6 +67,15 @@ class ScenarioBuilder {
     config_.paxos.checkpoint_interval = slots;
     return *this;
   }
+  /// Enables the deterministic intra-partition parallel executor with
+  /// `lanes` worker lanes (1 = serial apply, the default). With
+  /// `real_threads`, batches execute on a std::thread lane pool for
+  /// wall-clock numbers; state evolution is identical either way.
+  ScenarioBuilder& exec_lanes(std::uint32_t lanes, bool real_threads = false) {
+    config_.exec_lanes = lanes;
+    config_.exec_real_threads = real_threads;
+    return *this;
+  }
   /// Arbitrary knobs not worth a dedicated builder method.
   ScenarioBuilder& tune(const std::function<void(SystemConfig&)>& fn) {
     fn(config_);

@@ -78,6 +78,9 @@ PartitionServerCore::PartitionServerCore(
   }
   member_.replica().set_checkpoint_hook([this] { on_checkpoint_boundary(); });
   member_.replica().set_snapshot_provider([this] {
+    // The pending executor batch is volatile, never snapshotted state:
+    // apply it so the snapshot sits at a state the log reproduces.
+    flush_exec_batch();
     return sim::make_message<ServerSnapshotMsg>(capture_snapshot());
   });
   member_.replica().set_snapshot_installer([this](const sim::MessagePtr& m) {
@@ -91,6 +94,9 @@ PartitionServerCore::PartitionServerCore(
                      env_.self().value(), partition_.value());
     return true;
   });
+  if (config_.exec_lanes > 1)
+    exec_ = std::make_unique<ParallelExecutor>(config_.exec_lanes,
+                                               config_.exec_real_threads);
 }
 
 void PartitionServerCore::start() {
@@ -113,6 +119,10 @@ std::vector<ProcessId> PartitionServerCore::reliable_peers() const {
 }
 
 void PartitionServerCore::on_checkpoint_boundary() {
+  // Boundaries are slot-count driven, so every replica flushes its pending
+  // executor batch at the same log position — checkpoints stay identical
+  // across replicas even though batch windows are timer-local.
+  flush_exec_batch();
   if (checkpoint_sink_) checkpoint_sink_(capture_snapshot());
   // Tell peers which of their retained sends this durable checkpoint covers.
   reliable_.note_checkpoint(env_.now(), reliable_peers());
@@ -201,6 +211,11 @@ void PartitionServerCore::restore_snapshot(const Snapshot& snapshot) {
   // Replica-local marker throttle: any marker in flight at the crash died
   // with the old incarnation's timer; the next timer tick may re-emit.
   star_marker_inflight_ = snapshot.star_epoch;
+  // Live snapshot install: a pending executor batch refers to log positions
+  // the installed state already covers (the peer executed those slots), so
+  // applying it now would double-execute. Drop it; the peer's replies stand.
+  exec_pending_.clear();
+  exec_pending_clients_.clear();
 }
 
 void PartitionServerCore::start_recovered() {
@@ -313,7 +328,7 @@ void PartitionServerCore::on_adeliver(const multicast::McastData& data) {
 }
 
 std::size_t PartitionServerCore::admission_depth() const {
-  return env_.inbox_depth() + queue_.size();
+  return env_.inbox_depth() + queue_.size() + exec_pending_.size();
 }
 
 void PartitionServerCore::on_shed_deliver(const multicast::McastData& data) {
@@ -350,6 +365,8 @@ void PartitionServerCore::pump() {
     if (item.plan) {
       PlanMsgPtr plan = item.plan;
       queue_.pop_front();
+      // Plans relocate vertices; pending accesses precede them in slot order.
+      flush_exec_batch();
       apply_plan(*plan);
       continue;
     }
@@ -360,6 +377,9 @@ void PartitionServerCore::pump() {
         queue_.pop_front();
         continue;
       }
+      // The epoch batch (master) / update splice (non-master) mutates state
+      // in slot order; pending singles precede the marker.
+      flush_exec_batch();
       if (is_star_master()) {
         queue_.pop_front();
         star_execute_batch(marker->epoch);
@@ -380,16 +400,26 @@ void PartitionServerCore::pump() {
       continue;
     }
     ExecCommandPtr ec = item.exec;
+    // A retransmission whose original still waits in the pending batch
+    // would pass the duplicate check below (no cached reply yet) and
+    // execute twice: flush first so the original lands in the cache.
+    if (!exec_pending_.empty() &&
+        exec_pending_clients_.contains(ec->cmd->client.value()))
+      flush_exec_batch();
     if (serve_cached_duplicate(*ec)) {
       queue_.pop_front();
       continue;
     }
     if (ec->cmd->type == CommandType::kCreate) {
+      // A pending access must observe pre-create state (slot order).
+      flush_exec_batch();
       execute_create(*ec);
       queue_.pop_front();
       continue;
     }
     if (ec->cmd->type == CommandType::kDelete) {
+      // A pending access may read the vertex this delete removes.
+      flush_exec_batch();
       execute_delete(*ec);
       queue_.pop_front();
       continue;
@@ -426,11 +456,23 @@ void PartitionServerCore::pump() {
         queue_.pop_front();
         continue;
       case Classification::kBlocked:
+        // Serial execution would have applied the pending commands before
+        // waiting here; do the same so their replies aren't held hostage.
+        flush_exec_batch();
         blocked_ = true;
         return;
       case Classification::kReady:
         break;
     }
+
+    if (exec_ && exec_batchable(*ec)) {
+      exec_enqueue(ec);
+      queue_.pop_front();
+      continue;
+    }
+    // Everything below observes or mutates state in slot order (borrows,
+    // transfers, multi-partition execution): flush pending work first.
+    flush_exec_batch();
 
     if (config_.mode == ExecutionMode::kStar) {
       execute_star_single(*ec);
@@ -464,6 +506,97 @@ void PartitionServerCore::pump() {
     }
     sent_transfers_.erase(key);
     queue_.pop_front();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Intra-partition parallel execution (core/parallel_exec.h)
+// ---------------------------------------------------------------------------
+
+bool PartitionServerCore::exec_batchable(const ExecCommand& ec) const {
+  // Only plain accesses whose whole execution is local: no transfers to
+  // consume, no variables to ship, no bookkeeping keyed by slot order.
+  if (ec.cmd->type != CommandType::kAccess) return false;
+  if (config_.mode == ExecutionMode::kStar) return !star_multi_owner(ec);
+  if (config_.mode == ExecutionMode::kSSMR) return ec.dests.size() == 1;
+  return ec.dests.size() == 1 && ec.target == partition_;
+}
+
+void PartitionServerCore::exec_enqueue(const ExecCommandPtr& ec) {
+  exec_pending_.push_back(ec);
+  exec_pending_clients_.insert(ec->cmd->client.value());
+  if (exec_pending_.size() >= config_.exec_batch_max) {
+    flush_exec_batch();
+    return;
+  }
+  if (!exec_flush_armed_) {
+    exec_flush_armed_ = true;
+    env_.start_timer(config_.exec_batch_window, [this] {
+      exec_flush_armed_ = false;
+      flush_exec_batch();
+    });
+  }
+}
+
+void PartitionServerCore::run_exec_batch(const std::vector<ExecCommandPtr>& batch,
+                                         std::vector<ExecResult>& results) {
+  results.resize(batch.size());
+  std::vector<ExecIntent> intents;
+  intents.reserve(batch.size());
+  for (const ExecCommandPtr& ec : batch) intents.push_back(intent_for(*ec->cmd));
+  // Trace in slot order up front: worker lanes must not touch the
+  // collector, and consume_cpu does not advance now() within an event, so
+  // these records match what interleaved serial execution would emit.
+  for (const ExecCommandPtr& ec : batch)
+    trace_cmd(TracePoint::kExecuteStart, *ec, partition_.value());
+  const bool threaded =
+      exec_->real_threads() && exec_->lanes() > 1 && batch.size() > 1;
+  if (threaded) store_.set_concurrency_guard(&exec_store_mutex_);
+  const BatchStats stats = exec_->run(intents, [&](std::size_t i) {
+    results[i] = app_->execute(*batch[i]->cmd, store_);
+    return results[i].cpu_cost;
+  });
+  if (threaded) store_.set_concurrency_guard(nullptr);
+  // The batch charges its schedule makespan, not the serial sum — this is
+  // where simulated lanes model the speedup (deterministically: the
+  // schedule and costs are pure functions of the decided commands).
+  env_.consume_cpu(stats.makespan);
+  if (record_metrics_ && metrics_) {
+    metrics_->add_counter(metric::kExecBatches);
+    metrics_->add_counter(metric::kExecBatchedCommands,
+                          static_cast<double>(stats.commands));
+    metrics_->add_counter(metric::kExecConflictEdges,
+                          static_cast<double>(stats.conflict_edges));
+    metrics_->series(metric::kExecLaneOccupancy)
+        .add(env_.now(), stats.lane_occupancy);
+  }
+  if (trace_)
+    trace_->record(TracePoint::kExecParallel, env_.now(),
+                   static_cast<std::uint64_t>(stats.makespan), stats.waves,
+                   env_.self().value(), stats.commands);
+}
+
+void PartitionServerCore::flush_exec_batch() {
+  if (exec_pending_.empty()) return;
+  std::vector<ExecCommandPtr> batch(exec_pending_.begin(), exec_pending_.end());
+  exec_pending_.clear();
+  exec_pending_clients_.clear();
+  std::vector<ExecResult> results;
+  run_exec_batch(batch, results);
+  // Commit effects in slot order: replies, caches, hints, metrics.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const ExecCommand& ec = *batch[i];
+    sim::MessagePtr reply_payload = std::move(results[i].reply);
+    remember_reply(ec, ReplyStatus::kOk, reply_payload);
+    // STAR: the master applies other owners' singles silently.
+    const bool silent =
+        config_.mode == ExecutionMode::kStar && ec.target != partition_;
+    if (!silent) {
+      send_reply(ec, ReplyStatus::kOk, std::move(reply_payload));
+      note_command_metrics(ec, /*multi=*/false);
+    }
+    if (config_.mode == ExecutionMode::kDynaStar)
+      record_hints(*ec.cmd, /*multi_partition=*/false);
   }
 }
 
@@ -960,11 +1093,49 @@ void PartitionServerCore::star_execute_batch(Epoch epoch) {
   // post-batch state ships to the owners below.
   std::map<PartitionId, std::set<VertexId>> touched;
   std::uint64_t executed = 0;
+  // Runnable commands accumulate into chunks the conflict-graph executor
+  // runs as one batch (serial without exec_, preserving the original
+  // behavior). A second command from the same client — a retransmitted
+  // attempt — closes the chunk, so the duplicate check below always sees
+  // the first attempt's cached reply.
+  std::vector<ExecCommandPtr> chunk;
+  std::unordered_set<std::uint64_t> chunk_clients;
+  auto finish = [&](const ExecCommandPtr& ec, sim::MessagePtr reply_payload) {
+    remember_reply(*ec, ReplyStatus::kOk, reply_payload);
+    send_reply(*ec, ReplyStatus::kOk, std::move(reply_payload));
+    for (std::size_t i = 0; i < ec->cmd->vertices.size(); ++i) {
+      if (ec->owners[i] == partition_ || ec->owners[i] == kNoPartition)
+        continue;
+      touched[ec->owners[i]].insert(ec->cmd->vertices[i]);
+    }
+    note_command_metrics(*ec, /*multi=*/true);
+    ++executed;
+  };
+  auto run_chunk = [&] {
+    if (chunk.empty()) return;
+    if (exec_ && chunk.size() > 1) {
+      std::vector<ExecResult> results;
+      run_exec_batch(chunk, results);
+      for (std::size_t i = 0; i < chunk.size(); ++i)
+        finish(chunk[i], std::move(results[i].reply));
+    } else {
+      for (const ExecCommandPtr& ec : chunk) {
+        trace_cmd(TracePoint::kExecuteStart, *ec, partition_.value());
+        ExecResult result = app_->execute(*ec->cmd, store_);
+        env_.consume_cpu(result.cpu_cost);
+        finish(ec, std::move(result.reply));
+      }
+    }
+    chunk.clear();
+    chunk_clients.clear();
+  };
   for (const ExecCommandPtr& ec : deferred) {
+    if (chunk_clients.contains(ec->cmd->client.value())) run_chunk();
     if (serve_cached_duplicate(*ec)) continue;
     // Re-validate the sender's ownership claims against the master's map at
     // the switch position — a vertex deleted (or re-homed by a create race)
-    // since the addressing was computed makes the command stale.
+    // since the addressing was computed makes the command stale. Execution
+    // never touches map_, so verdicts are chunk-order independent.
     bool valid = true;
     for (std::size_t i = 0; i < ec->cmd->vertices.size(); ++i) {
       auto it = map_.find(ec->cmd->vertices[i]);
@@ -978,20 +1149,10 @@ void PartitionServerCore::star_execute_batch(Epoch epoch) {
       reject(*ec, /*notify_peers=*/false);
       continue;
     }
-    trace_cmd(TracePoint::kExecuteStart, *ec, partition_.value());
-    ExecResult result = app_->execute(*ec->cmd, store_);
-    env_.consume_cpu(result.cpu_cost);
-    sim::MessagePtr reply_payload = std::move(result.reply);
-    remember_reply(*ec, ReplyStatus::kOk, reply_payload);
-    send_reply(*ec, ReplyStatus::kOk, std::move(reply_payload));
-    for (std::size_t i = 0; i < ec->cmd->vertices.size(); ++i) {
-      if (ec->owners[i] == partition_ || ec->owners[i] == kNoPartition)
-        continue;
-      touched[ec->owners[i]].insert(ec->cmd->vertices[i]);
-    }
-    note_command_metrics(*ec, /*multi=*/true);
-    ++executed;
+    chunk.push_back(ec);
+    chunk_clients.insert(ec->cmd->client.value());
   }
+  run_chunk();
 
   // Ship every non-master partition its touched vertices' post-batch state.
   // Empty updates are sent too: non-masters block at the marker until their

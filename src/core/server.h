@@ -14,6 +14,7 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "core/app.h"
 #include "core/config.h"
 #include "core/object.h"
+#include "core/parallel_exec.h"
 #include "core/protocol.h"
 #include "core/types.h"
 #include "multicast/client.h"
@@ -126,6 +128,18 @@ class PartitionServerCore {
   void reject(const ExecCommand& ec, bool notify_peers);
   void apply_plan(const PlanMsg& plan);
 
+  // Intra-partition parallel execution (config_.exec_lanes > 1). Ready
+  // single-destination accesses accumulate in exec_pending_ and execute as
+  // one conflict-graph-scheduled batch; everything that must observe or
+  // mutate state in slot order flushes the batch first.
+  [[nodiscard]] bool exec_batchable(const ExecCommand& ec) const;
+  void exec_enqueue(const ExecCommandPtr& ec);
+  /// Schedules and executes one batch (conflict graph -> lanes), charging
+  /// the schedule makespan to the sim CPU and emitting executor metrics.
+  void run_exec_batch(const std::vector<ExecCommandPtr>& batch,
+                      std::vector<ExecResult>& results);
+  void flush_exec_batch();
+
   // STAR asymmetric execution (config_.mode == kStar).
   [[nodiscard]] PartitionId star_master() const {
     return PartitionId{config_.star_master_partition};
@@ -206,6 +220,16 @@ class PartitionServerCore {
   // waits for transfers / returns / handoffs.
   std::deque<QueueItem> queue_;
   bool blocked_ = false;
+
+  // Parallel-executor state (null / empty when exec_lanes <= 1). Pending
+  // commands were popped from queue_ but not yet applied; every checkpoint
+  // capture and snapshot hand-off flushes first, so the batch is never part
+  // of durable state (Snapshot deliberately has no counterpart fields).
+  std::unique_ptr<ParallelExecutor> exec_;
+  std::deque<ExecCommandPtr> exec_pending_;
+  std::unordered_set<std::uint64_t> exec_pending_clients_;
+  bool exec_flush_armed_ = false;
+  std::shared_mutex exec_store_mutex_;  // installed only during thread batches
 
   // Commands delivered before the plan their addressing was computed
   // against; re-enqueued when that plan is applied.

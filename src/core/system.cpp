@@ -19,6 +19,11 @@ System::System(SystemConfig config, AppFactory app_factory)
     world_.metrics().add_counter(metric::kStarEpochs, 0.0);
     world_.metrics().add_counter(metric::kStarDeferred, 0.0);
   }
+  if (config_.exec_lanes > 1) {
+    world_.metrics().add_counter(metric::kExecBatches, 0.0);
+    world_.metrics().add_counter(metric::kExecBatchedCommands, 0.0);
+    world_.metrics().add_counter(metric::kExecConflictEdges, 0.0);
+  }
   const std::uint32_t replicas = config_.replicas_per_partition;
   const std::uint32_t acceptors = config_.acceptors_per_partition;
   const std::uint32_t groups = config_.num_partitions + 1;  // + oracle

@@ -31,13 +31,14 @@ enum class CommandType : std::uint8_t {
 struct Command final : sim::Message {
   Command(std::uint64_t id, ProcessId client_process, CommandType t,
           std::vector<ObjectId> objs, std::vector<VertexId> verts,
-          sim::MessagePtr app_payload)
+          sim::MessagePtr app_payload, bool read_only_hint = false)
       : cmd_id(id),
         client(client_process),
         type(t),
         objects(std::move(objs)),
         vertices(std::move(verts)),
-        payload(std::move(app_payload)) {}
+        payload(std::move(app_payload)),
+        read_only(read_only_hint) {}
 
   const char* type_name() const override { return "core.Command"; }
   std::size_t size_bytes() const override {
@@ -51,6 +52,11 @@ struct Command final : sim::Message {
   std::vector<ObjectId> objects;
   std::vector<VertexId> vertices;
   sim::MessagePtr payload;
+  /// Workload-declared hint: this command mutates nothing. Read-only
+  /// commands on the same vertices may execute concurrently (parallel
+  /// executor); a wrong hint breaks serial-equivalence, so apps must only
+  /// set it for ops with no writes at all.
+  bool read_only;
 };
 
 using CommandPtr = sim::Ref<const Command>;

@@ -34,8 +34,11 @@ void Process::serve_next() {
     if (crashed_ || incarnation_ != inc || inbox_.empty()) return;
     auto [from, msg] = std::move(inbox_.front());
     inbox_.pop_front();
-    pending_work_ = 0;
     on_message(from, msg);
+    // pending_work_ also carries CPU charged outside message handling —
+    // timer-driven work such as parallel-executor batch flushes and STAR
+    // epoch switches. It delays the next serve all the same: CPU consumed
+    // from a timer is not free.
     const SimTime extra = pending_work_;
     pending_work_ = 0;
     if (extra > 0) {

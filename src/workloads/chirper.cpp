@@ -176,6 +176,7 @@ std::optional<core::CommandSpec> ChirperDriver::next(Rng& rng, SimTime now) {
     auto op = sim::make_mutable_message<ChirperOp>();
     op->kind = ChirperOp::Kind::kTimeline;
     spec.payload = std::move(op);
+    spec.read_only = true;  // timeline reads; posts/follows write
     return spec;
   }
   return make_post_spec(*directory_, active,

@@ -74,6 +74,7 @@ class RandomKvDriver final : public core::ClientDriver {
     }
     spec.payload = sim::make_message<KvOp>(
         write ? KvOp::Kind::kPut : KvOp::Kind::kGet, rng.uniform(0, 1u << 30));
+    spec.read_only = !write;
     return spec;
   }
 

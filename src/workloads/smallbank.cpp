@@ -130,6 +130,7 @@ std::optional<core::CommandSpec> SmallBankDriver::next(Rng& rng,
     if (b == a) b = (b + 1) % customers_;
     spec.objects.emplace_back(customer_object(b), customer_vertex(b));
   }
+  spec.read_only = op->kind == Op::Kind::kBalance;
   spec.payload = std::move(op);
   return spec;
 }

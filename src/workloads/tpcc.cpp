@@ -347,6 +347,7 @@ core::CommandSpec TpccDriver::make_order_status(Rng& rng) {
     spec.objects.emplace_back(oid(Table::kOrder, args->w, args->d, args->o_id),
                               district_vertex(args->w, args->d));
   }
+  spec.read_only = true;
   spec.payload = std::move(args);
   return spec;
 }
@@ -375,6 +376,7 @@ core::CommandSpec TpccDriver::make_stock_scan(Rng& rng) {
   core::CommandSpec spec;
   spec.objects.emplace_back(oid(Table::kDistrict, home_w_, home_d_, 0),
                             district_vertex(home_w_, home_d_));
+  spec.read_only = true;
   spec.payload = std::move(args);
   return spec;
 }

@@ -89,6 +89,7 @@ class RecordingKvDriver final : public core::ClientDriver {
     spec.payload = sim::make_message<workloads::KvOp>(
         write ? workloads::KvOp::Kind::kPut : workloads::KvOp::Kind::kGet,
         rng.uniform(1, 1u << 30));
+    spec.read_only = !write;
     return spec;
   }
 

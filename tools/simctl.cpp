@@ -58,6 +58,8 @@ struct Options {
   std::int64_t checkpoint_interval = -1; // -1 = keep preset default
   std::string surge_spec;                // "N@START+DUR" (empty = no surge)
   std::int64_t queue_cap = -1;           // -1 = keep preset default (off)
+  std::int64_t exec_lanes = -1;          // -1 = keep preset default (serial)
+  std::string exec_backend = "sim";      // sim | threads
 };
 
 /// Parsed --surge=N@START+DUR: N extra surge-only clients active during
@@ -133,6 +135,12 @@ std::vector<Flag> flag_table(Options* o) {
       {"--queue-cap=", "N",
        "admission high-water mark for servers + oracle (0 = shedding off)",
        [o](const char* v) { o->queue_cap = std::atoll(v); }},
+      {"--exec-lanes=", "N",
+       "parallel-executor worker lanes per replica (1 = serial apply)",
+       [o](const char* v) { o->exec_lanes = std::atoll(v); }},
+      {"--exec-backend=", "NAME",
+       "parallel-executor backend: sim (deterministic) | threads",
+       [o](const char* v) { o->exec_backend = v; }},
   };
 }
 
@@ -189,6 +197,15 @@ core::SystemConfig make_config(const Options& options) {
   if (options.queue_cap >= 0) {
     config.server_queue_cap = static_cast<std::size_t>(options.queue_cap);
     config.oracle_inflight_cap = static_cast<std::size_t>(options.queue_cap);
+  }
+  if (options.exec_lanes >= 0)
+    config.exec_lanes = static_cast<std::uint32_t>(options.exec_lanes);
+  if (options.exec_backend == "threads") {
+    config.exec_real_threads = true;
+  } else if (options.exec_backend != "sim") {
+    std::fprintf(stderr, "unknown exec backend %s (expected sim|threads)\n",
+                 options.exec_backend.c_str());
+    std::exit(2);
   }
   return config;
 }
