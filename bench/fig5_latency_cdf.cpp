@@ -5,10 +5,23 @@
 // distribution — DynaStar's multi-partition commands pay the extra
 // variable-return round trip — while both tails stretch with partition
 // count.
+// A second entry point, `fig5_latency_cdf --bench-lease [out.json]`, reuses
+// the latency-CDF machinery for the read-lease gate: the same seeded KV
+// workload runs leases-off then leases-on and the multi-partition read-only
+// median must drop by >= 20% while the single-partition median stays within
+// 2% (scripts/check_report.py --lease enforces both on the emitted JSON).
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "bench/chirper_common.h"
+#include "common/json.h"
+#include "common/metric_names.h"
+#include "workloads/kv_drivers.h"
 
 using namespace dynastar;
 
@@ -43,9 +56,294 @@ void print_cdf(const char* label,
   }
 }
 
+// ---------------------------------------------------------------------------
+// --bench-lease: leases-off vs leases-on latency on a read-heavy KV mix.
+
+constexpr std::uint32_t kLeasePartitions = 4;
+constexpr std::size_t kLeaseClients = 12;
+// Keys k map to partition k % 4 (the static preload plan). The shared
+// read-mostly region lives on partitions 0 and 1 (kSharedSlots keys on
+// each); every client also owns one private key on partition 2 or 3, so the
+// single-partition population shares no server group with the leased one
+// and the gate isolates the lease effect from load coupling.
+constexpr std::uint64_t kSharedSlots = 1;
+constexpr std::uint64_t kLeaseKeys = 4 * kLeaseClients;
+constexpr std::uint64_t kLeaseSeed = 7;
+constexpr double kLeaseMultiFraction = 0.8;
+constexpr double kSharedWriteFraction = 0.04;
+constexpr double kPrivateWriteFraction = 0.2;
+constexpr std::int64_t kLeaseWarmupS = 1;
+constexpr std::int64_t kLeaseHorizonS = 6;
+
+struct OpSample {
+  bool multi = false;
+  bool read_only = false;
+  double ms = 0.0;
+};
+
+/// Wraps a driver and records, per kOk completion after warmup, whether the
+/// command spanned partitions, whether it was read-only, and its latency.
+/// Pure observation: `next` forwards untouched, so the command sequence is
+/// identical leases-off and leases-on (same seed, no chaos).
+class LeaseProbeDriver final : public core::ClientDriver {
+ public:
+  LeaseProbeDriver(std::unique_ptr<core::ClientDriver> inner,
+                   std::vector<OpSample>* sink)
+      : inner_(std::move(inner)), sink_(sink) {}
+
+  std::optional<core::CommandSpec> next(Rng& rng, SimTime now) override {
+    return inner_->next(rng, now);
+  }
+
+  void on_result(const core::CommandSpec& spec, core::ReplyStatus status,
+                 const sim::MessagePtr& payload, SimTime issued_at,
+                 SimTime completed_at) override {
+    inner_->on_result(spec, status, payload, issued_at, completed_at);
+    if (status != core::ReplyStatus::kOk) return;
+    if (issued_at < seconds(kLeaseWarmupS)) return;
+    // The plan is static (repartitioning off), so vertex -> partition is the
+    // preload layout: key % partitions.
+    bool seen[kLeasePartitions] = {};
+    std::uint32_t distinct = 0;
+    for (const auto& [object, vertex] : spec.objects) {
+      bool& slot = seen[vertex.value() % kLeasePartitions];
+      if (!slot) ++distinct;
+      slot = true;
+    }
+    sink_->push_back(
+        {distinct > 1, spec.read_only, to_millis(completed_at - issued_at)});
+  }
+
+ private:
+  std::unique_ptr<core::ClientDriver> inner_;
+  std::vector<OpSample>* sink_;
+};
+
+/// The lease workload proper:
+///   * multi-partition ops (kLeaseMultiFraction): one shared key on
+///     partition 0 plus one on partition 1, issued back-to-back so the hot
+///     pair actually contends — read-only except a kSharedWriteFraction
+///     sliver of puts that exercises revocation;
+///   * single-partition ops otherwise: the client's private key on
+///     partition 2 or 3, kPrivateWriteFraction puts, followed by a 3 ms
+///     think pause so partitions 2/3 stay uncongested and the single
+///     population measures fixed costs, not load coupling.
+/// All randomness comes from the per-client RNG handed to next(), so the
+/// leases-off and leases-on runs issue identical command sequences.
+class LeaseMixDriver final : public core::ClientDriver {
+ public:
+  explicit LeaseMixDriver(std::uint64_t private_key)
+      : private_key_(private_key) {}
+
+  std::optional<core::CommandSpec> next(Rng& rng, SimTime /*now*/) override {
+    if (pause_next_ != 0) {
+      const SimTime pause = pause_next_;
+      pause_next_ = 0;
+      return core::CommandSpec::pause_for(pause);
+    }
+    core::CommandSpec spec;
+    bool write = false;
+    if (rng.chance(kLeaseMultiFraction)) {
+      const std::uint64_t a = 4 * rng.uniform(0, kSharedSlots - 1);      // p0
+      const std::uint64_t b = 4 * rng.uniform(0, kSharedSlots - 1) + 1;  // p1
+      spec.objects.emplace_back(ObjectId{a}, core::VertexId{a});
+      spec.objects.emplace_back(ObjectId{b}, core::VertexId{b});
+      write = rng.chance(kSharedWriteFraction);
+    } else {
+      pause_next_ = milliseconds(3);
+      spec.objects.emplace_back(ObjectId{private_key_},
+                                core::VertexId{private_key_});
+      write = rng.chance(kPrivateWriteFraction);
+    }
+    spec.payload = sim::make_message<workloads::KvOp>(
+        write ? workloads::KvOp::Kind::kPut : workloads::KvOp::Kind::kGet,
+        rng.uniform(0, 1u << 30));
+    spec.read_only = !write;
+    return spec;
+  }
+
+ private:
+  std::uint64_t private_key_;
+  SimTime pause_next_ = 0;
+};
+
+/// Private key for client `i`: partition 2 or 3, disjoint across clients.
+constexpr std::uint64_t private_key_for(std::size_t i) {
+  return 4 * static_cast<std::uint64_t>(i) + 2 + (i % 2);
+}
+
+struct LeaseRun {
+  std::vector<OpSample> samples;
+  double lease_reads = 0.0;
+  double lease_fallbacks = 0.0;
+  double ok_commands = 0.0;
+};
+
+LeaseRun run_lease(bool leases_on) {
+  LeaseRun run;
+  auto system =
+      core::ScenarioBuilder()
+          .execution_mode(core::ExecutionMode::kDynaStar)
+          .partitions(kLeasePartitions)
+          .seed(kLeaseSeed)
+          .repartitioning(false)
+          .read_leases(leases_on)
+          .app(workloads::kv_app_factory())
+          .preload_kv(kLeaseKeys, workloads::KvObject(0))
+          .clients(kLeaseClients,
+                   [&run](std::size_t i) {
+                     return std::make_unique<LeaseProbeDriver>(
+                         std::make_unique<LeaseMixDriver>(private_key_for(i)),
+                         &run.samples);
+                   })
+          .build();
+  system->run_until(seconds(kLeaseHorizonS));
+  run.lease_reads = system->metrics().counter(metric::kServerLeaseReads);
+  run.lease_fallbacks =
+      system->metrics().counter(metric::kServerLeaseFallbacks);
+  run.ok_commands = static_cast<double>(run.samples.size());
+  return run;
+}
+
+double median_of(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  return n % 2 == 1 ? values[n / 2]
+                    : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+Json decile_cdf(std::vector<double> values) {
+  Json::Array cdf;
+  if (values.empty()) return cdf;
+  std::sort(values.begin(), values.end());
+  for (int d = 1; d <= 10; ++d) {
+    std::size_t idx = values.size() * d / 10;
+    if (idx > 0) --idx;
+    Json::Array point;
+    point.reserve(2);
+    point.emplace_back(static_cast<double>(d) / 10.0);
+    point.emplace_back(values[idx]);
+    cdf.emplace_back(std::move(point));
+  }
+  return cdf;
+}
+
+/// One run's samples split into the three gated populations:
+/// multi-partition read-only (the leased path), single-partition (must not
+/// move), multi-partition writes (still borrow/return).
+struct LeaseSummary {
+  double multi_ro_median = 0.0;
+  double single_median = 0.0;
+  Json json;
+};
+
+LeaseSummary summarize_lease(const LeaseRun& run) {
+  std::vector<double> multi_ro;
+  std::vector<double> single;
+  std::vector<double> multi_write;
+  for (const OpSample& s : run.samples) {
+    if (!s.multi)
+      single.push_back(s.ms);
+    else if (s.read_only)
+      multi_ro.push_back(s.ms);
+    else
+      multi_write.push_back(s.ms);
+  }
+  LeaseSummary out;
+  out.multi_ro_median = median_of(multi_ro);
+  out.single_median = median_of(single);
+  Json section = Json::Object{};
+  section["ok_commands"] = run.ok_commands;
+  section["lease_reads"] = run.lease_reads;
+  section["lease_fallbacks"] = run.lease_fallbacks;
+  section["multi_ro"] = Json::Object{
+      {"count", static_cast<std::uint64_t>(multi_ro.size())},
+      {"median_ms", out.multi_ro_median},
+      {"cdf", decile_cdf(multi_ro)},
+  };
+  section["single"] = Json::Object{
+      {"count", static_cast<std::uint64_t>(single.size())},
+      {"median_ms", out.single_median},
+      {"cdf", decile_cdf(single)},
+  };
+  section["multi_write"] = Json::Object{
+      {"count", static_cast<std::uint64_t>(multi_write.size())},
+      {"median_ms", median_of(multi_write)},
+  };
+  out.json = std::move(section);
+  return out;
+}
+
+int run_lease_bench(const char* out_arg) {
+  const std::string out_path = out_arg != nullptr ? out_arg : "BENCH_lease.json";
+  std::printf("=== Read-lease latency gate: DynaStar, %u partitions, "
+              "%zu clients, %.0f%% multi (shared keys on p0+p1), "
+              "private singles on p2/p3 ===\n",
+              kLeasePartitions, kLeaseClients, kLeaseMultiFraction * 100);
+
+  const LeaseRun off = run_lease(false);
+  const LeaseRun on = run_lease(true);
+  LeaseSummary off_summary = summarize_lease(off);
+  LeaseSummary on_summary = summarize_lease(on);
+
+  const double off_median = off_summary.multi_ro_median;
+  const double on_median = on_summary.multi_ro_median;
+  const double off_single = off_summary.single_median;
+  const double on_single = on_summary.single_median;
+  const double reduction =
+      off_median > 0 ? 1.0 - on_median / off_median : 0.0;
+  const double single_shift =
+      off_single > 0 ? (on_single - off_single) / off_single : 0.0;
+
+  std::printf("  multi-partition read-only median: %.3f ms -> %.3f ms "
+              "(%.1f%% reduction)\n",
+              off_median, on_median, reduction * 100);
+  std::printf("  single-partition median         : %.3f ms -> %.3f ms "
+              "(%+.2f%%)\n",
+              off_single, on_single, single_shift * 100);
+  std::printf("  leases-on: %.0f leased reads, %.0f fallbacks, %.0f ok "
+              "commands measured\n",
+              on.lease_reads, on.lease_fallbacks, on.ok_commands);
+
+  Json report = Json::Object{};
+  report["schema"] = "dynastar-bench-lease-v1";
+  report["config"] = Json::Object{
+      {"partitions", static_cast<std::uint64_t>(kLeasePartitions)},
+      {"keys", kLeaseKeys},
+      {"clients", static_cast<std::uint64_t>(kLeaseClients)},
+      {"seed", kLeaseSeed},
+      {"shared_keys", 2 * kSharedSlots},
+      {"multi_fraction", kLeaseMultiFraction},
+      {"shared_write_fraction", kSharedWriteFraction},
+      {"private_write_fraction", kPrivateWriteFraction},
+      {"warmup_s", kLeaseWarmupS},
+      {"horizon_s", kLeaseHorizonS},
+  };
+  report["off"] = std::move(off_summary.json);
+  report["on"] = std::move(on_summary.json);
+  report["multi_ro_median_reduction"] = reduction;
+  report["single_median_shift"] = single_shift;
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  const std::string text = report.dump(2);
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--bench-lease") == 0)
+    return run_lease_bench(argc > 2 ? argv[2] : nullptr);
+
   std::vector<std::uint32_t> sweep{2, 4, 8};
   if (bench::full_mode()) sweep.push_back(16);
 

@@ -21,7 +21,12 @@ documents (dynastar-bench-overload-v1, from bench/overload_goodput) get the
 goodput-under-surge and post-surge-recovery gates; STAR sweep documents
 (dynastar-bench-star-v1, from bench/fig34_star_sweep) get the crossover
 gate — DynaStar must beat STAR at the lowest multi-partition ratio and STAR
-must beat DynaStar at the highest, each by the --min-crossover-margin.
+must beat DynaStar at the highest, each by the --min-crossover-margin;
+read-lease documents (dynastar-bench-lease-v1, from
+bench/fig5_latency_cdf --bench-lease, also selectable with --lease) get the
+lease latency gates — leases-on must cut the multi-partition read-only
+median by --min-lease-reduction while moving the single-partition median by
+at most --max-single-shift.
 
 Usage: check_report.py REPORT.json [--min-commands N]
        check_report.py --bench BENCH_kernel.json [--baseline FILE]
@@ -30,6 +35,8 @@ Usage: check_report.py REPORT.json [--min-commands N]
                        [--min-surge-ratio 0.5] [--min-recovery-ratio 0.9]
        check_report.py --bench BENCH_star.json [--baseline FILE]
                        [--min-crossover-margin 1.05]
+       check_report.py --lease BENCH_lease.json [--baseline FILE]
+                       [--min-lease-reduction 0.2] [--max-single-shift 0.02]
 Exit code 0 on success, 1 with a message per violation otherwise.
 """
 
@@ -136,6 +143,7 @@ BENCH_SCHEMA_V2 = "dynastar-bench-kernel-v2"
 BENCH_SCHEMAS = (BENCH_SCHEMA_V1, BENCH_SCHEMA_V2)
 OVERLOAD_SCHEMA = "dynastar-bench-overload-v1"
 STAR_SCHEMA = "dynastar-bench-star-v1"
+LEASE_SCHEMA = "dynastar-bench-lease-v1"
 
 # section -> required numeric (strictly positive) fields
 BENCH_SECTIONS = {
@@ -422,6 +430,88 @@ def check_star_bench(report, baseline, max_regression, min_crossover_margin):
     return errors
 
 
+LEASE_SIDES = ["off", "on"]
+LEASE_POPULATIONS = ["multi_ro", "single", "multi_write"]
+
+
+def check_lease_bench(report, baseline, max_regression,
+                      min_lease_reduction, max_single_shift):
+    errors = []
+
+    def err(msg):
+        errors.append(msg)
+
+    for side in LEASE_SIDES:
+        body = report.get(side)
+        if not isinstance(body, dict):
+            err(f"missing side {side!r}")
+            continue
+        for pop in LEASE_POPULATIONS:
+            stats = body.get(pop)
+            if not isinstance(stats, dict):
+                err(f"{side}.{pop} missing")
+                continue
+            for field in ("count", "median_ms"):
+                value = stats.get(field)
+                if not isinstance(value, (int, float)):
+                    err(f"{side}.{pop}.{field} missing or non-numeric")
+                elif value <= 0:
+                    err(f"{side}.{pop}.{field} is {value}, expected > 0")
+    for field in ("multi_ro_median_reduction", "single_median_shift"):
+        if not isinstance(report.get(field), (int, float)):
+            err(f"{field} missing or non-numeric")
+    if errors:
+        return errors
+
+    # Leases must pay for themselves on the population they serve...
+    reduction = report["multi_ro_median_reduction"]
+    if reduction < min_lease_reduction:
+        err(f"leases-on cut the multi-partition read-only median by only "
+            f"{reduction:.0%} (floor {min_lease_reduction:.0%}) — the "
+            f"borrow-free read path is not delivering")
+    # ...without perturbing traffic that never touches them...
+    shift = abs(report["single_median_shift"])
+    if shift > max_single_shift:
+        err(f"single-partition median moved {shift:.1%} between runs "
+            f"(budget {max_single_shift:.1%}) — leases are not isolated "
+            f"from unrelated traffic")
+    # ...and without slowing the write path, which still borrows/returns
+    # (it may well get faster: writes no longer queue behind blocked reads).
+    write_off = report["off"]["multi_write"]["median_ms"]
+    write_on = report["on"]["multi_write"]["median_ms"]
+    if write_on > write_off * (1.0 + max_single_shift):
+        err(f"multi-partition write median regressed with leases on: "
+            f"{write_on:.3f} ms > {write_off:.3f} ms + {max_single_shift:.0%}")
+
+    # The leased path must actually have run, and mostly validated.
+    reads = report["on"].get("lease_reads", 0)
+    fallbacks = report["on"].get("lease_fallbacks", 0)
+    if not isinstance(reads, (int, float)) or reads <= 0:
+        err("leases-on run recorded no lease_reads — the fast path never "
+            "engaged")
+    elif isinstance(fallbacks, (int, float)) and fallbacks > 0.1 * reads:
+        err(f"{fallbacks:.0f} lease fallbacks against {reads:.0f} leased "
+            f"reads (> 10%) — validation is failing too often")
+    off_reads = report["off"].get("lease_reads")
+    if isinstance(off_reads, (int, float)) and off_reads != 0:
+        err(f"leases-off run recorded {off_reads:.0f} lease_reads — the "
+            f"control run is contaminated")
+
+    if baseline is not None:
+        base_median = baseline.get("on", {}).get("multi_ro", {}) \
+                              .get("median_ms")
+        if not isinstance(base_median, (int, float)) or base_median <= 0:
+            err("baseline file on.multi_ro.median_ms missing or non-positive")
+        else:
+            median = report["on"]["multi_ro"]["median_ms"]
+            ceiling = base_median * (1.0 + max_regression)
+            if median > ceiling:
+                err(f"leases-on multi-partition read-only median regressed: "
+                    f"{median:.3f} ms > {ceiling:.3f} ms ({base_median:.3f} "
+                    f"baseline, {max_regression:.0%} budget)")
+    return errors
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -430,6 +520,10 @@ def main():
                         help="minimum completed commands expected (default 100)")
     parser.add_argument("--bench", action="store_true",
                         help="validate a BENCH_kernel.json document instead")
+    parser.add_argument("--lease", action="store_true",
+                        help="validate a BENCH_lease.json document "
+                             "(fig5_latency_cdf --bench-lease); implies "
+                             "--bench and requires the lease schema")
     parser.add_argument("--baseline",
                         help="baseline bench JSON for the regression gate")
     parser.add_argument("--max-regression", type=float, default=0.25,
@@ -441,6 +535,14 @@ def main():
     parser.add_argument("--min-recovery-ratio", type=float, default=0.9,
                         help="overload bench: post-surge goodput floor as a "
                              "fraction of baseline (default 0.9)")
+    parser.add_argument("--min-lease-reduction", type=float, default=0.2,
+                        help="lease bench: minimum fractional cut in the "
+                             "multi-partition read-only median from enabling "
+                             "leases (default 0.2)")
+    parser.add_argument("--max-single-shift", type=float, default=0.02,
+                        help="lease bench: budget for movement of the "
+                             "single-partition median between the two runs "
+                             "(default 0.02)")
     parser.add_argument("--min-crossover-margin", type=float, default=1.05,
                         help="star bench: factor by which each system must "
                              "beat the other at its end of the sweep "
@@ -463,7 +565,7 @@ def main():
         print(f"check_report: cannot read {args.report}: {exc}", file=sys.stderr)
         return 1
 
-    if args.bench:
+    if args.bench or args.lease:
         baseline = None
         if args.baseline:
             try:
@@ -473,6 +575,26 @@ def main():
                 print(f"check_report: cannot read {args.baseline}: {exc}",
                       file=sys.stderr)
                 return 1
+        if args.lease or report.get("schema") == LEASE_SCHEMA:
+            if report.get("schema") != LEASE_SCHEMA:
+                print(f"check_report: schema is {report.get('schema')!r}, "
+                      f"expected {LEASE_SCHEMA!r}", file=sys.stderr)
+                return 1
+            errors = check_lease_bench(report, baseline,
+                                       args.max_regression,
+                                       args.min_lease_reduction,
+                                       args.max_single_shift)
+            if errors:
+                for msg in errors:
+                    print(f"check_report: {msg}", file=sys.stderr)
+                return 1
+            print(f"check_report: OK — lease gate: multi-partition read-only "
+                  f"median {report['off']['multi_ro']['median_ms']:.3f} -> "
+                  f"{report['on']['multi_ro']['median_ms']:.3f} ms "
+                  f"({report['multi_ro_median_reduction']:.0%} cut), single "
+                  f"median shift {report['single_median_shift']:+.2%}, "
+                  f"{report['on']['lease_reads']:.0f} leased reads")
+            return 0
         if report.get("schema") == OVERLOAD_SCHEMA:
             errors = check_overload_bench(report, baseline,
                                           args.max_regression,

@@ -1,14 +1,33 @@
 #include "common/linearizability.h"
 
+#include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 namespace dynastar {
 
 namespace {
 
+/// Order-independent 64-bit hash of a (key, value) register pair, so the
+/// whole map hashes to the XOR of its pairs and updates incrementally.
+std::uint64_t pair_hash(std::uint64_t key, std::uint64_t value) {
+  std::uint64_t x = key * 0x9e3779b97f4a7c15ull ^ (value + 0x165667b19e3779f9ull);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
 // Backtracking search in the style of Wing & Gong: repeatedly pick a
 // "minimal" pending operation (one no other pending operation precedes in
 // real time), check it against the candidate sequential state, and recurse.
+// Memoized à la Lowe: a configuration is the set of placed operations plus
+// the register state it produced; any configuration that once failed to
+// extend to a full witness fails forever, so revisits are pruned. Histories
+// with long overlapping retry windows (chaos runs) are exponential without
+// this and near-linear with it.
 class Checker {
  public:
   explicit Checker(const std::vector<KvOperation>& history)
@@ -16,6 +35,7 @@ class Checker {
 
   LinearizabilityResult run() {
     done_.assign(history_.size(), false);
+    mask_.assign((history_.size() + 63) / 64, 0);
     if (search(0)) return {true, std::nullopt};
     LinearizabilityResult result;
     result.linearizable = false;
@@ -50,6 +70,8 @@ class Checker {
         undo->push_back(it == state_.end()
                             ? std::nullopt
                             : std::optional<std::uint64_t>(it->second));
+        if (it != state_.end()) state_hash_ ^= pair_hash(key, it->second);
+        state_hash_ ^= pair_hash(key, op.value);
         state_[key] = op.value;
       }
     }
@@ -60,22 +82,38 @@ class Checker {
               const std::vector<std::optional<std::uint64_t>>& undo) {
     if (!op.is_put) return;
     for (std::size_t k = op.keys.size(); k-- > 0;) {
-      if (undo[k].has_value())
+      state_hash_ ^= pair_hash(op.keys[k], state_[op.keys[k]]);
+      if (undo[k].has_value()) {
+        state_hash_ ^= pair_hash(op.keys[k], *undo[k]);
         state_[op.keys[k]] = *undo[k];
-      else
+      } else {
         state_.erase(op.keys[k]);
+      }
     }
+  }
+
+  /// The memo key: exact placed-set bitmask plus the state hash.
+  std::string config_key() const {
+    std::string key;
+    key.reserve(mask_.size() * 8 + 8);
+    for (std::uint64_t word : mask_)
+      key.append(reinterpret_cast<const char*>(&word), 8);
+    key.append(reinterpret_cast<const char*>(&state_hash_), 8);
+    return key;
   }
 
   bool search(std::size_t placed) {
     if (placed == history_.size()) return true;
+    if (!visited_.insert(config_key()).second) return false;
     for (std::size_t i = 0; i < history_.size(); ++i) {
       if (done_[i] || !is_minimal(i)) continue;
       std::vector<std::optional<std::uint64_t>> undo;
       if (apply(history_[i], &undo)) {
         done_[i] = true;
+        mask_[i / 64] |= 1ull << (i % 64);
         if (search(placed + 1)) return true;
         done_[i] = false;
+        mask_[i / 64] &= ~(1ull << (i % 64));
         revert(history_[i], undo);
       } else if (placed >= deepest_) {
         deepest_ = placed;
@@ -87,7 +125,10 @@ class Checker {
 
   const std::vector<KvOperation>& history_;
   std::vector<bool> done_;
+  std::vector<std::uint64_t> mask_;
   std::unordered_map<std::uint64_t, std::uint64_t> state_;
+  std::uint64_t state_hash_ = 0;
+  std::unordered_set<std::string> visited_;
   std::size_t deepest_ = 0;
   std::optional<std::size_t> deepest_stuck_;
 };

@@ -47,6 +47,21 @@ inline constexpr const char* kServerQueueDepth = "server.queue_depth";
 /// Client-facing commands shed at admission (counter + per-node series).
 inline constexpr const char* kServerShed = "server.shed";
 
+// --- read leases (read_leases && DynaStar/DS-SMR only; all counters) ---
+/// Lease grants sent by lenders (full + data-less).
+inline constexpr const char* kServerLeaseGrants = "server.lease_grants";
+/// Read-only multi-partition commands executed off validated leases.
+inline constexpr const char* kServerLeaseReads = "server.lease_reads";
+/// Lease validations that failed (epoch/version mismatch) and fell back to
+/// the retry path.
+inline constexpr const char* kServerLeaseFallbacks = "server.lease_fallbacks";
+/// Lease revocations sent (lender-side writes/migrations + reader-side
+/// failed validations).
+inline constexpr const char* kServerLeaseRevokes = "server.lease_revokes";
+/// Multi-partition relays the oracle served knowing the partitions will
+/// coordinate via leases instead of borrow/return.
+inline constexpr const char* kOracleLeaseRelays = "oracle.lease_relays";
+
 // --- STAR asymmetric execution (mode == kStar only) ---
 /// Epoch switches executed at the master (counter).
 inline constexpr const char* kStarEpochs = "star.epochs";

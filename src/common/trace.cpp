@@ -28,6 +28,10 @@ const char* TraceCollector::point_name(TracePoint point) {
     case TracePoint::kBusyReply: return "busy_reply";
     case TracePoint::kStarEpoch: return "star_epoch";
     case TracePoint::kExecParallel: return "exec_parallel";
+    case TracePoint::kLeaseGrant: return "lease_grant";
+    case TracePoint::kLeaseRead: return "lease_read";
+    case TracePoint::kLeaseFallback: return "lease_fallback";
+    case TracePoint::kLeaseRevoke: return "lease_revoke";
   }
   return "unknown";
 }

@@ -58,6 +58,11 @@ enum class TracePoint : std::uint8_t {
   kStarEpoch,         // epoch switch applied; key = epoch, detail = batch size
   kExecParallel,      // parallel batch flushed; key = makespan ns,
                       // attempt = waves, detail = batch size
+  // --- read leases: key = cmd_id (vertex for revokes), attempt = attempt ---
+  kLeaseGrant,        // lender granted a lease; detail = target partition
+  kLeaseRead,         // target executed off validated leases; detail = objects
+  kLeaseFallback,     // lease validation failed; detail = stale vertex count
+  kLeaseRevoke,       // lease dropped; key = vertex, detail = peer partition
 };
 
 /// One fixed-width trace record. 40 bytes, trivially copyable; the collector

@@ -88,6 +88,15 @@ struct SystemConfig {
   std::uint32_t client_retry_budget = 0;
   SimTime client_retry_token_interval = milliseconds(250);
 
+  // --- Read leases (DynaStar / DS-SMR; off by default so runs are
+  // bit-identical to a build without the subsystem) ---
+  /// Serve read-only multi-partition commands from epoch-validated leased
+  /// copies instead of borrow/return: lenders grant (and keep serving),
+  /// readers validate lender epoch + per-vertex version at execute time and
+  /// fall back to the borrow path via kRetry on any mismatch. Leases are
+  /// volatile (cleared by plan epochs and crash-recovery).
+  bool read_leases = false;
+
   // --- Oracle plan computation model ---
   /// Simulated METIS runtime: base + per (V+E) element cost.
   SimTime plan_compute_base = milliseconds(50);

@@ -62,6 +62,15 @@ struct Route {
   bool multi = false;
 };
 
+/// True for the modes where the read-lease fast path applies: the
+/// partitioned borrow/return protocols (DynaStar, DS-SMR). S-SMR executes
+/// everywhere off exchanged copies and STAR defers multi-partition commands
+/// to the master's epoch batches — neither has a borrow round-trip for a
+/// lease to replace, so both are deliberately untouched by leases.
+inline constexpr bool mode_supports_leases(ExecutionMode mode) {
+  return mode == ExecutionMode::kDynaStar || mode == ExecutionMode::kDSSMR;
+}
+
 /// Computes the addressing for `objects` with believed owners
 /// `owner_per_object` (parallel arrays):
 ///  * partitioned modes: dests = distinct owners, target = majority owner;

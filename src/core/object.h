@@ -30,7 +30,24 @@ class PRObject {
 
   /// Approximate serialized size, for network cost accounting.
   [[nodiscard]] virtual std::size_t size_bytes() const { return 64; }
+
+  /// Content hash over every semantic field; two objects with equal state
+  /// must digest equally, and any mutation must change the digest. Used by
+  /// the workload write-set audit (a declared read-only command must leave
+  /// every digest unchanged). 0 = not implemented — audits self-validate by
+  /// also requiring that writes DO move the digest, so an unimplemented
+  /// digest fails loudly rather than vacuously passing.
+  [[nodiscard]] virtual std::uint64_t digest() const { return 0; }
 };
+
+/// FNV-1a fold helper for digest() implementations.
+inline std::uint64_t digest_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
 
 using ObjectPtr = std::shared_ptr<PRObject>;
 

@@ -328,6 +328,13 @@ void OracleCore::on_request(const OracleRequest& request) {
       request.cmd, std::move(route.dests), std::move(owners), route.target,
       epoch_, request.attempt);
   relay_cache_[cmd.client.value()] = exec;
+  // Lease-aware serving: the partitions decide lease eligibility from the
+  // relay itself (same predicate both sides), so the oracle only accounts
+  // for it — these relays resolve without any borrow/return traffic.
+  if (record_metrics_ && metrics_ && config_.read_leases &&
+      mode_supports_leases(config_.mode) && exec->dests.size() > 1 &&
+      is_read_only(cmd))
+    metrics_->add_counter(metric::kOracleLeaseRelays);
   if (trace_)
     trace_->record(TracePoint::kOracleRelay, env_.now(), cmd.cmd_id,
                    request.attempt, env_.self().value(), route.target.value());

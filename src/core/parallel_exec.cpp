@@ -38,7 +38,9 @@ bool conflicts(const ExecIntent& a, const ExecIntent& b) {
 
 ExecIntent intent_for(const Command& cmd) {
   ExecIntent intent;
-  if (cmd.read_only)
+  // Shared read-only predicate with the lease path: only kAccess commands
+  // can be reads (creates/deletes always write, whatever the hint says).
+  if (is_read_only(cmd))
     intent.reads = cmd.vertices;
   else
     intent.writes = cmd.vertices;

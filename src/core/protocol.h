@@ -277,6 +277,61 @@ struct StarEpochUpdate final : sim::Message {
   std::vector<std::pair<VertexId, std::vector<ObjectEnvelope>>> vertices;
 };
 
+/// One leased vertex inside a LeaseGrant. `objects` empty means the lender
+/// believes the reader already holds a live lease on `vertex` at `version`
+/// (data-less refresh); non-empty carries a full cloned copy and installs or
+/// refreshes the reader-side lease.
+struct LeaseEntry {
+  VertexId vertex;
+  /// Lender-side mutation counter for the vertex at grant time. A reader
+  /// validates a data-less grant only if its installed lease carries the
+  /// same version (and epoch); any write, borrow, or handoff on the lender
+  /// bumps the counter and invalidates outstanding copies.
+  std::uint64_t version = 0;
+  std::vector<ObjectEnvelope> objects;
+};
+
+/// Lender (non-target) replica -> target replicas: lease-protected copies of
+/// the omega vertices the lender owns, for one read-only multi-partition
+/// command. Unlike VarTransfer, the authoritative copies stay home and the
+/// lender does not block — the grant is positioned in the lender's delivery
+/// order at the command's slot, which is what serializes the read against
+/// lender-side writes.
+struct LeaseGrant final : sim::Message {
+  LeaseGrant(std::uint64_t id, std::uint32_t a, PartitionId f, Epoch e,
+             std::vector<LeaseEntry> en)
+      : cmd_id(id), attempt(a), from(f), epoch(e), entries(std::move(en)) {}
+  const char* type_name() const override { return "core.LeaseGrant"; }
+  std::size_t size_bytes() const override {
+    std::size_t total = 40;
+    for (const auto& entry : entries)
+      total += 16 + envelopes_bytes(entry.objects);
+    return total;
+  }
+  std::uint64_t cmd_id;
+  std::uint32_t attempt;
+  PartitionId from;
+  /// Lender's plan epoch at grant time; the reader rejects the grant (and
+  /// falls back to borrow/return via kRetry) unless it matches its own.
+  Epoch epoch;
+  std::vector<LeaseEntry> entries;
+};
+
+/// Either direction: drop the lease bookkeeping for these vertices.
+/// Lender -> reader on writes/migration/delete (the reader forgets its
+/// copies); reader -> lender on failed validation or local invalidation
+/// (the lender forgets the holder, so the next grant ships full data).
+/// Purely an optimization for freshness — validation never trusts a revoke
+/// having arrived, only epoch+version agreement at execute time.
+struct LeaseRevoke final : sim::Message {
+  LeaseRevoke(PartitionId f, std::vector<VertexId> v)
+      : from(f), vertices(std::move(v)) {}
+  const char* type_name() const override { return "core.LeaseRevoke"; }
+  std::size_t size_bytes() const override { return 16 + vertices.size() * 8; }
+  PartitionId from;
+  std::vector<VertexId> vertices;
+};
+
 /// Involved partition -> other involved partitions: I rejected this command
 /// (stale addressing); do not wait for my variables.
 struct AbortNotice final : sim::Message {

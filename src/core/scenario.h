@@ -76,6 +76,13 @@ class ScenarioBuilder {
     config_.exec_real_threads = real_threads;
     return *this;
   }
+  /// Serves read-only multi-partition commands from epoch-validated lease
+  /// copies instead of borrow/return (DynaStar and DS-SMR modes only; a
+  /// no-op elsewhere and off by default).
+  ScenarioBuilder& read_leases(bool on = true) {
+    config_.read_leases = on;
+    return *this;
+  }
   /// Arbitrary knobs not worth a dedicated builder method.
   ScenarioBuilder& tune(const std::function<void(SystemConfig&)>& fn) {
     fn(config_);

@@ -154,6 +154,14 @@ PartitionServerCore::SnapshotPtr PartitionServerCore::capture_snapshot()
   snap->sent_transfers = sent_transfers_;
   snap->ssmr_sent = ssmr_sent_;
   snap->resolved = resolved_;
+  // Per-command lease-grant coordination is snapshotted like transfers_ (a
+  // restored target blocked at the queue head on already-acked grants would
+  // otherwise wait forever). Version counters are captured so they stay
+  // monotone across recovery (see the member comment in server.h); the
+  // leased copies and holder records are volatile by design and
+  // deliberately absent here.
+  snap->lease_grants = lease_grants_;
+  snap->lease_versions = lease_versions_;
   snap->awaited = awaited_;
   snap->obligations = obligations_;
   snap->fetch_requested = fetch_requested_;
@@ -192,6 +200,14 @@ void PartitionServerCore::restore_snapshot(const Snapshot& snapshot) {
   sent_transfers_ = snapshot.sent_transfers;
   ssmr_sent_ = snapshot.ssmr_sent;
   resolved_ = snapshot.resolved;
+  lease_grants_ = snapshot.lease_grants;
+  lease_versions_ = snapshot.lease_versions;
+  // Leases are volatile: installed copies and holder records die with the
+  // incarnation (a regression test pins that they are not in the snapshot).
+  // Restored data-less grants then fail validation, fall back to kRetry,
+  // and the retry is served fresh full grants.
+  leases_.clear();
+  lease_holders_.clear();
   awaited_ = snapshot.awaited;
   obligations_ = snapshot.obligations;
   fetch_requested_ = snapshot.fetch_requested;
@@ -285,6 +301,14 @@ bool PartitionServerCore::dispatch_direct(ProcessId /*from*/,
   }
   if (auto* m = dynamic_cast<const AbortNotice*>(msg.get())) {
     on_abort(*m);
+    return true;
+  }
+  if (auto m = sim::dyn_ref_cast<const LeaseGrant>(msg)) {
+    on_lease_grant(m);
+    return true;
+  }
+  if (auto* m = dynamic_cast<const LeaseRevoke*>(msg.get())) {
+    on_lease_revoke(*m);
     return true;
   }
   return false;
@@ -492,7 +516,21 @@ void PartitionServerCore::pump() {
     }
 
     if (ec->target == partition_) {
+      if (lease_eligible(*ec)) {
+        execute_leased_read(*ec);
+        queue_.pop_front();
+        continue;
+      }
       execute_target(*ec);
+      queue_.pop_front();
+      continue;
+    }
+
+    // Non-target lender on the lease fast path: grant at this slot and move
+    // on — no objects leave the store and nothing blocks, which is the whole
+    // latency win over borrow/return.
+    if (lease_eligible(*ec)) {
+      grant_lease(*ec);
       queue_.pop_front();
       continue;
     }
@@ -586,6 +624,11 @@ void PartitionServerCore::flush_exec_batch() {
   // Commit effects in slot order: replies, caches, hints, metrics.
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const ExecCommand& ec = *batch[i];
+    if (!is_read_only(*ec.cmd)) {
+      std::set<VertexId> mutated;
+      for (VertexId v : ec.cmd->vertices)
+        if (mutated.insert(v).second) note_vertex_mutation(v);
+    }
     sim::MessagePtr reply_payload = std::move(results[i].reply);
     remember_reply(ec, ReplyStatus::kOk, reply_payload);
     // STAR: the master applies other owners' singles silently.
@@ -655,6 +698,9 @@ bool PartitionServerCore::serve_cached_duplicate(const ExecCommand& ec) {
     return true;
   }
   if (ec.dests.size() > 1 && ec.target == partition_) {
+    // Lenders re-grant for a duplicate attempt (they have no reply cache
+    // entry for it); drop the orphaned grants with the attempt.
+    lease_grants_.erase(key);
     auto& sources = resolved_[key];
     auto tstate = transfers_.find(key);
     if (tstate != transfers_.end()) {
@@ -714,6 +760,13 @@ PartitionServerCore::Classification PartitionServerCore::classify(
   const bool multi = ec.dests.size() > 1;
   if (multi && ec.target == partition_ &&
       config_.mode != ExecutionMode::kSSMR && !aborted) {
+    if (lease_eligible(ec)) {
+      // Lease fast path: wait for one grant per peer instead of transfers
+      // (every peer computes lease_eligible identically from the same
+      // ExecCommand and config, so no VarTransfer ever ships here).
+      return lease_grants_complete(ec) ? Classification::kReady
+                                       : Classification::kBlocked;
+    }
     // Target: wait for every other involved partition's transfer.
     std::size_t received =
         tstate == transfers_.end() ? 0 : tstate->second.received.size();
@@ -828,6 +881,14 @@ void PartitionServerCore::execute_target(const ExecCommand& ec) {
   ExecResult result = app_->execute(*ec.cmd, store_);
   env_.consume_cpu(result.cpu_cost);
 
+  // A write against our own vertices invalidates any leased copies of them.
+  if (!is_read_only(*ec.cmd)) {
+    std::set<VertexId> mutated;
+    for (std::size_t i = 0; i < ec.cmd->vertices.size(); ++i)
+      if (ec.owners[i] == partition_ && mutated.insert(ec.cmd->vertices[i]).second)
+        note_vertex_mutation(ec.cmd->vertices[i]);
+  }
+
   sim::MessagePtr reply_payload = std::move(result.reply);
   remember_reply(ec, ReplyStatus::kOk, reply_payload);
   send_reply(ec, ReplyStatus::kOk, std::move(reply_payload));
@@ -900,6 +961,7 @@ void PartitionServerCore::execute_create(const ExecCommand& ec) {
     return;
   }
   store_.put(id, vertex, app_->make_object(*ec.cmd));
+  note_vertex_mutation(vertex);
   map_[vertex] =
       config_.mode == ExecutionMode::kStar ? ec.target : partition_;
   remember_reply(ec, ReplyStatus::kOk, nullptr);
@@ -920,6 +982,7 @@ void PartitionServerCore::execute_delete(const ExecCommand& ec) {
       config_.mode == ExecutionMode::kStar && ec.target != partition_;
   trace_cmd(TracePoint::kExecuteStart, ec, partition_.value());
   for (ObjectId id : store_.objects_of_vertex(vertex)) store_.take(id);
+  note_vertex_mutation(vertex);
   map_.erase(vertex);
   remember_reply(ec, ReplyStatus::kOk, nullptr);
   if (!silent) {
@@ -954,6 +1017,9 @@ void PartitionServerCore::execute_non_target(const ExecCommand& ec) {
     vertex_set.insert(v);
   }
   lend.vertices.assign(vertex_set.begin(), vertex_set.end());
+  // The objects leave this store and the borrower may write them: any
+  // outstanding leased copies are stale from this slot on.
+  for (VertexId v : vertex_set) note_vertex_mutation(v);
   env_.consume_cpu(kPerObjectMoveCost * static_cast<SimTime>(mine.size() + 1));
 
   if (record_metrics_ && metrics_)
@@ -1004,6 +1070,232 @@ void PartitionServerCore::execute_non_target(const ExecCommand& ec) {
     auto held = early->second;
     early_returns_.erase(early);
     on_var_return(held);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Read leases (borrow-free read-only multi-partition commands)
+// ---------------------------------------------------------------------------
+
+bool PartitionServerCore::lease_eligible(const ExecCommand& ec) const {
+  // Every involved partition evaluates this identically (same ExecCommand,
+  // same SystemConfig), so lenders grant exactly when the target waits for
+  // grants and the borrow machinery is bypassed symmetrically.
+  return config_.read_leases && mode_supports_leases(config_.mode) &&
+         ec.dests.size() > 1 && is_read_only(*ec.cmd);
+}
+
+void PartitionServerCore::grant_lease(const ExecCommand& ec) {
+  const CmdKey key{ec.cmd->cmd_id, ec.attempt};
+  // A peer already rejected this command: the target will answer kRetry and
+  // drop any grants, so don't create a holder record it will never install.
+  auto tstate = transfers_.find(key);
+  if (tstate != transfers_.end() && !tstate->second.aborted.empty()) {
+    transfers_.erase(tstate);
+    return;
+  }
+  std::vector<LeaseEntry> entries;
+  std::set<VertexId> done;
+  std::size_t copied = 0;
+  for (std::size_t i = 0; i < ec.cmd->vertices.size(); ++i) {
+    if (ec.owners[i] != partition_) continue;
+    const VertexId v = ec.cmd->vertices[i];
+    if (!done.insert(v).second) continue;
+    std::uint64_t version = 0;
+    if (auto it = lease_versions_.find(v); it != lease_versions_.end())
+      version = it->second;
+    auto& holders = lease_holders_[v];
+    if (holders.contains(ec.target)) {
+      // The reader already holds a copy no mutation invalidated since it was
+      // shipped: a data-less refresh pins it to this slot's version.
+      entries.push_back(LeaseEntry{v, version, {}});
+      continue;
+    }
+    LeaseEntry entry{v, version, {}};
+    for (ObjectId id : store_.objects_of_vertex(v)) {
+      const PRObject* obj = store_.find(id);
+      entry.objects.push_back(ObjectEnvelope{
+          id, v,
+          obj ? std::shared_ptr<const PRObject>(obj->clone()) : nullptr});
+      ++copied;
+    }
+    holders.insert(ec.target);
+    entries.push_back(std::move(entry));
+  }
+  env_.consume_cpu(kPerObjectMoveCost * static_cast<SimTime>(copied + 1));
+  trace_cmd(TracePoint::kLeaseGrant, ec, ec.target.value());
+  send_to_partition(ec.target, sim::make_message<LeaseGrant>(
+                                   ec.cmd->cmd_id, ec.attempt, partition_,
+                                   epoch_, std::move(entries)));
+  if (record_metrics_ && metrics_) {
+    metrics_->add_counter(metric::kServerLeaseGrants);
+    note_objects_exchanged(static_cast<double>(copied));
+  }
+}
+
+bool PartitionServerCore::lease_grants_complete(const ExecCommand& ec) {
+  const auto it = lease_grants_.find(CmdKey{ec.cmd->cmd_id, ec.attempt});
+  const std::size_t received = it == lease_grants_.end() ? 0 : it->second.size();
+  return received + 1 >= ec.dests.size();
+}
+
+void PartitionServerCore::execute_leased_read(const ExecCommand& ec) {
+  const CmdKey key{ec.cmd->cmd_id, ec.attempt};
+
+  // Peer rejection (DS-SMR claims mismatch): nothing was borrowed, so there
+  // is nothing to bounce — drop the grants and tell the client to retry.
+  auto tstate = transfers_.find(key);
+  if (tstate != transfers_.end() && !tstate->second.aborted.empty()) {
+    transfers_.erase(tstate);
+    lease_grants_.erase(key);
+    resolved_[key];
+    send_reply(ec, ReplyStatus::kRetry, nullptr);
+    return;
+  }
+
+  // Validate every grant at execute time. A grant proves "at this command's
+  // slot in the lender's delivery order, vertex v was at `version` under
+  // `epoch`"; the read is correct iff the copy we hold matches that exactly.
+  bool valid = true;
+  std::uint64_t stale_vertices = 0;
+  std::map<PartitionId, std::vector<VertexId>> stale;
+  auto gstate = lease_grants_.find(key);
+  if (gstate != lease_grants_.end()) {
+    for (const auto& [from, grant] : gstate->second) {
+      for (const LeaseEntry& entry : grant->entries) {
+        const auto lease = leases_.find(entry.vertex);
+        const bool ok = grant->epoch == epoch_ && lease != leases_.end() &&
+                        lease->second.lender == from &&
+                        lease->second.epoch == epoch_ &&
+                        lease->second.version == entry.version;
+        if (!ok) {
+          valid = false;
+          ++stale_vertices;
+          stale[from].push_back(entry.vertex);
+        }
+      }
+    }
+  }
+
+  if (!valid) {
+    // Fall back to the retry path: drop the stale copies and revoke
+    // upstream so each lender forgets this holder — the retried attempt is
+    // then served fresh full grants and cannot loop on the same mismatch.
+    for (auto& [lender, vertices] : stale) {
+      for (VertexId v : vertices) {
+        const auto lease = leases_.find(v);
+        if (lease != leases_.end() && lease->second.lender == lender)
+          leases_.erase(lease);
+        if (trace_)
+          trace_->record(TracePoint::kLeaseRevoke, env_.now(), v.value(),
+                         ec.attempt, env_.self().value(), lender.value());
+      }
+      if (record_metrics_ && metrics_)
+        metrics_->add_counter(metric::kServerLeaseRevokes,
+                              static_cast<double>(vertices.size()));
+      send_to_partition(lender, sim::make_message<LeaseRevoke>(
+                                    partition_, std::move(vertices)));
+    }
+    lease_grants_.erase(key);
+    resolved_[key];
+    trace_cmd(TracePoint::kLeaseFallback, ec, stale_vertices);
+    if (record_metrics_ && metrics_) {
+      metrics_->add_counter(metric::kServerLeaseFallbacks);
+      metrics_->series(metric::kServerRetries).add(env_.now(), 1.0);
+    }
+    send_reply(ec, ReplyStatus::kRetry, nullptr);
+    return;
+  }
+
+  // Splice the leased copies in, execute, splice them out again. The app
+  // only reads (lease_eligible requires the read-only classification), so
+  // removing exactly the spliced ids restores the store bit-for-bit.
+  std::vector<ObjectId> spliced;
+  std::set<VertexId> done;
+  for (std::size_t i = 0; i < ec.cmd->vertices.size(); ++i) {
+    if (ec.owners[i] == partition_) continue;
+    const VertexId v = ec.cmd->vertices[i];
+    if (!done.insert(v).second) continue;
+    const auto lease = leases_.find(v);
+    if (lease == leases_.end()) continue;  // validated above; defensive
+    for (const ObjectEnvelope& env : lease->second.objects) {
+      if (!env.object) continue;
+      store_.put(env.id, env.vertex, ObjectPtr(env.object->clone()));
+      spliced.push_back(env.id);
+    }
+  }
+  env_.consume_cpu(kPerObjectMoveCost * static_cast<SimTime>(spliced.size()));
+
+  trace_cmd(TracePoint::kExecuteStart, ec, partition_.value());
+  ExecResult result = app_->execute(*ec.cmd, store_);
+  env_.consume_cpu(result.cpu_cost);
+  sim::MessagePtr reply_payload = std::move(result.reply);
+  remember_reply(ec, ReplyStatus::kOk, reply_payload);
+  send_reply(ec, ReplyStatus::kOk, std::move(reply_payload));
+  for (ObjectId id : spliced) store_.take(id);
+
+  lease_grants_.erase(key);
+  resolved_[key];  // late grants from a lender's other replica are dropped
+  trace_cmd(TracePoint::kLeaseRead, ec, spliced.size());
+  if (record_metrics_ && metrics_)
+    metrics_->add_counter(metric::kServerLeaseReads);
+  if (config_.mode == ExecutionMode::kDynaStar)
+    record_hints(*ec.cmd, /*multi_partition=*/true);
+  note_command_metrics(ec, /*multi=*/true);
+}
+
+void PartitionServerCore::note_vertex_mutation(VertexId vertex) {
+  if (!config_.read_leases || !mode_supports_leases(config_.mode)) return;
+  ++lease_versions_[vertex];
+  auto holders = lease_holders_.find(vertex);
+  if (holders == lease_holders_.end()) return;
+  for (PartitionId holder : holders->second) {
+    if (trace_)
+      trace_->record(TracePoint::kLeaseRevoke, env_.now(), vertex.value(), 0,
+                     env_.self().value(), holder.value());
+    send_to_partition(holder, sim::make_message<LeaseRevoke>(
+                                  partition_, std::vector<VertexId>{vertex}));
+    if (record_metrics_ && metrics_)
+      metrics_->add_counter(metric::kServerLeaseRevokes);
+  }
+  lease_holders_.erase(holders);
+}
+
+void PartitionServerCore::on_lease_grant(
+    const sim::Ref<const LeaseGrant>& msg) {
+  const CmdKey key{msg->cmd_id, msg->attempt};
+  if (resolved_.contains(key)) return;  // late duplicate; already answered
+  auto& grants = lease_grants_[key];
+  if (!grants.emplace(msg->from, msg).second) return;  // other replica's copy
+  // Install the winning grant's full entries. Recording and installing must
+  // be one atomic step: after a partial-group recovery a lender's replicas
+  // can disagree on holder records (one ships full data where the other
+  // ships a data-less refresh), and validating one replica's recorded grant
+  // against another replica's install could bounce the retry path forever.
+  for (const LeaseEntry& entry : msg->entries) {
+    if (entry.objects.empty()) continue;
+    leases_[entry.vertex] =
+        InstalledLease{msg->from, msg->epoch, entry.version, entry.objects};
+  }
+  if (blocked_) {
+    blocked_ = false;
+    pump();
+  }
+}
+
+void PartitionServerCore::on_lease_revoke(const LeaseRevoke& msg) {
+  for (VertexId v : msg.vertices) {
+    // Reader role: drop our installed copy if it came from the sender.
+    const auto lease = leases_.find(v);
+    if (lease != leases_.end() && lease->second.lender == msg.from)
+      leases_.erase(lease);
+    // Lender role: the sender no longer holds a copy of our vertex, so the
+    // next grant to it must ship full data.
+    const auto holders = lease_holders_.find(v);
+    if (holders != lease_holders_.end()) {
+      holders->second.erase(msg.from);
+      if (holders->second.empty()) lease_holders_.erase(holders);
+    }
   }
 }
 
@@ -1228,6 +1520,7 @@ void PartitionServerCore::reject(const ExecCommand& ec, bool notify_peers) {
   if (record_metrics_ && metrics_)
     metrics_->series(metric::kServerRetries).add(env_.now(), 1.0);
   const CmdKey key{ec.cmd->cmd_id, ec.attempt};
+  lease_grants_.erase(key);
   if (notify_peers) {
     auto notice =
         sim::make_message<AbortNotice>(ec.cmd->cmd_id, ec.attempt, partition_);
@@ -1272,6 +1565,14 @@ void PartitionServerCore::apply_plan(const PlanMsg& plan) {
     map_[vertex] = new_owner;
   epoch_ = plan.epoch;
   fetch_requested_.clear();
+  // A plan epoch invalidates every lease wholesale: readers' installed
+  // copies carry the old epoch (validation would reject them anyway), our
+  // holder records are dropped so post-plan grants ship full data, and the
+  // per-vertex versions may reset — validation is epoch AND version, and
+  // the epoch just changed.
+  leases_.clear();
+  lease_versions_.clear();
+  lease_holders_.clear();
 
   if (config_.eager_plan_transfer) {
     // Algorithm 3 Task 3: ship everything now (deferred when lent out).
@@ -1316,6 +1617,7 @@ void PartitionServerCore::send_handoff_if_possible(VertexId vertex) {
     // On-demand mode: only ship once the new owner asked.
     return;
   }
+  note_vertex_mutation(vertex);  // the vertex is leaving this partition
   auto envelopes = extract_vertex(vertex);
   env_.consume_cpu(kPerObjectMoveCost *
                    static_cast<SimTime>(envelopes.size() + 1));
@@ -1412,6 +1714,7 @@ void PartitionServerCore::on_var_return(
                      msg.attempt, env_.self().value(), msg.from.value());
     insert_envelopes(msg.objects);
     for (const auto& [vertex, previous] : move->second.previous_owner) {
+      note_vertex_mutation(vertex);  // rolled back: contents changed hands
       if (previous == kNoPartition)
         map_.erase(vertex);
       else

@@ -158,12 +158,30 @@ class PartitionServerCore {
   void apply_star_update(const StarEpochUpdate& update);
   void on_star_update(const sim::Ref<const StarEpochUpdate>& msg);
 
+  // Read leases (config_.read_leases && mode_supports_leases(config_.mode)).
+  // Lender side: grant_lease ships lease-protected copies at the command's
+  // slot without taking anything out of the store and without blocking.
+  // Reader side: the target waits for one grant per peer, then validates
+  // every grant's epoch + per-vertex version at execute time and falls back
+  // to the borrow path (kRetry) on any mismatch.
+  [[nodiscard]] bool lease_eligible(const ExecCommand& ec) const;
+  void grant_lease(const ExecCommand& ec);
+  [[nodiscard]] bool lease_grants_complete(const ExecCommand& ec);
+  void execute_leased_read(const ExecCommand& ec);
+  /// Lender-side hook on every authoritative mutation of `vertex` (write,
+  /// borrow out, handoff out, delete, permanent move): bumps the vertex's
+  /// lease version and revokes outstanding holder copies. No-op while
+  /// leases are disabled, keeping lease-off runs bit-identical.
+  void note_vertex_mutation(VertexId vertex);
+
   // Direct message handlers.
   void on_var_transfer(const VarTransfer& msg);
   void on_var_return(const sim::Ref<const VarReturn>& msg);
   void on_handoff(const ObjectHandoff& msg);
   void on_fetch(const FetchVertex& msg);
   void on_abort(const AbortNotice& msg);
+  void on_lease_grant(const sim::Ref<const LeaseGrant>& msg);
+  void on_lease_revoke(const LeaseRevoke& msg);
 
   // Helpers.
   void send_to_partition(PartitionId p, sim::MessagePtr msg);
@@ -281,6 +299,36 @@ class PartitionServerCore {
 
   std::uint64_t location_updates_emitted_ = 0;  // DS-SMR uid counter
 
+  // Read-lease state. The leased copies and holder records are *volatile by
+  // design*: a lease is only ever trusted after epoch+version validation, so
+  // losing them costs one fallback round-trip, never correctness. They are
+  // deliberately absent from Snapshot and cleared on restore (a regression
+  // test pins this). Two maps are snapshotted, for different reasons:
+  //  * lease_grants_ is per-command coordination like transfers_ (a target
+  //    blocked at the queue head on already-acked grants would deadlock
+  //    without it);
+  //  * lease_versions_ must stay MONOTONE across a recovery within an
+  //    epoch. Snapshotting makes it a pure function of the applied log, so
+  //    all replicas of a group agree on every version number; a recovered
+  //    replica restarting its counters at zero could re-issue a version the
+  //    group already used for different data, and a stale installed copy
+  //    would then validate spuriously.
+  struct InstalledLease {
+    PartitionId lender;
+    Epoch epoch = 0;
+    std::uint64_t version = 0;
+    std::vector<ObjectEnvelope> objects;
+  };
+  /// Reader side: installed lease copy per remote vertex.
+  std::unordered_map<VertexId, InstalledLease> leases_;
+  /// Lender side: mutation counter per owned vertex (absent = 0).
+  std::unordered_map<VertexId, std::uint64_t> lease_versions_;
+  /// Lender side: partitions believed to hold a live copy of the vertex.
+  std::unordered_map<VertexId, std::set<PartitionId>> lease_holders_;
+  /// Target side: grants received per command (may arrive early).
+  std::map<CmdKey, std::map<PartitionId, sim::Ref<const LeaseGrant>>>
+      lease_grants_;
+
   // DS-SMR: state needed to roll an aborted permanent move back. Entries
   // for committed moves are never revisited (the target commits exactly
   // once) and are retained for the run's lifetime.
@@ -327,6 +375,9 @@ struct PartitionServerCore::Snapshot {
   std::set<CmdKey> sent_transfers;
   std::set<CmdKey> ssmr_sent;
   std::map<CmdKey, std::set<PartitionId>> resolved;
+  std::map<CmdKey, std::map<PartitionId, sim::Ref<const LeaseGrant>>>
+      lease_grants;
+  std::unordered_map<VertexId, std::uint64_t> lease_versions;
   std::unordered_map<VertexId, PartitionId> awaited;
   std::unordered_map<VertexId, PartitionId> obligations;
   std::unordered_set<VertexId> fetch_requested;

@@ -24,6 +24,13 @@ System::System(SystemConfig config, AppFactory app_factory)
     world_.metrics().add_counter(metric::kExecBatchedCommands, 0.0);
     world_.metrics().add_counter(metric::kExecConflictEdges, 0.0);
   }
+  if (config_.read_leases && mode_supports_leases(config_.mode)) {
+    world_.metrics().add_counter(metric::kServerLeaseGrants, 0.0);
+    world_.metrics().add_counter(metric::kServerLeaseReads, 0.0);
+    world_.metrics().add_counter(metric::kServerLeaseFallbacks, 0.0);
+    world_.metrics().add_counter(metric::kServerLeaseRevokes, 0.0);
+    world_.metrics().add_counter(metric::kOracleLeaseRelays, 0.0);
+  }
   const std::uint32_t replicas = config_.replicas_per_partition;
   const std::uint32_t acceptors = config_.acceptors_per_partition;
   const std::uint32_t groups = config_.num_partitions + 1;  // + oracle

@@ -61,6 +61,20 @@ struct Command final : sim::Message {
 
 using CommandPtr = sim::Ref<const Command>;
 
+/// Single source of truth for "this command mutates nothing". Creates and
+/// deletes always mutate regardless of the workload hint; only access
+/// commands whose driver declared a pure read qualify. Every consumer of
+/// the hint (parallel executor intents, read-lease eligibility) must go
+/// through this helper so the classification cannot drift between layers.
+[[nodiscard]] constexpr bool is_read_only(CommandType type,
+                                          bool read_only_hint) {
+  return type == CommandType::kAccess && read_only_hint;
+}
+
+[[nodiscard]] inline bool is_read_only(const Command& cmd) {
+  return is_read_only(cmd.type, cmd.read_only);
+}
+
 /// Outcome status carried in replies to the client. New values append at
 /// the end — the numeric value rides in trace `detail` fields and must stay
 /// stable.

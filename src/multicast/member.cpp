@@ -51,6 +51,14 @@ MemberCore::State MemberCore::capture_state() const {
 }
 
 void MemberCore::restore_state(const State& s) {
+  // A live replica installing a peer's checkpoint (Paxos catchup) must not
+  // drop McastSends it receipt-acked but the peer has not started: the ack
+  // stopped the sender's retransmissions, so this stash may hold the only
+  // surviving copy. Carry those entries across the install; resubmission is
+  // deduplicated through seen_. (After a crash the map starts empty — no-op.)
+  std::map<Uid, Unstarted> carried;
+  for (const auto& [uid, entry] : unstarted_)
+    if (!s.seen.contains(uid)) carried.emplace(uid, entry);
   clock_ = s.clock;
   pending_ = s.pending;
   seen_ = s.seen;
@@ -59,6 +67,7 @@ void MemberCore::restore_state(const State& s) {
   final_submitted_ = s.final_submitted;
   channels_ = s.channels;
   unstarted_ = s.unstarted;
+  for (const auto& [uid, entry] : carried) unstarted_.emplace(uid, entry);
   outbox_ = s.outbox;
   group_sender_seq_ = s.group_sender_seq;
   replica_.restore(s.replica);
@@ -85,6 +94,7 @@ void MemberCore::arm_repair_timer() {
     if (replica_.is_leader()) {
       for (auto& [uid, pending] : pending_) {
         if (pending.data->groups.size() > 1 && !pending.final_ts.has_value()) {
+          resend_to_silent_groups(pending);
           broadcast_ts_proposal(pending);
           maybe_submit_final(uid);
         }
@@ -258,6 +268,21 @@ void MemberCore::maybe_submit_final(Uid uid) {
   replica_.submit(sim::make_message<FinalEntry>(uid, final_ts));
 }
 
+void MemberCore::resend_to_silent_groups(const Pending& pending) {
+  // A destination group can lose the original McastSend *after* acking it:
+  // the ack goes out on receipt, but a lagging replica's unstarted stash
+  // dies with a catchup snapshot install (or a crash). The sender then
+  // retransmits no more, that group never proposes, and every group that did
+  // admit the message wedges behind it. Any admitted group re-offers the
+  // payload to groups it has no proposal from; receivers deduplicate.
+  auto msg = sim::make_message<McastSend>(pending.data);
+  for (GroupId dest : pending.data->groups) {
+    if (dest == group_ || pending.proposals.contains(dest)) continue;
+    for (ProcessId replica : topology_.group(dest).replicas)
+      env_.send_message(replica, msg);
+  }
+}
+
 void MemberCore::broadcast_ts_proposal(const Pending& pending) {
   for (GroupId dest : pending.data->groups) {
     if (dest == group_) continue;
@@ -310,6 +335,7 @@ void MemberCore::on_gain_leadership() {
   }
   for (auto& [uid, pending] : pending_) {
     if (pending.data->groups.size() > 1 && !pending.final_ts.has_value()) {
+      resend_to_silent_groups(pending);
       broadcast_ts_proposal(pending);
       maybe_submit_final(uid);
     }

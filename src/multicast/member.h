@@ -151,6 +151,7 @@ class MemberCore {
   bool on_ack(const McastAck& msg);
   void on_ts_proposal(const TsProposal& msg);
   void maybe_submit_final(Uid uid);
+  void resend_to_silent_groups(const Pending& pending);
   void broadcast_ts_proposal(const Pending& pending);
   void try_deliver();
   void on_gain_leadership();

@@ -40,6 +40,14 @@ class UserObject final : public core::PRObject {
   [[nodiscard]] std::size_t size_bytes() const override {
     return 48 + timeline.size() * 8;
   }
+  [[nodiscard]] std::uint64_t digest() const override {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::uint64_t ref : timeline) h = core::digest_mix(h, ref);
+    h = core::digest_mix(h, posts);
+    h = core::digest_mix(h, followers_count);
+    h = core::digest_mix(h, following_count);
+    return h;
+  }
 
   static constexpr std::size_t kTimelineCap = 20;
 

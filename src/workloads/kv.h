@@ -22,6 +22,9 @@ class KvObject final : public core::PRObject {
     return std::make_unique<KvObject>(value);
   }
   [[nodiscard]] std::size_t size_bytes() const override { return 16; }
+  [[nodiscard]] std::uint64_t digest() const override {
+    return core::digest_mix(0xcbf29ce484222325ull, value);
+  }
 
   std::uint64_t value;
 };

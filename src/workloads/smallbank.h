@@ -6,6 +6,7 @@
 // the customer.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -27,6 +28,12 @@ class CustomerAccounts final : public core::PRObject {
     return std::make_unique<CustomerAccounts>(*this);
   }
   [[nodiscard]] std::size_t size_bytes() const override { return 32; }
+  [[nodiscard]] std::uint64_t digest() const override {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    h = core::digest_mix(h, std::bit_cast<std::uint64_t>(checking));
+    h = core::digest_mix(h, std::bit_cast<std::uint64_t>(savings));
+    return h;
+  }
 
   double checking;
   double savings;

@@ -18,6 +18,7 @@
 //    a laptop; access-skew distributions (NURand) are preserved.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -82,6 +83,12 @@ struct WarehouseRow final : core::PRObject {
     return std::make_unique<WarehouseRow>(*this);
   }
   std::size_t size_bytes() const override { return 48; }
+  std::uint64_t digest() const override {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    h = core::digest_mix(h, std::bit_cast<std::uint64_t>(ytd));
+    h = core::digest_mix(h, std::bit_cast<std::uint64_t>(tax));
+    return h;
+  }
 };
 
 struct DistrictRow final : core::PRObject {
@@ -97,6 +104,15 @@ struct DistrictRow final : core::PRObject {
   std::size_t size_bytes() const override {
     return 64 + recent_orders.size() * 4;
   }
+  std::uint64_t digest() const override {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    h = core::digest_mix(h, next_o_id);
+    h = core::digest_mix(h, next_delivery_o_id);
+    h = core::digest_mix(h, std::bit_cast<std::uint64_t>(ytd));
+    h = core::digest_mix(h, std::bit_cast<std::uint64_t>(tax));
+    for (std::uint32_t o : recent_orders) h = core::digest_mix(h, o);
+    return h;
+  }
 };
 
 struct CustomerRow final : core::PRObject {
@@ -108,6 +124,14 @@ struct CustomerRow final : core::PRObject {
     return std::make_unique<CustomerRow>(*this);
   }
   std::size_t size_bytes() const override { return 64; }
+  std::uint64_t digest() const override {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    h = core::digest_mix(h, std::bit_cast<std::uint64_t>(balance));
+    h = core::digest_mix(h, std::bit_cast<std::uint64_t>(ytd_payment));
+    h = core::digest_mix(h, payment_cnt);
+    h = core::digest_mix(h, delivery_cnt);
+    return h;
+  }
 };
 
 struct StockRow final : core::PRObject {
@@ -119,6 +143,14 @@ struct StockRow final : core::PRObject {
     return std::make_unique<StockRow>(*this);
   }
   std::size_t size_bytes() const override { return 48; }
+  std::uint64_t digest() const override {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    h = core::digest_mix(h, quantity);
+    h = core::digest_mix(h, ytd);
+    h = core::digest_mix(h, order_cnt);
+    h = core::digest_mix(h, remote_cnt);
+    return h;
+  }
 };
 
 struct OrderLine {
@@ -136,6 +168,18 @@ struct OrderRow final : core::PRObject {
     return std::make_unique<OrderRow>(*this);
   }
   std::size_t size_bytes() const override { return 32 + lines.size() * 24; }
+  std::uint64_t digest() const override {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    h = core::digest_mix(h, c_id);
+    h = core::digest_mix(h, carrier);
+    for (const OrderLine& l : lines) {
+      h = core::digest_mix(h, l.item);
+      h = core::digest_mix(h, l.supply_w);
+      h = core::digest_mix(h, l.quantity);
+      h = core::digest_mix(h, std::bit_cast<std::uint64_t>(l.amount));
+    }
+    return h;
+  }
 };
 
 struct HistoryRow final : core::PRObject {
@@ -145,6 +189,12 @@ struct HistoryRow final : core::PRObject {
     return std::make_unique<HistoryRow>(*this);
   }
   std::size_t size_bytes() const override { return 24; }
+  std::uint64_t digest() const override {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    h = core::digest_mix(h, entries);
+    h = core::digest_mix(h, std::bit_cast<std::uint64_t>(total));
+    return h;
+  }
 };
 
 // ---------------------------------------------------------------------------

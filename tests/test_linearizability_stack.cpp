@@ -4,22 +4,15 @@
 // history must admit a legal sequential witness.
 //
 // This is the repository's strongest correctness property: it exercises the
-// cross-partition execution path and the relocation machinery at once.
+// cross-partition execution path and the relocation machinery at once. The
+// scenarios are expressed through tests/lin_harness.h, which the LinFuzz
+// sweep shares.
 #include <gtest/gtest.h>
 
-#include <memory>
-#include <vector>
-
-#include "common/linearizability.h"
-#include "core/system.h"
-#include "tests/test_util.h"
-#include "workloads/kv.h"
+#include "tests/lin_harness.h"
 
 namespace dynastar {
 namespace {
-
-using core::VertexId;
-using testutil::RecordingKvDriver;
 
 struct LinParam {
   core::ExecutionMode mode;
@@ -31,52 +24,22 @@ class StackLinearizability : public ::testing::TestWithParam<LinParam> {};
 
 TEST_P(StackLinearizability, HistoryIsLinearizable) {
   const auto param = GetParam();
-  core::SystemConfig config;
-  config.mode = param.mode;
-  config.num_partitions = 3;
-  config.seed = param.seed;
-  config.repartitioning_enabled =
-      param.mode == core::ExecutionMode::kDynaStar;
-  config.repartition_hint_threshold = UINT64_MAX;
-  // Preload objects with nonzero values so "absent" never aliases zero.
-  core::System system(config, workloads::kv_app_factory());
-  constexpr std::uint64_t kKeys = 10;
-  core::Assignment assignment;
-  for (std::uint64_t k = 0; k < kKeys; ++k) {
-    const PartitionId p{k % 3};
-    assignment[VertexId{k}] = p;
-    system.preload_object(ObjectId{k}, VertexId{k}, p,
-                          workloads::KvObject(1000 + k));
-  }
-  system.preload_assignment(assignment);
+  testutil::LinScenario scenario;
+  scenario.mode = param.mode;
+  scenario.partitions = 3;
+  scenario.system_seed = param.seed;
+  scenario.ops_per_client = 60;
+  scenario.repartition_mid_run = param.repartition_mid_run;
+  scenario.run_for = seconds(20);
 
-  std::vector<KvOperation> history;
-  for (int c = 0; c < 4; ++c) {
-    system.add_client(
-        std::make_unique<RecordingKvDriver>(kKeys, 60, &history));
-  }
+  const auto run = testutil::run_lin_scenario(scenario);
 
-  if (param.repartition_mid_run &&
-      param.mode == core::ExecutionMode::kDynaStar) {
-    system.run_until(milliseconds(300));
-    system.oracle(0).request_repartition();
-    system.oracle(1).request_repartition();
-    system.run_until(milliseconds(900));
-    system.oracle(0).request_repartition();
-    system.oracle(1).request_repartition();
-  }
-  system.run_until(seconds(20));
-
-  ASSERT_GT(history.size(), 100u);
-  // Account for preloaded values: seed the history with instantaneous
-  // initial puts before time zero.
-  const auto full = testutil::with_initial_puts(history, kKeys, 1000);
-
-  const auto result = check_kv_linearizable(full);
-  EXPECT_TRUE(result.linearizable)
+  ASSERT_GT(run.history.size(), 100u);
+  EXPECT_TRUE(run.lin.linearizable)
       << "non-linearizable history; stuck op index "
-      << (result.stuck_operation ? static_cast<long>(*result.stuck_operation)
-                                 : -1)
+      << (run.lin.stuck_operation
+              ? static_cast<long>(*run.lin.stuck_operation)
+              : -1)
       << " mode " << static_cast<int>(param.mode) << " seed " << param.seed;
 }
 

@@ -1,0 +1,283 @@
+// Epoch-validated read leases: read-only multi-partition commands execute
+// against lease-protected local copies instead of borrow/return. These tests
+// pin the protocol's safety edges — plan-epoch bumps racing grants, writes
+// invalidating outstanding copies, lender crashes with live leases, snapshot
+// installs clearing lease state — and the configuration contract that a
+// lease-off run is bit-identical to one where leases never engage.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/system.h"
+#include "tests/lin_harness.h"
+#include "tests/test_util.h"
+#include "workloads/kv.h"
+#include "workloads/kv_drivers.h"
+
+namespace dynastar {
+namespace {
+
+using Record = workloads::ScriptedKvDriver::Record;
+
+core::CommandSpec kv_get(std::initializer_list<std::uint64_t> keys) {
+  core::CommandSpec spec;
+  for (std::uint64_t k : keys)
+    spec.objects.emplace_back(ObjectId{k}, core::VertexId{k});
+  spec.payload =
+      sim::make_message<workloads::KvOp>(workloads::KvOp::Kind::kGet, 0);
+  spec.read_only = true;
+  return spec;
+}
+
+core::CommandSpec kv_put(std::initializer_list<std::uint64_t> keys,
+                         std::uint64_t value) {
+  core::CommandSpec spec;
+  for (std::uint64_t k : keys)
+    spec.objects.emplace_back(ObjectId{k}, core::VertexId{k});
+  spec.payload =
+      sim::make_message<workloads::KvOp>(workloads::KvOp::Kind::kPut, value);
+  return spec;
+}
+
+/// Two partitions, leases on, keys k (even -> P0, odd -> P1) preloaded with
+/// 1000 + k.
+std::unique_ptr<core::System> lease_system(core::ExecutionMode mode,
+                                           std::uint64_t seed,
+                                           std::uint64_t keys = 4,
+                                           bool leases = true) {
+  auto config = testutil::config_for(mode, 2);
+  config.seed = seed;
+  config.read_leases = leases;
+  config.client_max_attempts = 0;  // liveness asserts completion
+  auto system =
+      std::make_unique<core::System>(config, workloads::kv_app_factory());
+  core::Assignment assignment;
+  for (std::uint64_t k = 0; k < keys; ++k) {
+    const PartitionId p{k % 2};
+    assignment[core::VertexId{k}] = p;
+    system->preload_object(ObjectId{k}, core::VertexId{k}, p,
+                           workloads::KvObject(1000 + k));
+  }
+  system->preload_assignment(assignment);
+  return system;
+}
+
+// A read-only cross-partition command executes off leases (no borrow, no
+// return), and a write to a leased vertex revokes the copy so the next read
+// observes the fresh value.
+TEST(ReadLease, WriteAfterGrantInvalidatesTheLease) {
+  auto system = lease_system(core::ExecutionMode::kDynaStar, 5);
+
+  std::vector<Record> reader_records;
+  std::vector<core::CommandSpec> reader_script;
+  reader_script.push_back(kv_get({0, 1}));  // establishes the lease
+  reader_script.push_back(core::CommandSpec::pause_for(milliseconds(400)));
+  reader_script.push_back(kv_get({0, 1}));  // must observe the write below
+  system->add_client(std::make_unique<workloads::ScriptedKvDriver>(
+      reader_script, &reader_records));
+
+  std::vector<Record> writer_records;
+  std::vector<core::CommandSpec> writer_script;
+  writer_script.push_back(core::CommandSpec::pause_for(milliseconds(200)));
+  writer_script.push_back(kv_put({0, 1}, 777));
+  system->add_client(std::make_unique<workloads::ScriptedKvDriver>(
+      writer_script, &writer_records));
+
+  system->run_until(seconds(5));
+
+  ASSERT_EQ(reader_records.size(), 2u);
+  ASSERT_EQ(writer_records.size(), 1u);
+  EXPECT_EQ(reader_records[0].status, core::ReplyStatus::kOk);
+  EXPECT_EQ(writer_records[0].status, core::ReplyStatus::kOk);
+  EXPECT_EQ(reader_records[1].status, core::ReplyStatus::kOk);
+
+  // First read sees the preloaded values, second sees the write: the leased
+  // copy granted before the put must not serve the read issued after it.
+  ASSERT_EQ(reader_records[0].observed.size(), 2u);
+  EXPECT_EQ(reader_records[0].observed[0], 1000u);
+  EXPECT_EQ(reader_records[0].observed[1], 1001u);
+  ASSERT_EQ(reader_records[1].observed.size(), 2u);
+  EXPECT_EQ(reader_records[1].observed[0], 777u);
+  EXPECT_EQ(reader_records[1].observed[1], 777u);
+
+  // Both reads took the lease path; the write revoked the outstanding copy.
+  EXPECT_GE(system->metrics().counter("server.lease_reads"), 2.0);
+  EXPECT_GE(system->metrics().counter("server.lease_grants"), 2.0);
+  EXPECT_GE(system->metrics().counter("server.lease_revokes"), 1.0);
+}
+
+// The DS-SMR lease path must skip the permanent move: a leased read leaves
+// ownership where it was, and subsequent commands still resolve correctly.
+TEST(ReadLease, DssmrLeasedReadSkipsThePermanentMove) {
+  auto system = lease_system(core::ExecutionMode::kDSSMR, 6);
+
+  std::vector<Record> records;
+  std::vector<core::CommandSpec> script;
+  script.push_back(kv_get({0, 1}));
+  script.push_back(kv_get({2, 3}));
+  script.push_back(kv_get({0, 1}));
+  script.push_back(kv_put({1}, 42));
+  script.push_back(kv_get({0, 1}));
+  system->add_client(
+      std::make_unique<workloads::ScriptedKvDriver>(script, &records));
+
+  system->run_until(seconds(5));
+
+  ASSERT_EQ(records.size(), 5u);
+  for (const auto& r : records) EXPECT_EQ(r.status, core::ReplyStatus::kOk);
+  EXPECT_EQ(records[4].observed[0], 1000u);
+  EXPECT_EQ(records[4].observed[1], 42u);
+  EXPECT_GE(system->metrics().counter("server.lease_reads"), 3.0);
+  // Leased reads move nothing (the moved-vertices metrics only count plan
+  // and DS-SMR relocations).
+  EXPECT_EQ(system->metrics().series("vertices_moved_out").total(), 0.0);
+}
+
+// Plan-epoch bumps racing in-flight grants: repartition churn while leased
+// reads are outstanding must stay live and linearizable (grants issued under
+// a stale epoch fail validation and fall back to kRetry).
+TEST(ReadLease, GrantRacingPlanEpochBumpStaysLinearizable) {
+  testutil::LinScenario s;
+  s.mode = core::ExecutionMode::kDynaStar;
+  s.system_seed = 11;
+  s.read_leases = true;
+  s.repartition_mid_run = true;
+  s.multi_fraction = 0.6;
+  s.write_fraction = 0.3;
+  const auto run = testutil::run_lin_scenario(s);
+
+  EXPECT_EQ(run.tally.ok, run.expected_ops);
+  EXPECT_TRUE(run.lin.linearizable)
+      << "stuck op "
+      << (run.lin.stuck_operation
+              ? static_cast<long>(*run.lin.stuck_operation)
+              : -1);
+  EXPECT_GT(run.lease_reads, 0.0) << "lease path never engaged";
+}
+
+// Revocations racing queued reads under a write-heavy mix and a chaotic
+// network: every validation failure must resolve via the retry path, never
+// a stale read.
+TEST(ReadLease, RevokeRacingExecuteFallsBackSafely) {
+  testutil::LinScenario s;
+  s.mode = core::ExecutionMode::kDynaStar;
+  s.system_seed = 21;
+  s.read_leases = true;
+  s.multi_fraction = 0.5;
+  s.write_fraction = 0.6;
+  s.chaos = true;
+  s.chaos_seed = 77;
+  const auto run = testutil::run_lin_scenario(s);
+
+  EXPECT_EQ(run.tally.ok, run.expected_ops);
+  EXPECT_TRUE(run.lin.linearizable)
+      << "stuck op "
+      << (run.lin.stuck_operation
+              ? static_cast<long>(*run.lin.stuck_operation)
+              : -1);
+  EXPECT_GT(run.lease_reads, 0.0);
+}
+
+// Lender crash while a lease is live: volatile lease state dies with the
+// incarnation, the blocked reader recovers via snapshotted grant
+// coordination, and post-recovery reads observe post-recovery writes.
+TEST(ReadLease, LenderCrashWithLiveLeaseRecoversFresh) {
+  auto system = lease_system(core::ExecutionMode::kDynaStar, 9);
+
+  std::vector<Record> reader_records;
+  std::vector<core::CommandSpec> reader_script;
+  reader_script.push_back(kv_get({0, 1}));  // lease established pre-crash
+  reader_script.push_back(core::CommandSpec::pause_for(seconds(2)));
+  reader_script.push_back(kv_get({0, 1}));  // served after recovery
+  system->add_client(std::make_unique<workloads::ScriptedKvDriver>(
+      reader_script, &reader_records));
+
+  std::vector<Record> writer_records;
+  std::vector<core::CommandSpec> writer_script;
+  writer_script.push_back(core::CommandSpec::pause_for(milliseconds(1200)));
+  writer_script.push_back(kv_put({0, 1}, 55));  // lands around the recovery
+  system->add_client(std::make_unique<workloads::ScriptedKvDriver>(
+      writer_script, &writer_records));
+
+  system->run_until(milliseconds(300));
+  // Crash one replica of every partition group while leases are live; the
+  // survivors keep serving, and the victims recover with cleared lease
+  // state (but snapshotted version counters — see server.h).
+  std::vector<ProcessId> victims;
+  for (std::uint32_t p = 0; p < 2; ++p)
+    victims.push_back(
+        system->topology().group(core::group_of(PartitionId{p})).replicas[0]);
+  for (ProcessId v : victims) system->world().crash(v);
+  system->run_until(milliseconds(900));
+  for (ProcessId v : victims) system->world().recover(v);
+  system->run_until(seconds(10));
+
+  ASSERT_EQ(reader_records.size(), 2u);
+  ASSERT_EQ(writer_records.size(), 1u);
+  EXPECT_EQ(reader_records[0].status, core::ReplyStatus::kOk);
+  EXPECT_EQ(writer_records[0].status, core::ReplyStatus::kOk);
+  EXPECT_EQ(reader_records[1].status, core::ReplyStatus::kOk);
+  // The post-recovery read observes the write, not the pre-crash lease copy.
+  ASSERT_EQ(reader_records[1].observed.size(), 2u);
+  EXPECT_EQ(reader_records[1].observed[0], 55u);
+  EXPECT_EQ(reader_records[1].observed[1], 55u);
+  EXPECT_GE(system->metrics().counter("server.lease_reads"), 2.0);
+}
+
+// Regression pin for lease volatility: a snapshot-install recovery (long
+// downtime outrunning the catch-up window) clears installed copies and
+// holder records, and the system stays live and linearizable with leases on.
+TEST(ReadLease, SnapshotInstallClearsLeaseState) {
+  testutil::LinScenario s;
+  s.mode = core::ExecutionMode::kDynaStar;
+  s.system_seed = 13;
+  s.read_leases = true;
+  s.multi_fraction = 0.5;
+  s.write_fraction = 0.4;
+  s.chaos = true;
+  s.chaos_seed = 57;
+  s.long_crashes = true;
+  s.run_for = seconds(50);
+  s.tune = [](core::SystemConfig& config) {
+    config.paxos.checkpoint_interval = 32;
+    config.paxos.catchup_window = 8;
+  };
+  const auto run = testutil::run_lin_scenario(s);
+
+  EXPECT_GE(run.snapshot_installs, 1.0)
+      << "downtime never outran the catch-up window: no snapshot install";
+  EXPECT_EQ(run.tally.ok, run.expected_ops);
+  EXPECT_TRUE(run.lin.linearizable)
+      << "stuck op "
+      << (run.lin.stuck_operation
+              ? static_cast<long>(*run.lin.stuck_operation)
+              : -1);
+  EXPECT_GT(run.lease_reads, 0.0);
+}
+
+// Configuration contract: when no lease is ever granted (the workload has no
+// read-only multi-partition command), a leases-on run is bit-identical to a
+// leases-off run of the same seed. The version-counter bumps behind the
+// config gate must stay free of observable side effects.
+TEST(ReadLease, LeaseOffIsBitIdenticalWhenNeverEngaged) {
+  auto run_once = [](bool leases) {
+    testutil::LinScenario s;
+    s.mode = core::ExecutionMode::kDynaStar;
+    s.system_seed = 31;
+    s.read_leases = leases;
+    s.write_fraction = 1.0;  // multi-partition commands exist, none read-only
+    s.multi_fraction = 0.5;
+    s.run_for = seconds(20);
+    return testutil::run_lin_scenario(s);
+  };
+  const auto off = run_once(false);
+  const auto on = run_once(true);
+  EXPECT_EQ(off.lease_reads, 0.0);
+  EXPECT_EQ(on.lease_reads, 0.0);
+  EXPECT_EQ(off.fingerprint, on.fingerprint)
+      << "enabling leases changed a run that never used them";
+}
+
+}  // namespace
+}  // namespace dynastar

@@ -66,16 +66,19 @@ class RecordingKvDriver final : public core::ClientDriver {
  public:
   RecordingKvDriver(std::uint64_t num_keys, int max_ops,
                     std::vector<KvOperation>* history,
-                    StatusTally* tally = nullptr)
+                    StatusTally* tally = nullptr, double multi_fraction = 0.4,
+                    double write_fraction = 0.5)
       : num_keys_(num_keys),
         remaining_(max_ops),
         history_(history),
-        tally_(tally) {}
+        tally_(tally),
+        multi_fraction_(multi_fraction),
+        write_fraction_(write_fraction) {}
 
   std::optional<core::CommandSpec> next(Rng& rng, SimTime /*now*/) override {
     if (remaining_-- <= 0) return std::nullopt;
     core::CommandSpec spec;
-    const bool multi = rng.chance(0.4);
+    const bool multi = rng.chance(multi_fraction_);
     const std::uint64_t span = multi ? 2 + rng.uniform(0, 1) : 1;
     std::vector<std::uint64_t> keys;
     while (keys.size() < span) {
@@ -85,7 +88,7 @@ class RecordingKvDriver final : public core::ClientDriver {
     }
     for (std::uint64_t key : keys)
       spec.objects.emplace_back(ObjectId{key}, core::VertexId{key});
-    const bool write = rng.chance(0.5);
+    const bool write = rng.chance(write_fraction_);
     spec.payload = sim::make_message<workloads::KvOp>(
         write ? workloads::KvOp::Kind::kPut : workloads::KvOp::Kind::kGet,
         rng.uniform(1, 1u << 30));
@@ -125,6 +128,8 @@ class RecordingKvDriver final : public core::ClientDriver {
   int remaining_;
   std::vector<KvOperation>* history_;
   StatusTally* tally_;
+  double multi_fraction_;
+  double write_fraction_;
 };
 
 /// Seeds a recorded history with instantaneous before-time-zero puts for

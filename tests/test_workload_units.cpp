@@ -2,8 +2,13 @@
 // directly against an ObjectStore (no distributed stack involved).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "common/rng.h"
 #include "core/object.h"
 #include "workloads/chirper.h"
+#include "workloads/kv_drivers.h"
+#include "workloads/smallbank.h"
 #include "workloads/social_graph.h"
 #include "workloads/tpcc.h"
 
@@ -284,6 +289,179 @@ TEST(SocialGraph, NoSelfFollowsOrDuplicates) {
     EXPECT_EQ(std::find(following.begin(), following.end(), u),
               following.end());
   }
+}
+
+// --- Read-only declaration audit ---
+//
+// The read_only hints drivers attach to CommandSpecs are load-bearing: the
+// parallel executor schedules "reads" concurrently and read leases serve
+// them from unreplicated local copies, both via core::is_read_only. This
+// audit runs each driver's spec stream straight against its application and
+// checks the declarations against the *actual* write set, via PRObject
+// digests of every declared vertex:
+//   (a) a declared read must leave every digest unchanged, and
+//   (b) the stream's writes must move digests somewhere —
+// so a workload whose digest() is unimplemented (constant 0) fails (b)
+// loudly instead of passing (a) vacuously.
+
+std::uint64_t vertex_digest(const core::ObjectStore& store, core::VertexId v) {
+  auto ids = store.objects_of_vertex(v);
+  std::sort(ids.begin(), ids.end());
+  std::uint64_t h = core::digest_mix(0xcbf29ce484222325ull, ids.size());
+  for (ObjectId id : ids) {
+    h = core::digest_mix(h, id.value());
+    const auto* obj = store.find(id);
+    h = core::digest_mix(h, obj ? obj->digest() : 0);
+  }
+  return h;
+}
+
+struct AuditCounts {
+  int reads = 0;
+  int writes = 0;
+  int writes_that_changed_state = 0;
+};
+
+AuditCounts audit_driver(core::ClientDriver& driver,
+                         core::AppStateMachine& app, core::ObjectStore& store,
+                         std::uint64_t seed, int ops) {
+  Rng rng(seed);
+  AuditCounts counts;
+  for (int i = 0; i < ops; ++i) {
+    auto spec = driver.next(rng, 0);
+    if (!spec.has_value()) break;
+    if (spec->objects.empty()) continue;  // pause spec: the client idles
+    if (spec->type != core::CommandType::kAccess) continue;
+
+    std::vector<ObjectId> ids;
+    std::vector<core::VertexId> vertices;
+    for (const auto& [o, v] : spec->objects) {
+      ids.push_back(o);
+      vertices.push_back(v);
+    }
+    std::vector<core::VertexId> distinct = vertices;
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+
+    std::vector<std::uint64_t> before;
+    before.reserve(distinct.size());
+    for (core::VertexId v : distinct) before.push_back(vertex_digest(store, v));
+
+    auto cmd = sim::make_message<core::Command>(
+        static_cast<std::uint64_t>(i + 1), ProcessId{0}, spec->type, ids,
+        vertices, spec->payload, spec->read_only);
+    auto result = app.execute(*cmd, store);
+
+    bool changed = false;
+    for (std::size_t j = 0; j < distinct.size(); ++j) {
+      const std::uint64_t after = vertex_digest(store, distinct[j]);
+      if (core::is_read_only(*cmd)) {
+        EXPECT_EQ(before[j], after)
+            << "declared read-only command #" << i << " ("
+            << (spec->payload ? spec->payload->type_name() : "<none>")
+            << ") mutated vertex " << distinct[j];
+      } else if (after != before[j]) {
+        changed = true;
+      }
+    }
+    if (core::is_read_only(*cmd)) {
+      ++counts.reads;
+    } else {
+      ++counts.writes;
+      if (changed) ++counts.writes_that_changed_state;
+    }
+    // Stateful drivers (chirper's follower directory, TPC-C's pending
+    // deliveries and last-order table) advance through the result callback.
+    driver.on_result(*spec, core::ReplyStatus::kOk, result.reply, 0, 0);
+  }
+  return counts;
+}
+
+TEST(ReadOnlyAudit, KvDriverDeclarationsMatchWriteSet) {
+  KvApp app;
+  core::ObjectStore store;
+  constexpr std::uint64_t kKeys = 16;
+  for (std::uint64_t k = 0; k < kKeys; ++k)
+    store.put(ObjectId{k}, core::VertexId{k},
+              std::make_shared<KvObject>(1000 + k));
+  RandomKvDriver driver(kKeys, 0.5, 0.4);
+  const auto counts = audit_driver(driver, app, store, 17, 200);
+  EXPECT_GT(counts.reads, 20);
+  EXPECT_GT(counts.writes, 20);
+  EXPECT_GT(counts.writes_that_changed_state, 0)
+      << "no write moved a digest: KvObject::digest() is not observing state";
+}
+
+TEST(ReadOnlyAudit, SmallBankDriverDeclarationsMatchWriteSet) {
+  smallbank::SmallBankApp app;
+  core::ObjectStore store;
+  constexpr std::uint32_t kCustomers = 200;
+  for (std::uint32_t c = 0; c < kCustomers; ++c)
+    store.put(smallbank::customer_object(c), smallbank::customer_vertex(c),
+              std::make_shared<smallbank::CustomerAccounts>(100.0, 1000.0));
+  smallbank::SmallBankDriver driver(kCustomers);
+  const auto counts = audit_driver(driver, app, store, 23, 200);
+  EXPECT_GT(counts.reads, 5);   // kBalance is 15% of the default mix
+  EXPECT_GT(counts.writes, 50);
+  EXPECT_GT(counts.writes_that_changed_state, 0)
+      << "no write moved a digest: CustomerAccounts::digest() is broken";
+}
+
+TEST(ReadOnlyAudit, ChirperDriverDeclarationsMatchWriteSet) {
+  ch::ChirperApp app;
+  core::ObjectStore store;
+  constexpr std::uint32_t kUsers = 50;
+  auto graph = generate_social_graph(kUsers, 4, 5);
+  for (std::uint32_t u = 0; u < kUsers; ++u) {
+    auto user = std::make_shared<ch::UserObject>();
+    user->followers_count = static_cast<std::uint32_t>(graph.followers[u].size());
+    user->following_count = static_cast<std::uint32_t>(graph.following[u].size());
+    store.put(ch::user_object(u), ch::user_vertex(u), std::move(user));
+  }
+  ch::WorkloadMix mix;
+  mix.timeline_fraction = 0.5;  // plenty of both reads and posts
+  mix.follow_fraction = 0.1;
+  auto zipf = std::make_shared<const ZipfGenerator>(kUsers, mix.zipf_theta);
+  ch::ChirperDriver driver(ch::make_directory(graph), mix, zipf);
+  const auto counts = audit_driver(driver, app, store, 31, 200);
+  EXPECT_GT(counts.reads, 20);
+  EXPECT_GT(counts.writes, 20);
+  EXPECT_GT(counts.writes_that_changed_state, 0)
+      << "no write moved a digest: UserObject::digest() is broken";
+}
+
+TEST(ReadOnlyAudit, TpccDriverDeclarationsMatchWriteSet) {
+  tp::Scale scale;
+  scale.districts_per_warehouse = 2;
+  scale.customers_per_district = 5;
+  scale.items = 20;
+  constexpr std::uint32_t kWarehouses = 2;
+  tp::TpccApp app(scale);
+  core::ObjectStore store;
+  for (std::uint32_t w = 1; w <= kWarehouses; ++w) {
+    store.put(tp::oid(tp::Table::kWarehouse, w, 0, 0), tp::warehouse_vertex(w),
+              std::make_shared<tp::WarehouseRow>());
+    for (std::uint32_t i = 1; i <= scale.items; ++i)
+      store.put(tp::oid(tp::Table::kStock, w, 0, i), tp::warehouse_vertex(w),
+                std::make_shared<tp::StockRow>());
+    for (std::uint32_t d = 1; d <= scale.districts_per_warehouse; ++d) {
+      store.put(tp::oid(tp::Table::kDistrict, w, d, 0),
+                tp::district_vertex(w, d), std::make_shared<tp::DistrictRow>());
+      store.put(tp::oid(tp::Table::kHistory, w, d, 0),
+                tp::district_vertex(w, d), std::make_shared<tp::HistoryRow>());
+      for (std::uint32_t c = 1; c <= scale.customers_per_district; ++c)
+        store.put(tp::oid(tp::Table::kCustomer, w, d, c),
+                  tp::district_vertex(w, d),
+                  std::make_shared<tp::CustomerRow>());
+    }
+  }
+  tp::TpccDriver driver(scale, kWarehouses, 1, 1);
+  const auto counts = audit_driver(driver, app, store, 41, 300);
+  EXPECT_GT(counts.reads, 10);  // Order-Status + Stock-Level
+  EXPECT_GT(counts.writes, 50);
+  EXPECT_GT(counts.writes_that_changed_state, 0)
+      << "no write moved a digest: the tpcc row digests are broken";
 }
 
 }  // namespace

@@ -60,6 +60,7 @@ struct Options {
   std::int64_t queue_cap = -1;           // -1 = keep preset default (off)
   std::int64_t exec_lanes = -1;          // -1 = keep preset default (serial)
   std::string exec_backend = "sim";      // sim | threads
+  std::int64_t read_leases = -1;         // -1 = keep preset default (off)
 };
 
 /// Parsed --surge=N@START+DUR: N extra surge-only clients active during
@@ -141,6 +142,10 @@ std::vector<Flag> flag_table(Options* o) {
       {"--exec-backend=", "NAME",
        "parallel-executor backend: sim (deterministic) | threads",
        [o](const char* v) { o->exec_backend = v; }},
+      {"--read-leases=", "0|1",
+       "serve read-only multi-partition commands from epoch-validated leases "
+       "(dynastar / dssmr only)",
+       [o](const char* v) { o->read_leases = std::atoll(v); }},
   };
 }
 
@@ -200,6 +205,7 @@ core::SystemConfig make_config(const Options& options) {
   }
   if (options.exec_lanes >= 0)
     config.exec_lanes = static_cast<std::uint32_t>(options.exec_lanes);
+  if (options.read_leases >= 0) config.read_leases = options.read_leases != 0;
   if (options.exec_backend == "threads") {
     config.exec_real_threads = true;
   } else if (options.exec_backend != "sim") {
