@@ -22,9 +22,12 @@ goodput-under-surge and post-surge-recovery gates; STAR sweep documents
 (dynastar-bench-star-v1, from bench/fig34_star_sweep) get the crossover
 gate — DynaStar must beat STAR at the lowest multi-partition ratio and STAR
 must beat DynaStar at the highest, each by the --min-crossover-margin;
-read-lease documents (dynastar-bench-lease-v1, from
-bench/fig5_latency_cdf --bench-lease, also selectable with --lease) get the
-lease latency gates — leases-on must cut the multi-partition read-only
+transfer documents (dynastar-bench-transfer-v1, from
+bench/state_transfer_wan) get the WAN state-transfer gates — goodput under
+a 10x inter-site bandwidth drop must stay at --min-degraded-ratio of steady
+state while a chunked snapshot install completes; read-lease documents
+(dynastar-bench-lease-v1, from bench/fig5_latency_cdf --bench-lease, also
+selectable with --lease) get the lease latency gates — leases-on must cut the multi-partition read-only
 median by --min-lease-reduction while moving the single-partition median by
 at most --max-single-shift.
 
@@ -61,7 +64,7 @@ META_KEYS = ["workload", "mode", "seed", "duration_s", "partitions",
              "clients", "trace_enabled", "trace_events"]
 
 
-def check(report, min_commands):
+def check(report, min_commands, wan=False):
     errors = []
 
     def err(msg):
@@ -126,14 +129,31 @@ def check(report, min_commands):
     if not any(name.startswith("server.executed{") for name in report["series"]):
         err("no labeled server.executed{...} series in report")
 
-    # Overload-protection counters are pre-registered by core::System, so
-    # every report must carry them (zero when no shedding happened).
-    for name in ("server.shed", "oracle.shed", "client.retries_exhausted"):
+    # Overload-protection and state-transfer counters are pre-registered by
+    # core::System, so every report must carry them (zero when idle).
+    for name in ("server.shed", "oracle.shed", "client.retries_exhausted",
+                 "transfer.chunks_sent", "transfer.chunks_retransmitted"):
         value = report["counters"].get(name)
         if not isinstance(value, (int, float)):
             err(f"counter {name!r} missing or non-numeric")
         elif value < 0:
             err(f"counter {name!r} is {value}, expected >= 0")
+
+    if wan:
+        # A WAN run must have exercised the link-capacity model (per-link
+        # byte accounting only exists on profiled links) and — when the
+        # scenario forces a lagging replica — the chunked transfer path.
+        if not any(name.startswith("network.bytes_sent{")
+                   for name in report["series"]):
+            err("WAN run produced no labeled network.bytes_sent{link=...} "
+                "series — the link-capacity model never engaged")
+        installs = report["counters"].get("server.snapshot_installs", 0)
+        if not installs or installs < 1:
+            err("WAN run recorded no server.snapshot_installs — the forced "
+                "state transfer never completed")
+        if report["counters"].get("transfer.chunks_sent", 0) < 1:
+            err("WAN run sent no state-transfer chunks — the chunk protocol "
+                "never engaged")
 
     return errors
 
@@ -142,6 +162,7 @@ BENCH_SCHEMA_V1 = "dynastar-bench-kernel-v1"
 BENCH_SCHEMA_V2 = "dynastar-bench-kernel-v2"
 BENCH_SCHEMAS = (BENCH_SCHEMA_V1, BENCH_SCHEMA_V2)
 OVERLOAD_SCHEMA = "dynastar-bench-overload-v1"
+TRANSFER_SCHEMA = "dynastar-bench-transfer-v1"
 STAR_SCHEMA = "dynastar-bench-star-v1"
 LEASE_SCHEMA = "dynastar-bench-lease-v1"
 
@@ -355,6 +376,76 @@ def check_overload_bench(report, baseline, max_regression,
     return errors
 
 
+TRANSFER_WINDOWS = ["steady", "degraded"]
+
+
+def check_transfer_bench(report, baseline, max_regression, min_degraded_ratio):
+    """Gates for bench/state_transfer_wan's WAN state-transfer document.
+
+    The scenario runs a WAN topology, crashes a replica long enough that
+    recovery needs a chunked snapshot install, and collapses inter-site
+    bandwidth 10x over the middle window. The system must keep executing on
+    unaffected state: goodput in the degraded window stays at or above
+    min_degraded_ratio of the steady window, and the chunk protocol must
+    actually have carried the install (chunks sent, install completed).
+    """
+    errors = []
+
+    def err(msg):
+        errors.append(msg)
+
+    for window in TRANSFER_WINDOWS:
+        body = report.get(window)
+        if not isinstance(body, dict):
+            err(f"missing window {window!r}")
+            continue
+        for field in ("seconds", "ok_commands", "goodput_per_sec"):
+            value = body.get(field)
+            if not isinstance(value, (int, float)):
+                err(f"{window}.{field} missing or non-numeric")
+            elif value < 0:
+                err(f"{window}.{field} is {value}, expected >= 0")
+    if not isinstance(report.get("degraded_ratio"), (int, float)):
+        err("degraded_ratio missing or non-numeric")
+    transfer = report.get("transfer")
+    if not isinstance(transfer, dict):
+        err("missing section 'transfer'")
+    if errors:
+        return errors
+
+    if report["steady"]["goodput_per_sec"] <= 0:
+        err("steady goodput is zero — the run produced no successful "
+            "commands before the bandwidth collapse")
+        return errors
+
+    if report["degraded_ratio"] < min_degraded_ratio:
+        err(f"goodput under the 10x bandwidth drop fell to "
+            f"{report['degraded_ratio']:.0%} of steady state "
+            f"(floor {min_degraded_ratio:.0%}) — the chunked transfer is "
+            f"starving command execution")
+
+    if transfer.get("chunks_sent", 0) < 1:
+        err("no state-transfer chunks were sent — the chunk protocol never "
+            "engaged")
+    if transfer.get("snapshot_installs", 0) < 1:
+        err("no snapshot install completed — recovery never finished the "
+            "chunked transfer")
+
+    if baseline is not None:
+        base_goodput = baseline.get("steady", {}).get("goodput_per_sec")
+        if not isinstance(base_goodput, (int, float)) or base_goodput <= 0:
+            err("baseline file steady.goodput_per_sec missing or "
+                "non-positive")
+        else:
+            goodput = report["steady"]["goodput_per_sec"]
+            floor = base_goodput * (1.0 - max_regression)
+            if goodput < floor:
+                err(f"steady WAN goodput regressed: {goodput:.0f} < "
+                    f"{floor:.0f} ({base_goodput:.0f} baseline, "
+                    f"{max_regression:.0%} budget)")
+    return errors
+
+
 def check_star_bench(report, baseline, max_regression, min_crossover_margin):
     errors = []
 
@@ -518,6 +609,11 @@ def main():
     parser.add_argument("report", help="path to RunReport (or bench) JSON")
     parser.add_argument("--min-commands", type=int, default=100,
                         help="minimum completed commands expected (default 100)")
+    parser.add_argument("--wan", action="store_true",
+                        help="RunReport mode: additionally require the WAN "
+                             "evidence — labeled network.bytes_sent{link=...} "
+                             "series, >= 1 snapshot install and >= 1 "
+                             "state-transfer chunk sent")
     parser.add_argument("--bench", action="store_true",
                         help="validate a BENCH_kernel.json document instead")
     parser.add_argument("--lease", action="store_true",
@@ -535,6 +631,10 @@ def main():
     parser.add_argument("--min-recovery-ratio", type=float, default=0.9,
                         help="overload bench: post-surge goodput floor as a "
                              "fraction of baseline (default 0.9)")
+    parser.add_argument("--min-degraded-ratio", type=float, default=0.7,
+                        help="transfer bench: goodput floor during the 10x "
+                             "bandwidth drop as a fraction of steady state "
+                             "(default 0.7)")
     parser.add_argument("--min-lease-reduction", type=float, default=0.2,
                         help="lease bench: minimum fractional cut in the "
                              "multi-partition read-only median from enabling "
@@ -609,6 +709,21 @@ def main():
                   f"{report['surge_ratio']:.0%}, recovery "
                   f"{report['recovery_ratio']:.0%}")
             return 0
+        if report.get("schema") == TRANSFER_SCHEMA:
+            errors = check_transfer_bench(report, baseline,
+                                          args.max_regression,
+                                          args.min_degraded_ratio)
+            if errors:
+                for msg in errors:
+                    print(f"check_report: {msg}", file=sys.stderr)
+                return 1
+            print(f"check_report: OK — WAN transfer gate: steady "
+                  f"{report['steady']['goodput_per_sec']:.0f}/s, degraded "
+                  f"window {report['degraded_ratio']:.0%} of steady, "
+                  f"{report['transfer'].get('chunks_sent', 0):.0f} chunks "
+                  f"({report['transfer'].get('chunks_retransmitted', 0):.0f} "
+                  f"retransmitted)")
+            return 0
         if report.get("schema") == STAR_SCHEMA:
             errors = check_star_bench(report, baseline, args.max_regression,
                                       args.min_crossover_margin)
@@ -639,7 +754,7 @@ def main():
               f"{report['message_plane']['messages_per_sec']:.0f} msgs/sec")
         return 0
 
-    errors = check(report, args.min_commands)
+    errors = check(report, args.min_commands, wan=args.wan)
     if errors:
         for msg in errors:
             print(f"check_report: {msg}", file=sys.stderr)

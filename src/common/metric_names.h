@@ -98,6 +98,20 @@ inline constexpr const char* kOracleShed = "oracle.shed";
 /// labeled {replica=R}.
 inline constexpr const char* kOracleQueueDepth = "oracle.queue_depth";
 
+// --- chunked state transfer (paxos snapshot installs + handoffs) ---
+/// Chunks served to receivers (counter; sender side).
+inline constexpr const char* kTransferChunksSent = "transfer.chunks_sent";
+/// Chunk requests re-issued after a retransmit timeout (counter; receiver
+/// side — includes re-requests redirected to a different peer).
+inline constexpr const char* kTransferChunksRetransmitted =
+    "transfer.chunks_retransmitted";
+
+// --- network (per-link accounting; only links with a non-null resolved
+// LinkProfile record it) ---
+/// Bytes offered to a modeled link, labeled {link=sA->sB} for site-pair
+/// resolved links and {link=pF->pT} for explicit per-link overrides.
+inline constexpr const char* kNetworkBytesSent = "network.bytes_sent";
+
 // --- chaos ---
 inline constexpr const char* kChaosEvents = "chaos.events";
 

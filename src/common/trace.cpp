@@ -23,6 +23,8 @@ const char* TraceCollector::point_name(TracePoint point) {
     case TracePoint::kCheckpoint: return "checkpoint";
     case TracePoint::kRecoveryRestore: return "recovery_restore";
     case TracePoint::kSnapshotInstall: return "snapshot_install";
+    case TracePoint::kStateTransferStart: return "state_transfer_start";
+    case TracePoint::kStateTransferEnd: return "state_transfer_end";
     case TracePoint::kAdmit: return "admit";
     case TracePoint::kShed: return "shed";
     case TracePoint::kBusyReply: return "busy_reply";

@@ -50,6 +50,9 @@ enum class TracePoint : std::uint8_t {
   kCheckpoint,        // durable checkpoint captured; key = checkpoint slot
   kRecoveryRestore,   // recovered node restored its checkpoint; key = slot
   kSnapshotInstall,   // lagging replica installed a peer snapshot; key = slot
+  // --- chunked state transfer span: key = manifest slot, node = receiver ---
+  kStateTransferStart,  // manifest accepted; detail = total chunks
+  kStateTransferEnd,    // all chunks received + spliced; detail = retransmits
   // --- admission control: key = cmd_id, attempt = client attempt ---
   kAdmit,             // leader admitted past a configured gate; detail = depth
   kShed,              // shed delivery processed; detail = admission depth

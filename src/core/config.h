@@ -118,6 +118,24 @@ struct SystemConfig {
   /// Flush as soon as this many commands are pending.
   std::size_t exec_batch_max = 64;
 
+  // --- WAN topology (0 sites = the uniform latency-only LAN model, which
+  // keeps every existing run bit-identical) ---
+  /// Number of simulated datacenters. When > 0, System stripes each group's
+  /// replicas and acceptors (and clients, in spawn order) across sites
+  /// round-robin and installs the two site-pair profiles below, so every
+  /// Paxos group spans sites — quorums and state transfers cross the WAN.
+  std::uint32_t net_sites = 0;
+  /// Links between processes in the same datacenter: fat and near.
+  /// Default 10 Gb/s, 50 us propagation, 16 MiB queue.
+  sim::LinkProfile intra_site_profile{/*bandwidth_bytes_per_sec=*/1'250'000'000,
+                                      /*propagation=*/microseconds(50),
+                                      /*queue_bytes=*/16 * 1024 * 1024};
+  /// Links between datacenters: thin and far. Default 100 Mb/s, 20 ms
+  /// propagation, 4 MiB queue.
+  sim::LinkProfile inter_site_profile{/*bandwidth_bytes_per_sec=*/12'500'000,
+                                      /*propagation=*/milliseconds(20),
+                                      /*queue_bytes=*/4 * 1024 * 1024};
+
   // --- Node CPU costs (drive saturation / peak throughput) ---
   SimTime server_service_time = microseconds(4);
   SimTime oracle_service_time = microseconds(3);

@@ -75,6 +75,14 @@ OracleCore::OracleCore(sim::Env& env, const paxos::Topology& topology,
                      env_.self().value(), /*oracle=*/UINT64_MAX);
     return true;
   });
+  // Chunked transfers serve the stable checkpoint snapshot (identical across
+  // the group at a given slot), letting a lagging oracle replica resume a
+  // transfer from any up-to-date peer. See PartitionServerCore for details.
+  member_.replica().set_stable_snapshot_provider([this]() -> sim::MessagePtr {
+    if (!stable_snapshot_) return nullptr;
+    return sim::make_message<OracleSnapshotMsg>(stable_snapshot_);
+  });
+  member_.replica().set_metrics(metrics_);
 }
 
 void OracleCore::start() {
@@ -83,7 +91,9 @@ void OracleCore::start() {
 }
 
 void OracleCore::on_checkpoint_boundary() {
-  if (checkpoint_sink_) checkpoint_sink_(capture_snapshot());
+  SnapshotPtr snap = capture_snapshot();
+  stable_snapshot_ = snap;
+  if (checkpoint_sink_) checkpoint_sink_(std::move(snap));
   if (metrics_) metrics_->add_counter(metric::kOracleCheckpoints);
   if (trace_)
     trace_->record(TracePoint::kCheckpoint, env_.now(),
@@ -117,6 +127,9 @@ void OracleCore::restore_snapshot(const Snapshot& snapshot) {
   changes_ = snapshot.changes;
   create_round_robin_ = snapshot.create_round_robin;
   relays_emitted_ = snapshot.relays_emitted;
+  // The adopted state's checkpoint history belongs to the peer; our next
+  // boundary repopulates the stable snapshot.
+  stable_snapshot_ = nullptr;
   // Replica-local plan state: any computation in flight at the crash is
   // gone (its timer died with the old incarnation); reset the latch so a
   // later hint delivery can trigger a plan again.

@@ -120,6 +120,9 @@ class OracleCore {
   bool record_metrics_;
   TraceCollector* trace_;
   std::function<void(SnapshotPtr)> checkpoint_sink_;
+  /// Snapshot captured at the last checkpoint boundary; serves chunked
+  /// state transfers (see PartitionServerCore::stable_snapshot_).
+  SnapshotPtr stable_snapshot_;
   /// Label identifying this replica in per-node metrics.
   std::string replica_label_;
 

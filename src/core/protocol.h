@@ -247,6 +247,33 @@ struct ObjectHandoff final : sim::Message {
   std::vector<ObjectEnvelope> objects;
 };
 
+/// One frame of a chunked ObjectHandoff. Large handoffs are split so they
+/// share WAN pipes fairly instead of occupying a link for the whole payload
+/// (the FIFO bandwidth model serializes transmissions per link). As with
+/// StateChunk, the simulator substitutes a shared ref for serialized bytes:
+/// every frame carries the full handoff while only `payload_bytes` occupy
+/// the wire, and the receiver splices it in once all frames arrived.
+struct HandoffChunk final : sim::Message {
+  HandoffChunk(Epoch e, PartitionId f, VertexId v, std::uint32_t idx,
+               std::uint32_t chunks, std::uint32_t bytes, sim::MessagePtr h)
+      : epoch(e),
+        from(f),
+        vertex(v),
+        index(idx),
+        total_chunks(chunks),
+        payload_bytes(bytes),
+        handoff(std::move(h)) {}
+  const char* type_name() const override { return "core.HandoffChunk"; }
+  std::size_t size_bytes() const override { return 48 + payload_bytes; }
+  Epoch epoch;
+  PartitionId from;
+  VertexId vertex;
+  std::uint32_t index;
+  std::uint32_t total_chunks;
+  std::uint32_t payload_bytes;
+  sim::MessagePtr handoff;
+};
+
 /// New owner -> old owner (on-demand plan mode): send me vertex `vertex`.
 struct FetchVertex final : sim::Message {
   FetchVertex(Epoch e, PartitionId f, VertexId v)

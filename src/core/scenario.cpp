@@ -1,9 +1,29 @@
 #include "core/scenario.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <utility>
 
 namespace dynastar::core {
+
+ScenarioBuilder& ScenarioBuilder::net_preset(std::string_view spec) {
+  if (spec == "lan") {
+    config_.net_sites = 0;
+    return *this;
+  }
+  unsigned sites = 0;
+  char tail = 0;
+  const std::string s(spec);
+  if (std::sscanf(s.c_str(), "wan:%udc%c", &sites, &tail) == 1 && sites > 0) {
+    config_.net_sites = sites;
+    return *this;
+  }
+  std::fprintf(stderr, "ScenarioBuilder: bad net preset %s (want lan|wan:<N>dc)\n",
+               s.c_str());
+  std::abort();
+}
 
 ScenarioBuilder& ScenarioBuilder::repartitioning(bool enabled) {
   config_.repartitioning_enabled = enabled;
@@ -39,6 +59,12 @@ ScenarioBuilder& ScenarioBuilder::surge_clients(std::size_t count,
 std::unique_ptr<System> ScenarioBuilder::build() const {
   assert(app_factory_ && "ScenarioBuilder: .app(factory) is required");
   auto system = std::make_unique<System>(config_, app_factory_);
+
+  // Site-pair overrides land after System installed the preset profiles,
+  // so they win for the pairs they name.
+  for (const SiteProfile& sp : site_profiles_)
+    system->world().network().set_site_profile(sp.from_site, sp.to_site,
+                                               sp.profile);
 
   for (const KvPreload& preload : kv_preloads_) {
     Assignment assignment;

@@ -94,6 +94,14 @@ PartitionServerCore::PartitionServerCore(
                      env_.self().value(), partition_.value());
     return true;
   });
+  // Chunked transfers serve the last checkpoint-boundary snapshot (stable
+  // across the group at identical slots) rather than a fresh tip capture, so
+  // any up-to-date peer can answer chunk pulls for the same manifest.
+  member_.replica().set_stable_snapshot_provider([this]() -> sim::MessagePtr {
+    if (!stable_snapshot_) return nullptr;
+    return sim::make_message<ServerSnapshotMsg>(stable_snapshot_);
+  });
+  member_.replica().set_metrics(metrics_);
   if (config_.exec_lanes > 1)
     exec_ = std::make_unique<ParallelExecutor>(config_.exec_lanes,
                                                config_.exec_real_threads);
@@ -123,7 +131,12 @@ void PartitionServerCore::on_checkpoint_boundary() {
   // executor batch at the same log position — checkpoints stay identical
   // across replicas even though batch windows are timer-local.
   flush_exec_batch();
-  if (checkpoint_sink_) checkpoint_sink_(capture_snapshot());
+  // One capture feeds both the durability sink and the chunked-transfer
+  // stable snapshot: the Snapshot is immutable once built, so sharing the
+  // pointer costs nothing beyond the capture the sink forced anyway.
+  SnapshotPtr snap = capture_snapshot();
+  stable_snapshot_ = snap;
+  if (checkpoint_sink_) checkpoint_sink_(std::move(snap));
   // Tell peers which of their retained sends this durable checkpoint covers.
   reliable_.note_checkpoint(env_.now(), reliable_peers());
   if (metrics_) metrics_->add_counter(metric::kServerCheckpoints);
@@ -168,6 +181,7 @@ PartitionServerCore::SnapshotPtr PartitionServerCore::capture_snapshot()
   snap->fetch_wanted = fetch_wanted_;
   snap->handoffs_seen = handoffs_seen_;
   snap->handoff_buffer = handoff_buffer_;
+  snap->handoff_assembly = handoff_assembly_;
   snap->hint_vertices = hint_vertices_;
   snap->hint_edges = hint_edges_;
   snap->commands_since_hint = commands_since_hint_;
@@ -214,6 +228,10 @@ void PartitionServerCore::restore_snapshot(const Snapshot& snapshot) {
   fetch_wanted_ = snapshot.fetch_wanted;
   handoffs_seen_ = snapshot.handoffs_seen;
   handoff_buffer_ = snapshot.handoff_buffer;
+  handoff_assembly_ = snapshot.handoff_assembly;
+  // The adopted state's checkpoint history belongs to the peer; our next
+  // boundary (forced right after install) repopulates the stable snapshot.
+  stable_snapshot_ = nullptr;
   hint_vertices_ = snapshot.hint_vertices;
   hint_edges_ = snapshot.hint_edges;
   commands_since_hint_ = snapshot.commands_since_hint;
@@ -289,6 +307,10 @@ bool PartitionServerCore::dispatch_direct(ProcessId /*from*/,
   }
   if (auto* m = dynamic_cast<const ObjectHandoff*>(msg.get())) {
     on_handoff(*m);
+    return true;
+  }
+  if (auto m = sim::dyn_ref_cast<const HandoffChunk>(msg)) {
+    on_handoff_chunk(m);
     return true;
   }
   if (auto* m = dynamic_cast<const FetchVertex*>(msg.get())) {
@@ -1626,11 +1648,47 @@ void PartitionServerCore::send_handoff_if_possible(VertexId vertex) {
     metrics_->series(metric::kPlanHandoffs)
         .add(env_.now(), static_cast<double>(envelopes.size()));
   }
-  send_to_partition(it->second,
-                    sim::make_message<ObjectHandoff>(epoch_, partition_, vertex,
-                                                     std::move(envelopes)));
+  send_handoff(it->second,
+               sim::make_message<ObjectHandoff>(epoch_, partition_, vertex,
+                                                std::move(envelopes)));
   fetch_wanted_.erase(vertex);
   obligations_.erase(it);
+}
+
+void PartitionServerCore::send_handoff(PartitionId to,
+                                       sim::Ref<const ObjectHandoff> handoff) {
+  const std::size_t chunk = config_.paxos.transfer_chunk_bytes;
+  const std::size_t total_bytes = handoff->size_bytes();
+  if (chunk == 0 || total_bytes <= chunk) {
+    send_to_partition(to, handoff);
+    return;
+  }
+  const auto total_chunks =
+      static_cast<std::uint32_t>((total_bytes + chunk - 1) / chunk);
+  for (std::uint32_t i = 0; i < total_chunks; ++i) {
+    const auto payload = static_cast<std::uint32_t>(
+        std::min(chunk, total_bytes - static_cast<std::size_t>(i) * chunk));
+    send_to_partition(to, sim::make_message<HandoffChunk>(
+                              handoff->epoch, handoff->from, handoff->vertex,
+                              i, total_chunks, payload, handoff));
+    if (metrics_) metrics_->add_counter(metric::kTransferChunksSent);
+  }
+}
+
+void PartitionServerCore::on_handoff_chunk(
+    const sim::Ref<const HandoffChunk>& msg) {
+  // Chunks of an already-spliced (or already-superseded) handoff: the
+  // dedup set on the full-handoff path covers completed assemblies too,
+  // since completion inserts into it via on_handoff.
+  if (handoffs_seen_.contains({msg->epoch, msg->vertex.value()})) return;
+  auto& asmbl = handoff_assembly_[{msg->epoch, msg->vertex.value()}];
+  asmbl.total_chunks = msg->total_chunks;
+  if (!asmbl.handoff) asmbl.handoff = msg->handoff;
+  if (!asmbl.have.insert(msg->index).second) return;  // duplicate frame
+  if (asmbl.have.size() < asmbl.total_chunks) return;
+  sim::MessagePtr full = std::move(asmbl.handoff);
+  handoff_assembly_.erase({msg->epoch, msg->vertex.value()});
+  if (auto* h = dynamic_cast<const ObjectHandoff*>(full.get())) on_handoff(*h);
 }
 
 void PartitionServerCore::on_handoff(const ObjectHandoff& msg) {

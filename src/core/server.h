@@ -178,6 +178,7 @@ class PartitionServerCore {
   void on_var_transfer(const VarTransfer& msg);
   void on_var_return(const sim::Ref<const VarReturn>& msg);
   void on_handoff(const ObjectHandoff& msg);
+  void on_handoff_chunk(const sim::Ref<const HandoffChunk>& msg);
   void on_fetch(const FetchVertex& msg);
   void on_abort(const AbortNotice& msg);
   void on_lease_grant(const sim::Ref<const LeaseGrant>& msg);
@@ -186,6 +187,10 @@ class PartitionServerCore {
   // Helpers.
   void send_to_partition(PartitionId p, sim::MessagePtr msg);
   void send_handoff_if_possible(VertexId vertex);
+  /// Sends a repartitioning handoff to `to`, split into bandwidth-friendly
+  /// HandoffChunk frames when it exceeds the configured transfer chunk size
+  /// (the same knob that chunks snapshot installs).
+  void send_handoff(PartitionId to, sim::Ref<const ObjectHandoff> handoff);
   void insert_envelopes(const std::vector<ObjectEnvelope>& envelopes);
   std::vector<ObjectEnvelope> extract_vertex(VertexId vertex);
   void record_hints(const Command& cmd, bool multi_partition);
@@ -209,6 +214,10 @@ class PartitionServerCore {
   bool record_metrics_;
   TraceCollector* trace_;
   std::function<void(SnapshotPtr)> checkpoint_sink_;
+  /// The snapshot captured at the last checkpoint boundary — what chunked
+  /// state transfers serve. All replicas checkpoint at identical slots, so
+  /// this is interchangeable across the group for a given manifest slot.
+  SnapshotPtr stable_snapshot_;
   /// Labels identifying this replica in per-node metrics.
   std::string partition_label_;
   std::string replica_label_;
@@ -289,6 +298,16 @@ class PartitionServerCore {
   std::unordered_set<VertexId> fetch_wanted_;     // on-demand src: send when free
   std::set<std::pair<Epoch, std::uint64_t>> handoffs_seen_;
   std::vector<sim::Ref<const ObjectHandoff>> handoff_buffer_;
+  /// Reassembly of chunked handoffs, keyed by (epoch, vertex). Snapshotted:
+  /// the reliable link acks each chunk on processing, so a partial assembly
+  /// alive at checkpoint time must survive restore or the acked-but-unspliced
+  /// chunks would never be retransmitted.
+  struct HandoffAssembly {
+    std::uint32_t total_chunks = 0;
+    std::set<std::uint32_t> have;
+    sim::MessagePtr handoff;  // full ObjectHandoff, spliced at completion
+  };
+  std::map<std::pair<Epoch, std::uint64_t>, HandoffAssembly> handoff_assembly_;
 
   // Workload-graph hints accumulated since the last report (deterministic
   // across replicas: driven purely by executed commands).
@@ -384,6 +403,7 @@ struct PartitionServerCore::Snapshot {
   std::unordered_set<VertexId> fetch_wanted;
   std::set<std::pair<Epoch, std::uint64_t>> handoffs_seen;
   std::vector<sim::Ref<const ObjectHandoff>> handoff_buffer;
+  std::map<std::pair<Epoch, std::uint64_t>, HandoffAssembly> handoff_assembly;
   std::map<std::uint64_t, std::int64_t> hint_vertices;
   std::map<std::pair<std::uint64_t, std::uint64_t>, std::int64_t> hint_edges;
   std::uint64_t commands_since_hint = 0;

@@ -15,6 +15,8 @@ System::System(SystemConfig config, AppFactory app_factory)
   world_.metrics().add_counter(metric::kServerShed, 0.0);
   world_.metrics().add_counter(metric::kOracleShed, 0.0);
   world_.metrics().add_counter(metric::kClientRetriesExhausted, 0.0);
+  world_.metrics().add_counter(metric::kTransferChunksSent, 0.0);
+  world_.metrics().add_counter(metric::kTransferChunksRetransmitted, 0.0);
   if (config_.mode == ExecutionMode::kStar) {
     world_.metrics().add_counter(metric::kStarEpochs, 0.0);
     world_.metrics().add_counter(metric::kStarDeferred, 0.0);
@@ -84,12 +86,37 @@ System::System(SystemConfig config, AppFactory app_factory)
     for ([[maybe_unused]] ProcessId pid : def.acceptors)
       assert(world_.find(pid) != nullptr);
   }
+
+  // WAN topology: stripe every group across the configured sites so quorums
+  // and state transfers cross inter-datacenter links, then install the
+  // site-pair profiles (explicit per-link overrides still win over these).
+  if (config_.net_sites > 0) {
+    sim::Network& net = world_.network();
+    for (std::uint32_t g = 0; g < groups; ++g) {
+      const auto& def = topology_.group(GroupId{g});
+      for (std::size_t i = 0; i < def.replicas.size(); ++i)
+        net.set_site(def.replicas[i],
+                     static_cast<std::uint32_t>(i) % config_.net_sites);
+      for (std::size_t i = 0; i < def.acceptors.size(); ++i)
+        net.set_site(def.acceptors[i],
+                     static_cast<std::uint32_t>(i) % config_.net_sites);
+    }
+    for (std::uint32_t i = 0; i < config_.net_sites; ++i)
+      for (std::uint32_t j = 0; j < config_.net_sites; ++j)
+        if (i != j) net.set_site_profile(i, j, config_.inter_site_profile);
+    for (std::uint32_t i = 0; i < config_.net_sites; ++i)
+      net.set_site_profile(i, i, config_.intra_site_profile);
+  }
 }
 
 ClientNode& System::add_client(std::unique_ptr<ClientDriver> driver,
                                bool surge_only) {
   auto& node = world_.spawn<ClientNode>(topology_, config_, std::move(driver),
                                         surge_only);
+  if (config_.net_sites > 0)
+    world_.network().set_site(
+        node.id(),
+        static_cast<std::uint32_t>(clients_.size()) % config_.net_sites);
   clients_.push_back(&node);
   return node;
 }

@@ -147,6 +147,78 @@ struct InstallSnapshotResp final : sim::Message {
   sim::MessagePtr state;
 };
 
+// --- Chunked snapshot transfer (receiver-driven pull) -----------------------
+//
+// Replaces the monolithic InstallSnapshotResp when ReplicaConfig::transfer
+// chunking is enabled. A lagging replica still announces its gap with
+// InstallSnapshotReq; a chunk-capable peer answers with a ChunkManifest of
+// its latest *stable* (checkpoint-boundary) snapshot instead of a fresh
+// monolithic capture. The receiver then pulls fixed-size chunks — windowed,
+// with per-chunk retransmit timers — from whichever group peer its
+// observed-bandwidth EWMA ranks best, and splices the state in only once
+// every chunk has arrived. Checkpoints land at deterministic slot
+// boundaries, so every peer whose last checkpoint is at `next_slot` serves
+// the same manifest: a transfer survives its original sender crashing by
+// re-pulling the remaining chunks from someone else (Chiba/Ohmura/Nakamura,
+// arXiv:2110.04448 + arXiv:2204.08656).
+
+/// Peer -> lagging replica: my stable snapshot covers slots < next_slot, cut
+/// into total_chunks pieces of chunk_bytes (the last one possibly shorter).
+struct ChunkManifest final : sim::Message {
+  ChunkManifest(GroupId g, Slot next, std::uint32_t chunks, std::uint32_t bytes)
+      : group(g), next_slot(next), total_chunks(chunks), chunk_bytes(bytes) {}
+  const char* type_name() const override { return "paxos.ChunkManifest"; }
+  GroupId group;
+  Slot next_slot;
+  std::uint32_t total_chunks;
+  std::uint32_t chunk_bytes;
+};
+
+/// Receiver -> peer: send chunk `index` of the manifest at `next_slot`.
+struct StateChunkReq final : sim::Message {
+  StateChunkReq(GroupId g, Slot next, std::uint32_t idx)
+      : group(g), next_slot(next), index(idx) {}
+  const char* type_name() const override { return "paxos.StateChunkReq"; }
+  GroupId group;
+  Slot next_slot;
+  std::uint32_t index;
+};
+
+/// Peer -> receiver: one chunk. The simulator substitutes a shared ref for
+/// serialized bytes, so the chunk carries the whole snapshot object while
+/// only `payload_bytes` occupy the wire; the receiver reads the payload
+/// exclusively at manifest completion (the splice point).
+struct StateChunk final : sim::Message {
+  StateChunk(GroupId g, Slot next, std::uint32_t idx, std::uint32_t chunks,
+             std::uint32_t bytes, sim::MessagePtr st)
+      : group(g),
+        next_slot(next),
+        index(idx),
+        total_chunks(chunks),
+        payload_bytes(bytes),
+        state(std::move(st)) {}
+  const char* type_name() const override { return "paxos.StateChunk"; }
+  std::size_t size_bytes() const override { return 64 + payload_bytes; }
+  GroupId group;
+  Slot next_slot;
+  std::uint32_t index;
+  std::uint32_t total_chunks;
+  std::uint32_t payload_bytes;
+  sim::MessagePtr state;
+};
+
+/// Receiver -> peer: chunk `index` arrived. Closes the per-chunk loop on the
+/// wire (senders are stateless in the sim, but the ack keeps the exchange
+/// faithful to the real protocol and feeds per-link accounting).
+struct StateChunkAck final : sim::Message {
+  StateChunkAck(GroupId g, Slot next, std::uint32_t idx)
+      : group(g), next_slot(next), index(idx) {}
+  const char* type_name() const override { return "paxos.StateChunkAck"; }
+  GroupId group;
+  Slot next_slot;
+  std::uint32_t index;
+};
+
 /// Values proposed by the leader are batches of submitted values; the
 /// replica unwraps them on delivery. Empty batches act as no-ops when a new
 /// leader fills log gaps.

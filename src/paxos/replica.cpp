@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 #include "common/logging.h"
+#include "common/metric_names.h"
 
 namespace dynastar::paxos {
 
@@ -94,6 +96,7 @@ void ReplicaCore::restore(const ReplicaRestart& s) {
   last_checkpoint_slot_ = s.last_checkpoint_slot;
   last_leader_contact_ = env_.now();
   catchup_pending_ = false;
+  transfer_.reset();  // any in-flight chunk pull predates the restored state
   stashed_.clear();
   stash_retry_armed_ = false;
 }
@@ -153,6 +156,27 @@ bool ReplicaCore::handle(ProcessId from, const sim::MessagePtr& msg) {
   if (auto* p = dynamic_cast<const InstallSnapshotResp*>(msg.get())) {
     if (p->group != group_) return false;
     on_install_resp(*p);
+    return true;
+  }
+  if (auto* p = dynamic_cast<const ChunkManifest*>(msg.get())) {
+    if (p->group != group_) return false;
+    on_chunk_manifest(from, *p);
+    return true;
+  }
+  if (auto* p = dynamic_cast<const StateChunkReq*>(msg.get())) {
+    if (p->group != group_) return false;
+    on_chunk_req(from, *p);
+    return true;
+  }
+  if (auto* p = dynamic_cast<const StateChunk*>(msg.get())) {
+    if (p->group != group_) return false;
+    on_chunk(from, *p);
+    return true;
+  }
+  if (auto* p = dynamic_cast<const StateChunkAck*>(msg.get())) {
+    if (p->group != group_) return false;
+    // Wire-level close of the chunk loop; the sim-side sender is stateless,
+    // so there is nothing to update.
     return true;
   }
   return false;
@@ -384,6 +408,9 @@ void ReplicaCore::maybe_request_catchup(Slot leader_next, Slot leader_floor) {
     catchup_pending_ = false;
     if (state_ == State::kLeading) return;
     if (below_floor && snapshot_installer_) {
+      // An active chunk transfer already owns recovery of this gap; its
+      // retransmit timers redirect to other peers if the source dies.
+      if (transfer_) return;
       env_.send_message(leader_hint(), sim::make_message<InstallSnapshotReq>(
                                            group_, next_deliver_slot_));
     } else {
@@ -395,8 +422,9 @@ void ReplicaCore::maybe_request_catchup(Slot leader_next, Slot leader_floor) {
 
 void ReplicaCore::on_catchup(ProcessId from, const CatchupReq& msg) {
   if (msg.from_slot < floor_slot_ && snapshot_provider_) {
-    // The requested prefix is gone; a snapshot covers it in one shot.
-    maybe_send_snapshot(from, msg.from_slot);
+    // The requested prefix is gone; a snapshot covers it (chunked when a
+    // stable checkpoint snapshot exists, monolithic otherwise).
+    offer_snapshot(from, msg.from_slot);
     return;
   }
   for (auto it = log_.lower_bound(msg.from_slot); it != log_.end(); ++it) {
@@ -406,8 +434,191 @@ void ReplicaCore::on_catchup(ProcessId from, const CatchupReq& msg) {
 }
 
 void ReplicaCore::on_install_req(ProcessId from, const InstallSnapshotReq& msg) {
-  maybe_send_snapshot(from, msg.have_slot);
+  offer_snapshot(from, msg.have_slot);
 }
+
+void ReplicaCore::offer_snapshot(ProcessId to, Slot have_slot) {
+  if (config_.transfer_chunk_bytes > 0 && stable_snapshot_provider_ &&
+      last_checkpoint_slot_ > have_slot) {
+    if (const sim::MessagePtr stable = stable_snapshot_provider_()) {
+      const std::size_t chunk = config_.transfer_chunk_bytes;
+      const std::size_t total_bytes = stable->size_bytes();
+      const auto total = static_cast<std::uint32_t>(
+          std::max<std::size_t>(1, (total_bytes + chunk - 1) / chunk));
+      env_.send_message(to, sim::make_message<ChunkManifest>(
+                                group_, last_checkpoint_slot_, total,
+                                static_cast<std::uint32_t>(chunk)));
+      return;
+    }
+  }
+  // No stable snapshot newer than the receiver's position (or chunking is
+  // off): fall back to a monolithic fresh capture at the tip. This also
+  // closes the gap when catchup_window < checkpoint_interval leaves a
+  // freshly chunk-installed replica still below the leader's log floor.
+  maybe_send_snapshot(to, have_slot);
+}
+
+void ReplicaCore::on_chunk_req(ProcessId from, const StateChunkReq& msg) {
+  if (config_.transfer_chunk_bytes == 0 || !stable_snapshot_provider_) return;
+  if (msg.next_slot != last_checkpoint_slot_) {
+    // Our stable snapshot moved past the manifest being pulled: offer the
+    // newer one so the receiver restarts instead of starving. When we are
+    // the stale side, stay silent — the receiver's retransmit timer will
+    // redirect the request to a peer that can serve it.
+    if (last_checkpoint_slot_ > msg.next_slot)
+      offer_snapshot(from, msg.next_slot);
+    return;
+  }
+  const sim::MessagePtr stable = stable_snapshot_provider_();
+  if (!stable) return;
+  const std::size_t chunk = config_.transfer_chunk_bytes;
+  const std::size_t total_bytes = stable->size_bytes();
+  const auto total = static_cast<std::uint32_t>(
+      std::max<std::size_t>(1, (total_bytes + chunk - 1) / chunk));
+  if (msg.index >= total) return;
+  const auto payload = static_cast<std::uint32_t>(std::min(
+      chunk, total_bytes - static_cast<std::size_t>(msg.index) * chunk));
+  env_.send_message(from,
+                    sim::make_message<StateChunk>(group_, msg.next_slot,
+                                                  msg.index, total, payload,
+                                                  stable));
+  if (metrics_) metrics_->add_counter(metric::kTransferChunksSent);
+}
+
+void ReplicaCore::on_chunk_manifest(ProcessId /*from*/,
+                                    const ChunkManifest& msg) {
+  if (!snapshot_installer_ || state_ == State::kLeading) return;
+  if (msg.next_slot <= next_deliver_slot_) return;  // stale offer
+  if (transfer_) {
+    // The same manifest from another peer adds nothing (any peer at that
+    // checkpoint can already serve chunk requests); an older one is stale.
+    if (msg.next_slot <= transfer_->next_slot) return;
+    abandon_transfer();  // peers checkpointed past the old manifest: restart
+  }
+  transfer_.emplace();
+  transfer_->next_slot = msg.next_slot;
+  transfer_->total_chunks = std::max<std::uint32_t>(1, msg.total_chunks);
+  transfer_->chunk_bytes = msg.chunk_bytes;
+  transfer_->have.assign(transfer_->total_chunks, false);
+  transfer_->epoch = ++transfer_epochs_;
+  if (trace_)
+    trace_->record(TracePoint::kStateTransferStart, env_.now(), msg.next_slot,
+                   0, env_.self().value(), transfer_->total_chunks);
+  pump_chunk_requests();
+}
+
+void ReplicaCore::pump_chunk_requests() {
+  Transfer& t = *transfer_;
+  while (t.outstanding.size() < config_.transfer_window &&
+         t.next_index < t.total_chunks) {
+    const std::uint32_t index = t.next_index++;
+    if (t.have[index]) continue;
+    request_chunk(index, 0);
+  }
+}
+
+void ReplicaCore::request_chunk(std::uint32_t index, std::uint32_t tries) {
+  Transfer& t = *transfer_;
+  const ProcessId peer = best_transfer_peer();
+  t.outstanding[index] = OutstandingChunk{peer, env_.now(), tries};
+  env_.send_message(peer, sim::make_message<StateChunkReq>(group_, t.next_slot,
+                                                           index));
+  SimTime delay = config_.transfer_retry_base;
+  for (std::uint32_t i = 0; i < tries && delay < config_.transfer_retry_cap;
+       ++i)
+    delay *= 2;
+  delay = std::min(delay, config_.transfer_retry_cap);
+  const std::uint64_t epoch = t.epoch;
+  env_.start_timer(delay, [this, epoch, index] {
+    if (!transfer_ || transfer_->epoch != epoch) return;
+    auto it = transfer_->outstanding.find(index);
+    if (it == transfer_->outstanding.end()) return;  // chunk arrived in time
+    // Overdue: deprioritize the silent peer hard (a probe that never
+    // answered is most likely down) and re-request with backoff — possibly
+    // from a different peer, which is what survives a sender crash.
+    const ProcessId silent = it->second.peer;
+    const std::uint32_t prior_tries = it->second.tries;
+    auto bw = peer_bandwidth_.find(silent.value());
+    if (bw == peer_bandwidth_.end())
+      peer_bandwidth_[silent.value()] = 1.0;
+    else
+      bw->second *= 0.5;
+    ++transfer_->retransmits;
+    if (metrics_) metrics_->add_counter(metric::kTransferChunksRetransmitted);
+    request_chunk(index, prior_tries + 1);
+  });
+}
+
+void ReplicaCore::on_chunk(ProcessId from, const StateChunk& msg) {
+  env_.send_message(from, sim::make_message<StateChunkAck>(group_,
+                                                           msg.next_slot,
+                                                           msg.index));
+  if (!transfer_ || msg.next_slot != transfer_->next_slot) return;
+  Transfer& t = *transfer_;
+  auto out = t.outstanding.find(msg.index);
+  if (out != t.outstanding.end()) {
+    if (out->second.peer == from) {
+      const SimTime elapsed = env_.now() - out->second.sent_at;
+      if (elapsed > 0)
+        note_peer_bandwidth(from, static_cast<double>(msg.payload_bytes) *
+                                      1e9 / static_cast<double>(elapsed));
+    }
+    t.outstanding.erase(out);
+  }
+  if (msg.index < t.have.size() && !t.have[msg.index]) {
+    t.have[msg.index] = true;
+    ++t.have_count;
+    // Peers checkpointed at the same slot hold state covering the same
+    // applied prefix; keep the first arriving ref as the splice payload and
+    // let later chunks (possibly from other peers) count as wire progress.
+    if (!t.state) t.state = msg.state;
+  }
+  if (t.have_count == t.total_chunks) {
+    complete_transfer();
+    return;
+  }
+  pump_chunk_requests();
+}
+
+void ReplicaCore::note_peer_bandwidth(ProcessId peer, double bytes_per_sec) {
+  auto [it, inserted] = peer_bandwidth_.try_emplace(peer.value(),
+                                                    bytes_per_sec);
+  if (!inserted)
+    it->second = config_.transfer_ewma_alpha * bytes_per_sec +
+                 (1.0 - config_.transfer_ewma_alpha) * it->second;
+}
+
+ProcessId ReplicaCore::best_transfer_peer() const {
+  ProcessId best = env_.self();
+  double best_score = -1.0;
+  for (ProcessId peer : topology_.group(group_).replicas) {
+    if (peer == env_.self()) continue;
+    auto it = peer_bandwidth_.find(peer.value());
+    const double score = it == peer_bandwidth_.end()
+                             ? std::numeric_limits<double>::infinity()
+                             : it->second;
+    if (score > best_score) {
+      best = peer;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+void ReplicaCore::complete_transfer() {
+  Transfer done = std::move(*transfer_);
+  transfer_.reset();  // before the installer: restore() must see no transfer
+  if (trace_)
+    trace_->record(TracePoint::kStateTransferEnd, env_.now(), done.next_slot,
+                   0, env_.self().value(), done.retransmits);
+  if (!snapshot_installer_ || state_ == State::kLeading) return;
+  if (done.next_slot <= next_deliver_slot_) return;  // outran the manifest
+  if (!done.state || !snapshot_installer_(done.state)) return;
+  take_checkpoint();
+  try_deliver();
+}
+
+void ReplicaCore::abandon_transfer() { transfer_.reset(); }
 
 void ReplicaCore::maybe_send_snapshot(ProcessId to, Slot have_slot) {
   if (!snapshot_provider_ || next_deliver_slot_ <= have_slot) return;

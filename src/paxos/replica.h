@@ -10,10 +10,12 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/trace.h"
 #include "paxos/messages.h"
 #include "paxos/topology.h"
@@ -41,6 +43,21 @@ struct ReplicaConfig {
   /// log memory is bounded by max(checkpoint_interval, catchup_window)
   /// retained entries once checkpoints start landing.
   Slot checkpoint_interval = 4096;
+
+  // --- chunked snapshot transfer (see messages.h §Chunked snapshot
+  // transfer). Defaults enable chunking with a 64KiB chunk; 0 restores the
+  // monolithic InstallSnapshotResp path bit-for-bit. ---
+  /// Chunk payload size in bytes (0 disables chunked transfer).
+  std::size_t transfer_chunk_bytes = 64 * 1024;
+  /// Outstanding chunk requests per transfer (pipeline depth).
+  std::size_t transfer_window = 4;
+  /// Per-chunk retransmit timer; doubles per retry up to the cap. A timeout
+  /// also halves the EWMA bandwidth estimate of the peer that went silent,
+  /// steering the re-request toward a faster (or at least alive) peer.
+  SimTime transfer_retry_base = milliseconds(25);
+  SimTime transfer_retry_cap = milliseconds(400);
+  /// Weight of the newest per-peer bandwidth sample in the EWMA.
+  double transfer_ewma_alpha = 0.4;
 };
 
 /// The Paxos-level position captured in a checkpoint and restored on
@@ -93,6 +110,20 @@ class ReplicaCore {
   void set_snapshot_installer(std::function<bool(const sim::MessagePtr&)> fn) {
     snapshot_installer_ = std::move(fn);
   }
+
+  /// Produces the snapshot captured at the *last checkpoint boundary*
+  /// (null if none exists yet), without copying state. Chunked transfers
+  /// serve this instead of a fresh capture: checkpoint boundaries are
+  /// deterministic slots, so every peer checkpointed at the same slot serves
+  /// an interchangeable manifest and a receiver can resume a transfer from a
+  /// different peer mid-flight.
+  void set_stable_snapshot_provider(std::function<sim::MessagePtr()> fn) {
+    stable_snapshot_provider_ = std::move(fn);
+  }
+
+  /// Optional metrics sink for transfer counters (chunks sent /
+  /// retransmitted). Null disables.
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
 
   /// Starts timers; leader bootstrap for replica index 0.
   void start();
@@ -151,6 +182,21 @@ class ReplicaCore {
   void maybe_send_snapshot(ProcessId to, Slot have_slot);
   void take_checkpoint();
 
+  // Chunked transfer: sender side.
+  /// Answers a snapshot request with a ChunkManifest when a stable snapshot
+  /// newer than `have_slot` exists, else falls back to the monolithic path.
+  void offer_snapshot(ProcessId to, Slot have_slot);
+  void on_chunk_req(ProcessId from, const StateChunkReq& msg);
+  // Chunked transfer: receiver side.
+  void on_chunk_manifest(ProcessId from, const ChunkManifest& msg);
+  void on_chunk(ProcessId from, const StateChunk& msg);
+  void request_chunk(std::uint32_t index, std::uint32_t tries);
+  void pump_chunk_requests();
+  void complete_transfer();
+  void abandon_transfer();
+  void note_peer_bandwidth(ProcessId peer, double bytes_per_sec);
+  [[nodiscard]] ProcessId best_transfer_peer() const;
+
   void start_phase1();
   void become_leader();
   void step_down(Ballot higher);
@@ -174,6 +220,7 @@ class ReplicaCore {
   std::function<void()> on_lead_;
   std::function<void()> checkpoint_hook_;
   std::function<sim::MessagePtr()> snapshot_provider_;
+  std::function<sim::MessagePtr()> stable_snapshot_provider_;
   std::function<bool(const sim::MessagePtr&)> snapshot_installer_;
   std::size_t my_index_ = 0;
 
@@ -207,6 +254,38 @@ class ReplicaCore {
   // Liveness.
   SimTime last_leader_contact_ = 0;
   bool catchup_pending_ = false;
+
+  // --- chunked transfer state (receiver side) ---
+  struct OutstandingChunk {
+    ProcessId peer{0};
+    SimTime sent_at = 0;
+    std::uint32_t tries = 0;
+  };
+  struct Transfer {
+    Slot next_slot = 0;
+    std::uint32_t total_chunks = 0;
+    std::uint32_t chunk_bytes = 0;
+    std::vector<bool> have;
+    std::uint32_t have_count = 0;
+    /// Next chunk index never requested (requested-and-lost chunks re-enter
+    /// via their retransmit timers, not this cursor).
+    std::uint32_t next_index = 0;
+    /// Snapshot ref from the first chunk that arrived. Peers checkpointed at
+    /// the same slot hold state covering the same applied prefix, so chunks
+    /// from other peers only contribute wire progress (the sim's stand-in
+    /// for byte-range reassembly).
+    sim::MessagePtr state;
+    std::map<std::uint32_t, OutstandingChunk> outstanding;
+    /// Guards retransmit timers across transfer restarts.
+    std::uint64_t epoch = 0;
+    std::uint32_t retransmits = 0;
+  };
+  std::optional<Transfer> transfer_;
+  std::uint64_t transfer_epochs_ = 0;
+  /// Observed per-peer bandwidth EWMA (bytes/sec), learned from chunk
+  /// request->arrival times; untried peers score +inf so they get probed.
+  std::unordered_map<std::uint64_t, double> peer_bandwidth_;
+  MetricsRegistry* metrics_ = nullptr;
 
   // Values awaiting a known leader (buffered during elections).
   std::deque<sim::MessagePtr> stashed_;

@@ -1,6 +1,8 @@
 #include "sim/chaos.h"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 #include <sstream>
 
 #include "common/metric_names.h"
@@ -11,6 +13,7 @@ void ChaosInjector::arm() {
   schedule_crashes();
   schedule_link_cuts();
   schedule_network_windows();
+  schedule_link_degrades();
   schedule_surges();  // last: may pin a window to a scheduled recovery
 }
 
@@ -119,12 +122,12 @@ void ChaosInjector::schedule_network_windows() {
       record(at, what.str());
       if (drop_windows_++ == 0)
         steady_drop_ = world_.network().config().drop_probability;
-      world_.network().config().drop_probability = burst;
+      world_.network().set_drop_probability(burst);
     });
     world_.sim().schedule_at(at + duration, [this, at, duration] {
       record(at + duration, "drop burst end");
       if (--drop_windows_ == 0)
-        world_.network().config().drop_probability = steady_drop_;
+        world_.network().set_drop_probability(steady_drop_);
     });
   }
   for (std::size_t e = 0; e < config_.latency_spike_events; ++e) {
@@ -139,12 +142,71 @@ void ChaosInjector::schedule_network_windows() {
       record(at, what.str());
       if (latency_windows_++ == 0)
         steady_latency_ = world_.network().config().base_latency;
-      world_.network().config().base_latency = spike;
+      world_.network().set_base_latency(spike);
     });
     world_.sim().schedule_at(at + duration, [this, at, duration] {
       record(at + duration, "latency spike end");
       if (--latency_windows_ == 0)
-        world_.network().config().base_latency = steady_latency_;
+        world_.network().set_base_latency(steady_latency_);
+    });
+  }
+  for (std::size_t e = 0; e < config_.bandwidth_drop_events; ++e) {
+    const SimTime duration = static_cast<SimTime>(
+        rng_.uniform(static_cast<std::uint64_t>(milliseconds(50)),
+                     static_cast<std::uint64_t>(config_.max_window)));
+    const SimTime at = random_time_in_horizon(config_.max_window);
+    const double factor = config_.bandwidth_drop_factor;
+    world_.sim().schedule_at(at, [this, at, factor] {
+      std::ostringstream what;
+      what << "bandwidth drop /" << factor;
+      record(at, what.str());
+      if (bandwidth_windows_++ == 0)
+        steady_bandwidth_scale_ = world_.network().bandwidth_scale();
+      world_.network().set_bandwidth_scale(steady_bandwidth_scale_ / factor);
+    });
+    world_.sim().schedule_at(at + duration, [this, at, duration] {
+      record(at + duration, "bandwidth drop end");
+      if (--bandwidth_windows_ == 0)
+        world_.network().set_bandwidth_scale(steady_bandwidth_scale_);
+    });
+  }
+}
+
+void ChaosInjector::schedule_link_degrades() {
+  if (config_.link_pool.size() < 2 || config_.link_degrade_events == 0) return;
+  for (std::size_t e = 0; e < config_.link_degrade_events; ++e) {
+    const std::size_t a = static_cast<std::size_t>(
+        rng_.uniform(0, config_.link_pool.size() - 1));
+    std::size_t b = static_cast<std::size_t>(
+        rng_.uniform(0, config_.link_pool.size() - 2));
+    if (b >= a) ++b;
+    const ProcessId from = config_.link_pool[a];
+    const ProcessId to = config_.link_pool[b];
+    const SimTime duration = static_cast<SimTime>(
+        rng_.uniform(static_cast<std::uint64_t>(milliseconds(50)),
+                     static_cast<std::uint64_t>(config_.max_window)));
+    const SimTime at = random_time_in_horizon(config_.max_window);
+
+    // Each window saves whatever override the link carried when it opened
+    // and restores exactly that when it closes. Overlapping windows on the
+    // same link unwind in close order (the later close restores the earlier
+    // window's degraded profile, then that window's close restores the
+    // original) — acceptable nesting for a nemesis.
+    auto saved = std::make_shared<std::optional<LinkProfile>>();
+    world_.sim().schedule_at(at, [this, from, to, at, saved] {
+      std::ostringstream what;
+      what << "degrade link p" << from << "->p" << to;
+      record(at, what.str());
+      *saved = world_.network().link_profile_override(from, to);
+      world_.network().set_link_profile(from, to, config_.degraded_profile);
+    });
+    const SimTime heal_at = at + duration;
+    world_.sim().schedule_at(heal_at, [this, from, to, heal_at, saved] {
+      record(heal_at, "degrade end");
+      if (saved->has_value())
+        world_.network().set_link_profile(from, to, **saved);
+      else
+        world_.network().clear_link_profile(from, to);
     });
   }
 }

@@ -9,7 +9,8 @@
 //
 // Inspired by Jepsen-style nemesis testing: the injector never touches
 // protocol state, only the environment (World::crash/recover, link blocking,
-// NetworkConfig windows).
+// global network-knob windows via Network's explicit setters, bandwidth
+// collapses, and per-link degrade windows).
 #pragma once
 
 #include <string>
@@ -50,12 +51,28 @@ struct ChaosConfig {
   std::size_t link_cut_events = 0;
   SimTime max_cut = milliseconds(500);
 
-  /// Transient windows that temporarily rewrite NetworkConfig.
+  /// Transient windows that temporarily rewrite global network knobs.
   std::size_t drop_burst_events = 0;
   double burst_drop_probability = 0.2;
   std::size_t latency_spike_events = 0;
   SimTime spike_latency = milliseconds(2);
   SimTime max_window = milliseconds(400);
+
+  /// Bandwidth-collapse windows: every finite-bandwidth link's rate is
+  /// divided by `bandwidth_drop_factor` for the window (links without a
+  /// bandwidth model are unaffected). Overlapping windows do not compound;
+  /// the refcounted scale restores to 1.0 when the last window closes.
+  std::size_t bandwidth_drop_events = 0;
+  double bandwidth_drop_factor = 10.0;
+
+  /// Link-degrade windows: one directed link drawn from link_pool gets
+  /// `degraded_profile` installed as a per-link override for the window
+  /// (any pre-existing override is saved and restored afterwards). Unlike a
+  /// cut, traffic still flows — just slow, far, and shallow-queued.
+  std::size_t link_degrade_events = 0;
+  LinkProfile degraded_profile{/*bandwidth_bytes_per_sec=*/1'000'000,
+                               /*propagation=*/milliseconds(30),
+                               /*queue_bytes=*/256 * 1024};
 
   /// Load-surge windows: each raises the world's refcounted surge flag
   /// (World::begin_surge/end_surge), waking any surge-only clients. With
@@ -84,6 +101,7 @@ class ChaosInjector {
   void schedule_crashes();
   void schedule_link_cuts();
   void schedule_network_windows();
+  void schedule_link_degrades();
   void schedule_surges();
   SimTime random_time_in_horizon(SimTime latest_margin);
   void record(SimTime at, std::string what);
@@ -96,8 +114,10 @@ class ChaosInjector {
   // Refcounts for overlapping network-config windows (see .cpp).
   int drop_windows_ = 0;
   int latency_windows_ = 0;
+  int bandwidth_windows_ = 0;
   double steady_drop_ = 0.0;
   SimTime steady_latency_ = 0;
+  double steady_bandwidth_scale_ = 1.0;
   /// Recovery instants produced by schedule_crashes(), in schedule order;
   /// schedule_surges() pins one surge window to the first of these when
   /// surge_with_recovery is set.

@@ -13,6 +13,7 @@ World::World(NetworkConfig net_config, std::uint64_t seed) : rng_(seed) {
       [this](ProcessId from, ProcessId to, const MessagePtr& msg) {
         deliver(from, to, msg);
       });
+  network_->set_metrics(&metrics_);
 }
 
 World::~World() = default;

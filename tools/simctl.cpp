@@ -61,6 +61,8 @@ struct Options {
   std::int64_t exec_lanes = -1;          // -1 = keep preset default (serial)
   std::string exec_backend = "sim";      // sim | threads
   std::int64_t read_leases = -1;         // -1 = keep preset default (off)
+  std::string net;                       // "" = keep preset (lan) | wan:<N>dc
+  std::uint64_t long_crashes = 0;        // chaos: long-downtime crash events
 };
 
 /// Parsed --surge=N@START+DUR: N extra surge-only clients active during
@@ -146,6 +148,14 @@ std::vector<Flag> flag_table(Options* o) {
        "serve read-only multi-partition commands from epoch-validated leases "
        "(dynastar / dssmr only)",
        [o](const char* v) { o->read_leases = std::atoll(v); }},
+      {"--net=", "SPEC",
+       "network topology: lan (default) | wan:<N>dc (N datacenters with "
+       "bandwidth-modeled links)",
+       [o](const char* v) { o->net = v; }},
+      {"--long-crashes=", "N",
+       "with --chaos: N crash events with multi-second downtime, forcing "
+       "snapshot installs on recovery",
+       [o](const char* v) { o->long_crashes = std::atoll(v); }},
   };
 }
 
@@ -221,6 +231,7 @@ std::unique_ptr<core::System> make_system(const Options& options,
                                           std::uint32_t surge_clients) {
   core::ScenarioBuilder builder;
   builder.config(make_config(options));
+  if (!options.net.empty()) builder.net_preset(options.net);
   if (!options.trace_file.empty() || !options.report_json.empty())
     builder.trace();
 
@@ -356,9 +367,16 @@ int main(int argc, char** argv) {
                              replicas.end());
     }
     chaos.crash_events = 2 + options.partitions;
+    chaos.long_crash_events = options.long_crashes;
     chaos.link_cut_events = 2;
     chaos.drop_burst_events = 2;
     chaos.latency_spike_events = 2;
+    if (!options.net.empty() && options.net != "lan") {
+      // WAN runs get the bandwidth nemeses too: global collapses plus
+      // per-link degrade windows over the same replica pool.
+      chaos.bandwidth_drop_events = 2;
+      chaos.link_degrade_events = 2;
+    }
     injector = std::make_unique<sim::ChaosInjector>(system->world(), chaos);
     injector->arm();
   }
